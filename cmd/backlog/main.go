@@ -1,0 +1,106 @@
+// Command backlog regenerates the §III motivation artifacts: Table I
+// (the simulated benchmark circuits), Fig. 5 (the wall-clock trace of a
+// backlogged execution), and Fig. 6 (running time versus the syndrome
+// data processing ratio for all five benchmarks).
+//
+// Usage:
+//
+//	backlog -table1
+//	backlog -trace [-bench "cuccaro adder"] [-ratio 2] [-cycle 400]
+//	backlog -sweep [-cycle 400]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"text/tabwriter"
+
+	"repro/internal/backlog"
+	"repro/internal/qprog"
+)
+
+func main() {
+	table1 := flag.Bool("table1", false, "print the Table I benchmark characteristics")
+	trace := flag.Bool("trace", false, "print the Fig. 5 wall-clock trace")
+	sweep := flag.Bool("sweep", false, "print the Fig. 6 ratio sweep")
+	benchName := flag.String("bench", "cuccaro adder", "benchmark for -trace")
+	ratio := flag.Float64("ratio", 2, "rgen/rproc processing ratio for -trace")
+	cycle := flag.Float64("cycle", 400, "syndrome generation cycle (ns)")
+	flag.Parse()
+	if !*table1 && !*trace && !*sweep {
+		*table1, *sweep = true, true
+	}
+
+	benches, err := qprog.Benchmarks()
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	if *table1 {
+		fmt.Println("Table I — characteristics of the simulated benchmarks")
+		w := tabwriter.NewWriter(os.Stdout, 2, 4, 2, ' ', 0)
+		fmt.Fprintln(w, "benchmark\tqubits\ttotal gates\tT gates\t(paper: qubits/total/T)")
+		for _, b := range benches {
+			fmt.Fprintf(w, "%s\t%d\t%d\t%d\t(%d/%d/%d)\n",
+				b.Name, b.Stats.Qubits, b.Stats.Total, b.Stats.TGates,
+				b.PaperQubits, b.PaperTotal, b.PaperTGates)
+		}
+		w.Flush()
+		fmt.Println()
+	}
+
+	if *trace {
+		var chosen *qprog.Benchmark
+		for i := range benches {
+			if benches[i].Name == *benchName {
+				chosen = &benches[i]
+			}
+		}
+		if chosen == nil {
+			log.Fatalf("unknown benchmark %q", *benchName)
+		}
+		m := backlog.Model{SyndromeCycleNs: *cycle, DecodeNs: *ratio * *cycle}
+		tr, err := m.Execute(backlog.Program(chosen.Circuit))
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("Fig. 5 — wall clock vs compute time, %s, f=%.2f\n\n", chosen.Name, *ratio)
+		w := tabwriter.NewWriter(os.Stdout, 2, 4, 2, ' ', 0)
+		fmt.Fprintln(w, "T gate\tcompute (µs)\twall (µs)\tstall (µs)")
+		for i, pt := range tr.Points {
+			if i%25 != 0 && i != len(tr.Points)-1 {
+				continue
+			}
+			fmt.Fprintf(w, "%d\t%.2f\t%.4g\t%.4g\n", i+1, pt.ComputeNs/1000, pt.WallNs/1000, pt.StallNs/1000)
+		}
+		w.Flush()
+		fmt.Printf("\ntotal: compute %.2f µs, wall %.4g µs, slowdown %.4g\n",
+			tr.ComputeNs/1000, tr.WallNs/1000, tr.Slowdown())
+	}
+
+	if *sweep {
+		ratios := []float64{0.25, 0.5, 0.75, 0.9, 1.0, 1.1, 1.25, 1.5, 1.75, 2.0}
+		fmt.Println("Fig. 6 — running time (s) vs syndrome data processing ratio")
+		w := tabwriter.NewWriter(os.Stdout, 2, 4, 2, ' ', 0)
+		header := "ratio"
+		for _, b := range benches {
+			header += "\t" + b.Name
+		}
+		fmt.Fprintln(w, header)
+		for _, f := range ratios {
+			row := fmt.Sprintf("%.2f", f)
+			for _, b := range benches {
+				pts, err := backlog.Sweep(backlog.Program(b.Circuit), *cycle, []float64{f})
+				if err != nil {
+					log.Fatal(err)
+				}
+				row += fmt.Sprintf("\t%.4g", pts[0].WallNs/1e9)
+			}
+			fmt.Fprintln(w, row)
+		}
+		w.Flush()
+		fmt.Println("\n(ratios above 1 blow up exponentially in the T count — the paper's 10^196 s example)")
+	}
+}

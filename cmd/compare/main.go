@@ -1,0 +1,107 @@
+// Command compare runs every decoder in the repository head to head on
+// identical lifetime workloads: the SFQ mesh (the paper's contribution),
+// the software greedy reference, exact minimum-weight perfect matching,
+// union-find, exact maximum likelihood (d = 3 only) and the trained
+// neural decoder (d = 3 only). This extends the paper's accuracy
+// discussion (§VIII "Comparison to existing approximation techniques")
+// with a single reproducible table.
+//
+// Usage:
+//
+//	compare [-distances 3,5,7] [-p 0.03] [-cycles 20000] [-seed 1]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"strconv"
+	"strings"
+	"text/tabwriter"
+
+	"repro/internal/decoder"
+	"repro/internal/decoder/greedy"
+	"repro/internal/decoder/mld"
+	"repro/internal/decoder/mwpm"
+	"repro/internal/decoder/neural"
+	"repro/internal/decoder/unionfind"
+	"repro/internal/lattice"
+	"repro/internal/noise"
+	"repro/internal/sfq"
+	"repro/internal/surface"
+)
+
+func main() {
+	distances := flag.String("distances", "3,5,7", "code distances")
+	p := flag.Float64("p", 0.03, "physical dephasing rate")
+	cycles := flag.Int("cycles", 20000, "syndrome cycles per decoder")
+	seed := flag.Int64("seed", 1, "random seed (shared across decoders)")
+	flag.Parse()
+
+	var ds []int
+	for _, s := range strings.Split(*distances, ",") {
+		v, err := strconv.Atoi(strings.TrimSpace(s))
+		if err != nil {
+			log.Fatal(err)
+		}
+		ds = append(ds, v)
+	}
+
+	fmt.Printf("decoder comparison — pure dephasing p=%g, %d cycles, identical error streams\n\n", *p, *cycles)
+	w := tabwriter.NewWriter(os.Stdout, 2, 4, 2, ' ', 0)
+	fmt.Fprintln(w, "d\tdecoder\tlogical errors\tPL\tnote")
+	for _, d := range ds {
+		g := lattice.MustNew(d).MatchingGraph(lattice.ZErrors)
+		decoders := []struct {
+			dec  decoder.Decoder
+			note string
+		}{
+			{sfq.New(g, sfq.Final), "online, ~ns latency"},
+			{greedy.New(), "software reference of §V-B"},
+			{mwpm.New(), "exact matching (offline)"},
+			{unionfind.New(), "almost-linear (offline)"},
+		}
+		if d == 3 {
+			ml, err := mld.New(g, *p)
+			if err != nil {
+				log.Fatal(err)
+			}
+			decoders = append(decoders, struct {
+				dec  decoder.Decoder
+				note string
+			}{ml, "exact maximum likelihood"})
+			nn, err := neural.New(g, neural.TrainConfig{P: *p, Samples: 80000, Seed: *seed})
+			if err != nil {
+				log.Fatal(err)
+			}
+			decoders = append(decoders, struct {
+				dec  decoder.Decoder
+				note string
+			}{nn, "greedy + trained MLP stage"})
+		}
+		for _, entry := range decoders {
+			ch, err := noise.NewDephasing(*p)
+			if err != nil {
+				log.Fatal(err)
+			}
+			sim, err := surface.New(surface.Config{
+				Distance: d,
+				Channel:  ch,
+				DecoderZ: entry.dec,
+				Seed:     *seed, // same seed: same error stream per distance
+			})
+			if err != nil {
+				log.Fatal(err)
+			}
+			res, err := sim.Run(*cycles)
+			if err != nil {
+				log.Fatal(err)
+			}
+			fmt.Fprintf(w, "%d\t%s\t%d\t%.5f\t%s\n", d, entry.dec.Name(), res.LogicalErrors, res.PL, entry.note)
+		}
+	}
+	w.Flush()
+	fmt.Println("\nthe SFQ mesh trades a constant-factor accuracy loss for four orders")
+	fmt.Println("of magnitude in latency — the paper's central engineering trade.")
+}

@@ -1,0 +1,81 @@
+// Command rotated compares the paper's unrotated surface-code layout
+// against the rotated layout extension at equal code distance: physical
+// qubit cost and lifetime logical error rate under the same channel and
+// decoder family (exact matching).
+//
+// Usage:
+//
+//	rotated [-distances 3,5,7] [-p 0.03] [-cycles 20000] [-seed 1]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"strconv"
+	"strings"
+	"text/tabwriter"
+
+	"repro/internal/decoder/mwpm"
+	"repro/internal/noise"
+	"repro/internal/rotated"
+	"repro/internal/surface"
+)
+
+func main() {
+	distances := flag.String("distances", "3,5,7", "code distances")
+	p := flag.Float64("p", 0.03, "physical dephasing rate")
+	cycles := flag.Int("cycles", 20000, "syndrome cycles per point")
+	seed := flag.Int64("seed", 1, "random seed")
+	flag.Parse()
+
+	var ds []int
+	for _, s := range strings.Split(*distances, ",") {
+		v, err := strconv.Atoi(strings.TrimSpace(s))
+		if err != nil {
+			log.Fatal(err)
+		}
+		ds = append(ds, v)
+	}
+
+	fmt.Printf("unrotated (paper) vs rotated layout — dephasing p=%g, exact matching, %d cycles\n\n", *p, *cycles)
+	w := tabwriter.NewWriter(os.Stdout, 2, 4, 2, ' ', 0)
+	fmt.Fprintln(w, "d\tlayout\tphysical qubits\tlogical errors\tPL")
+	for _, d := range ds {
+		ch, err := noise.NewDephasing(*p)
+		if err != nil {
+			log.Fatal(err)
+		}
+		sim, err := surface.New(surface.Config{
+			Distance: d,
+			Channel:  ch,
+			DecoderZ: mwpm.New(),
+			Seed:     *seed,
+		})
+		if err != nil {
+			log.Fatal(err)
+		}
+		res, err := sim.Run(*cycles)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Fprintf(w, "%d\tunrotated\t%d\t%d\t%.5f\n",
+			d, (2*d-1)*(2*d-1), res.LogicalErrors, res.PL)
+
+		rc, err := rotated.New(d)
+		if err != nil {
+			log.Fatal(err)
+		}
+		rres, err := rc.Lifetime(*p, *cycles, rotated.Exact, *seed)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Fprintf(w, "%d\trotated\t%d\t%d\t%.5f\n",
+			d, d*d+(d*d-1), rres.LogicalErrors, rres.PL)
+	}
+	w.Flush()
+	fmt.Println("\nthe rotated layout reaches the same distance with roughly half the")
+	fmt.Println("qubits — the natural upgrade path for the NISQ+ mesh (one decoder")
+	fmt.Println("module per qubit either way).")
+}

@@ -1,0 +1,58 @@
+// Command synth regenerates the hardware characterization: Table II
+// (the ERSFQ cell library), Table III (subcircuit synthesis results
+// after path balancing), and the §VIII footprint and refrigerator-budget
+// analysis.
+//
+// Usage:
+//
+//	synth [-cells] [-distance 9] [-budget 0.1]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"text/tabwriter"
+
+	"repro/internal/sfqchip"
+)
+
+func main() {
+	cells := flag.Bool("cells", false, "print the Table II cell library")
+	distance := flag.Int("distance", 9, "code distance for the mesh footprint")
+	budget := flag.Float64("budget", 0.1, "power budget (W) for the co-location analysis")
+	flag.Parse()
+
+	w := tabwriter.NewWriter(os.Stdout, 2, 4, 2, ' ', 0)
+	if *cells {
+		fmt.Println("Table II — ERSFQ cell library")
+		fmt.Fprintln(w, "cell\tarea (µm²)\tJJs\tdelay (ps)\tpower (µW)")
+		for _, c := range sfqchip.Library() {
+			fmt.Fprintf(w, "%s\t%.0f\t%d\t%.1f\t%.3f\n", c.Name, c.AreaUm2, c.JJs, c.DelayPs, c.PowerUw)
+		}
+		w.Flush()
+		fmt.Println()
+	}
+
+	fmt.Println("Table III — synthesized decoder subcircuits (path balanced)")
+	fmt.Fprintln(w, "circuit\tdepth\tlatency (ps)\tarea (µm²)\tpower (µW)\tJJs\tgates\tDFFs")
+	for _, r := range sfqchip.TableIII() {
+		fmt.Fprintf(w, "%s\t%d\t%.2f\t%.0f\t%.3f\t%d\t%d\t%d\n",
+			r.Name, r.LogicalDepth, r.LatencyPs, r.AreaUm2, r.PowerUw, r.JJs, r.Gates, r.DFFs)
+	}
+	w.Flush()
+	fmt.Println("(paper: subcircuits depth 5, 85.6–96 ps, 338–448k µm², 3.4–4.6 µW;")
+	fmt.Println(" full circuit depth 6, 162.72 ps, 1.28 mm², 13.08 µW)")
+
+	area, power, modules := sfqchip.DecoderFootprint(*distance)
+	fmt.Printf("\nd=%d decoder mesh: %d modules, %.2f mm², %.3f mW", *distance, modules, area, power)
+	if *distance == 9 {
+		fmt.Printf("  (paper: 289 modules, 369.72 mm², 3.78 mW)")
+	}
+	fmt.Println()
+
+	side := sfqchip.MeshSideWithinBudget(*budget)
+	fmt.Printf("mesh within a %.3f W budget: %d × %d modules — a single distance-%d qubit, or %d distance-5 qubits\n",
+		*budget, side, side, (side+1)/2, side*side/81)
+	fmt.Println("(paper: 87 × 87 mesh, one d=44 qubit or 100 d=5 qubits)")
+}

@@ -1,0 +1,147 @@
+// Command threshold regenerates the Fig. 10 logical-error-rate curves:
+// Monte-Carlo lifetime simulation of the SFQ decoder mesh across code
+// distances and physical error rates, for any of the paper's incremental
+// design variants, with pseudo-threshold and accuracy-threshold
+// estimates.
+//
+// Usage:
+//
+//	threshold [-variant final] [-cycles 20000] [-distances 3,5,7,9]
+//	          [-rates 0.01,...,0.1] [-workers 4] [-seed 1]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"strconv"
+	"strings"
+	"text/tabwriter"
+
+	"repro/internal/decoder"
+	"repro/internal/lattice"
+	"repro/internal/noise"
+	"repro/internal/plot"
+	"repro/internal/sfq"
+	"repro/internal/stats"
+)
+
+func parseInts(s string) ([]int, error) {
+	var out []int
+	for _, f := range strings.Split(s, ",") {
+		v, err := strconv.Atoi(strings.TrimSpace(f))
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, v)
+	}
+	return out, nil
+}
+
+func parseFloats(s string) ([]float64, error) {
+	var out []float64
+	for _, f := range strings.Split(s, ",") {
+		v, err := strconv.ParseFloat(strings.TrimSpace(f), 64)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, v)
+	}
+	return out, nil
+}
+
+func main() {
+	variantName := flag.String("variant", "final", "design variant: baseline, resets, resets+boundaries, final")
+	cycles := flag.Int("cycles", 20000, "syndrome cycles per (d, p) point")
+	distances := flag.String("distances", "3,5,7,9", "code distances")
+	rates := flag.String("rates", "0.01,0.02,0.03,0.04,0.05,0.06,0.07,0.08,0.09,0.10", "physical error rates")
+	workers := flag.Int("workers", 4, "concurrent points")
+	seed := flag.Int64("seed", 1, "random seed")
+	doPlot := flag.Bool("plot", false, "render the curves as an ASCII log-log chart")
+	channel := flag.String("channel", "dephasing", "error channel: dephasing or depolarizing")
+	flag.Parse()
+
+	variant, ok := sfq.VariantByName(*variantName)
+	if !ok {
+		log.Fatalf("unknown variant %q", *variantName)
+	}
+	ds, err := parseInts(*distances)
+	if err != nil {
+		log.Fatal(err)
+	}
+	ps, err := parseFloats(*rates)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	cfg := stats.CurveConfig{
+		Distances:  ds,
+		Rates:      ps,
+		Cycles:     *cycles,
+		NewChannel: func(p float64) (noise.Channel, error) { return noise.NewDephasing(p) },
+		NewDecoderZ: func(d int) decoder.Decoder {
+			return sfq.New(lattice.MustNew(d).MatchingGraph(lattice.ZErrors), variant)
+		},
+		Seed:    *seed,
+		Workers: *workers,
+	}
+	switch *channel {
+	case "dephasing":
+	case "depolarizing":
+		cfg.NewChannel = func(p float64) (noise.Channel, error) { return noise.NewDepolarizing(p) }
+		cfg.NewDecoderX = func(d int) decoder.Decoder {
+			return sfq.New(lattice.MustNew(d).MatchingGraph(lattice.XErrors), variant)
+		}
+	default:
+		log.Fatalf("unknown channel %q", *channel)
+	}
+	points, err := stats.Curves(cfg)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Printf("Fig. 10 — logical error rate, %s design, %s channel, %d cycles/point\n\n", variant.Name(), *channel, *cycles)
+	w := tabwriter.NewWriter(os.Stdout, 2, 4, 2, ' ', 0)
+	fmt.Fprintln(w, "d\tp\tPL\t95% CI\terrors\tforced")
+	for _, pt := range points {
+		fmt.Fprintf(w, "%d\t%.3f\t%.5f\t[%.5f, %.5f]\t%d\t%d\n",
+			pt.D, pt.P, pt.PL, pt.Lo, pt.Hi, pt.Errors, pt.Forced)
+	}
+	w.Flush()
+
+	fmt.Println()
+	if *doPlot {
+		chart := &plot.Chart{
+			Title: "Fig. 10 " + variant.Name() + " design",
+			LogX:  true, LogY: true,
+			XLabel: "physical error rate", YLabel: "logical error rate",
+			Width: 70, Height: 24,
+		}
+		for _, d := range ds {
+			var xs, ys []float64
+			for _, pt := range points {
+				if pt.D == d {
+					xs = append(xs, pt.P)
+					ys = append(ys, pt.PL)
+				}
+			}
+			chart.Add(plot.Series{Name: fmt.Sprintf("d=%d", d), X: xs, Y: ys})
+		}
+		chart.Add(plot.Series{Name: "PL=p", X: ps, Y: ps})
+		fmt.Println(chart.Render())
+	}
+	byD := stats.ByDistance(points)
+	for _, d := range ds {
+		if pth, ok := stats.PseudoThreshold(byD[d]); ok {
+			fmt.Printf("pseudo-threshold d=%d: %.4f (paper: ~0.05, 0.0475, 0.045, 0.035 for d=3,5,7,9)\n", d, pth)
+		} else {
+			fmt.Printf("pseudo-threshold d=%d: not crossed in sampled window\n", d)
+		}
+	}
+	if th, ok := stats.AccuracyThreshold(points); ok {
+		fmt.Printf("accuracy threshold: %.4f (paper: ~0.05)\n", th)
+	} else {
+		fmt.Println("accuracy threshold: no curve crossing in sampled window")
+	}
+}

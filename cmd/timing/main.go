@@ -1,0 +1,123 @@
+// Command timing regenerates Table IV (decoder execution time per code
+// distance across all simulated error rates) and Fig. 10(c) (the
+// cycles-to-solution distributions), by running lifetime simulations
+// with the final SFQ design and recording every mesh invocation.
+//
+// Usage:
+//
+//	timing [-cycles 4000] [-distances 3,5,7,9] [-rates 0.01,...]
+//	       [-hist] [-seed 1]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"strconv"
+	"strings"
+	"text/tabwriter"
+
+	"repro/internal/lattice"
+	"repro/internal/noise"
+	"repro/internal/sfq"
+	"repro/internal/stats"
+	"repro/internal/surface"
+)
+
+func parseList(s string, f func(string) error) error {
+	for _, part := range strings.Split(s, ",") {
+		if err := f(strings.TrimSpace(part)); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func main() {
+	cycles := flag.Int("cycles", 4000, "syndrome cycles per (d, p) point")
+	distances := flag.String("distances", "3,5,7,9", "code distances")
+	rates := flag.String("rates", "0.01,0.02,0.03,0.04,0.05,0.06,0.07,0.08,0.09,0.10", "physical error rates")
+	hist := flag.Bool("hist", false, "also print the Fig. 10(c) cycle histograms")
+	seed := flag.Int64("seed", 1, "random seed")
+	flag.Parse()
+
+	var ds []int
+	if err := parseList(*distances, func(s string) error {
+		v, err := strconv.Atoi(s)
+		ds = append(ds, v)
+		return err
+	}); err != nil {
+		log.Fatal(err)
+	}
+	var ps []float64
+	if err := parseList(*rates, func(s string) error {
+		v, err := strconv.ParseFloat(s, 64)
+		ps = append(ps, v)
+		return err
+	}); err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Printf("Table IV — decoder execution time (ns), final design, %d cycles per (d,p)\n\n", *cycles)
+	w := tabwriter.NewWriter(os.Stdout, 2, 4, 2, ' ', 0)
+	fmt.Fprintln(w, "d\tmax\tp99.9\taverage\tstd dev\tdecodes\t(paper max/avg/std)")
+	paper := map[int][3]float64{
+		3: {3.74, 0.28, 0.58},
+		5: {9.28, 0.72, 1.09},
+		7: {14.2, 2.00, 1.99},
+		9: {19.2, 3.81, 3.11},
+	}
+	histograms := map[int]map[int]int{}
+	for _, d := range ds {
+		var times []float64
+		counts := map[int]int{}
+		for pi, p := range ps {
+			ch, err := noise.NewDephasing(p)
+			if err != nil {
+				log.Fatal(err)
+			}
+			mesh := sfq.New(lattice.MustNew(d).MatchingGraph(lattice.ZErrors), sfq.Final)
+			sim, err := surface.New(surface.Config{
+				Distance: d,
+				Channel:  ch,
+				DecoderZ: mesh,
+				Seed:     *seed + int64(d*100+pi),
+				Observer: func(e lattice.ErrorType, st sfq.Stats) {
+					times = append(times, st.TimeNs())
+					counts[st.Cycles]++
+				},
+			})
+			if err != nil {
+				log.Fatal(err)
+			}
+			if _, err := sim.Run(*cycles); err != nil {
+				log.Fatal(err)
+			}
+		}
+		histograms[d] = counts
+		s := stats.Summarize(times)
+		row := fmt.Sprintf("%d\t%.2f\t%.2f\t%.2f\t%.2f\t%d", d, s.Max, stats.Percentile(times, 0.999), s.Mean, s.StdDev, s.N)
+		if pp, ok := paper[d]; ok {
+			row += fmt.Sprintf("\t(%.2f/%.2f/%.2f)", pp[0], pp[1], pp[2])
+		}
+		fmt.Fprintln(w, row)
+	}
+	w.Flush()
+
+	if *hist {
+		fmt.Println("\nFig. 10(c) — cycles-to-solution distribution (first 21 bins)")
+		for _, d := range ds {
+			counts := histograms[d]
+			total := 0
+			for _, c := range counts {
+				total += c
+			}
+			fmt.Printf("\nd=%d (N=%d)\n", d, total)
+			for c := 0; c <= 20; c++ {
+				frac := float64(counts[c]) / float64(total)
+				fmt.Printf("%3d cycles  %.4f %s\n", c, frac, strings.Repeat("#", int(frac*120)))
+			}
+		}
+	}
+}

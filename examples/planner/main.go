@@ -1,0 +1,61 @@
+// Planner: the Fig. 1 story as a design tool. Given a machine size and
+// physical error rate, compare the raw NISQ volume against every AQEC
+// operating point, pick the SQV-maximizing code distance, and check that
+// the decoder hardware fits a dilution refrigerator's power budget.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"text/tabwriter"
+
+	"repro/internal/sfqchip"
+	"repro/internal/sqv"
+)
+
+func main() {
+	qubits := flag.Int("qubits", 1024, "physical qubits on the device")
+	p := flag.Float64("p", 1e-5, "physical error rate")
+	budget := flag.Float64("budget", 0.1, "cryostat power budget for the decoder (W)")
+	flag.Parse()
+
+	m := sqv.Machine{PhysicalQubits: *qubits, ErrorRate: *p}
+	fit := sqv.NISQPlusFit()
+
+	fmt.Printf("machine: %d qubits at p=%g\n", *qubits, *p)
+	fmt.Printf("raw SQV (no correction): %.3g\n\n", m.RawSQV())
+
+	w := tabwriter.NewWriter(os.Stdout, 2, 4, 2, ' ', 0)
+	fmt.Fprintln(w, "d\tlogical\tPL\tSQV\tboost\tdecoder area\tdecoder power")
+	for _, d := range []int{3, 5, 7, 9} {
+		if *qubits/sqv.QubitsPerLogical(d) < 1 {
+			continue
+		}
+		plan, err := m.PlanAt(fit, d)
+		if err != nil {
+			log.Fatal(err)
+		}
+		area, power, _ := sfqchip.DecoderFootprint(d)
+		fmt.Fprintf(w, "%d\t%d\t%.2g\t%.3g\t%.0f\t%.1f mm²/qubit\t%.3f mW/qubit\n",
+			d, plan.LogicalQubits, plan.LogicalError, plan.SQV, plan.BoostVsTarget, area, power)
+	}
+	w.Flush()
+
+	best, err := m.Best(fit)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("\nrecommended: distance %d → %d logical qubits, SQV %.3g (%.0f× the NISQ target)\n",
+		best.Distance, best.LogicalQubits, best.SQV, best.BoostVsTarget)
+
+	side := sfqchip.MeshSideWithinBudget(*budget)
+	perLogical := sqv.QubitsPerLogical(best.Distance)
+	supported := side * side / perLogical
+	fmt.Printf("a %.2f W budget cools a %d×%d module mesh — decoder coverage for %d such logical qubits\n",
+		*budget, side, side, supported)
+	if supported < best.LogicalQubits {
+		fmt.Println("warning: the power budget, not the qubit count, limits this plan")
+	}
+}

@@ -1,0 +1,59 @@
+package backlog
+
+import "math"
+
+// Analytic closed forms of the §III backlog argument, used to cross-
+// check the discrete-event simulation: with processing ratio f > 1 and
+// T gates every g syndrome rounds, the backlog entering the k-th T gate
+// is B_k ≈ g(1−1/f)·(f^k −1)/(f−1) rounds, each stall costs B_k·f
+// rounds of wall clock, and the total slowdown is exponential in k.
+
+// PredictedStallRounds returns the model's stall duration (in syndrome
+// rounds) at the k-th T gate (1-indexed) for ratio f and gap g rounds
+// between T gates.
+func PredictedStallRounds(f float64, g float64, k int) float64 {
+	if f <= 1 {
+		return 0
+	}
+	// Recurrence: B_1 = g(1−1/f); B_{k+1} = f·B_k + g(1−1/f).
+	// Closed form: B_k = g(1−1/f)(f^k−1)/(f−1). The stall converts the
+	// backlog to wall time at f rounds per round.
+	bk := g * (1 - 1/f) * (math.Pow(f, float64(k)) - 1) / (f - 1)
+	return bk * f
+}
+
+// PredictedLog10Slowdown returns log10 of the end-to-end slowdown for a
+// program of k T gates spaced g rounds apart at ratio f (1 when f <= 1).
+func PredictedLog10Slowdown(f float64, g float64, k int) float64 {
+	if f <= 1 || k == 0 {
+		return 0
+	}
+	compute := g * float64(k)
+	// Total idle = Σ stalls; dominated by the last one. Sum the
+	// geometric series exactly in log space.
+	// Σ_k B_k·f = g(f−1+...)·... — accumulate directly; k is small
+	// enough in every use here that a loop in log space is simplest.
+	logIdle := math.Inf(-1)
+	for i := 1; i <= k; i++ {
+		s := PredictedStallRounds(f, g, i)
+		if s > 0 {
+			logIdle = logAdd10(logIdle, math.Log10(s))
+		}
+	}
+	logWall := logAdd10(math.Log10(compute), logIdle)
+	return logWall - math.Log10(compute)
+}
+
+// logAdd10 returns log10(10^a + 10^b) stably.
+func logAdd10(a, b float64) float64 {
+	if math.IsInf(a, -1) {
+		return b
+	}
+	if math.IsInf(b, -1) {
+		return a
+	}
+	if a < b {
+		a, b = b, a
+	}
+	return a + math.Log10(1+math.Pow(10, b-a))
+}

@@ -1,0 +1,72 @@
+package backlog
+
+import (
+	"math"
+	"testing"
+)
+
+// The discrete-event simulation must agree with the closed-form §III
+// model: stall-by-stall and in total slowdown.
+func TestAnalyticMatchesSimulation(t *testing.T) {
+	const (
+		f = 1.8
+		g = 12 // gates between T gates
+		k = 18 // T gates
+	)
+	m := Model{SyndromeCycleNs: 400, DecodeNs: f * 400}
+	isT := make([]bool, g*k)
+	for i := g - 1; i < g*k; i += g {
+		isT[i] = true
+	}
+	tr, err := m.Execute(isT)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tr.Points) != k {
+		t.Fatalf("%d trace points", len(tr.Points))
+	}
+	for i, pt := range tr.Points {
+		wantRounds := PredictedStallRounds(f, g, i+1)
+		gotRounds := pt.StallNs / m.SyndromeCycleNs
+		if wantRounds == 0 {
+			continue
+		}
+		rel := math.Abs(gotRounds-wantRounds) / wantRounds
+		if rel > 0.02 {
+			t.Errorf("T gate %d: stall %.1f rounds, model %.1f (rel %.3f)",
+				i+1, gotRounds, wantRounds, rel)
+		}
+	}
+	gotLog := math.Log10(tr.Slowdown())
+	wantLog := PredictedLog10Slowdown(f, g, k)
+	if math.Abs(gotLog-wantLog) > 0.05 {
+		t.Errorf("log10 slowdown %.3f, model %.3f", gotLog, wantLog)
+	}
+}
+
+func TestPredictedZeroBelowUnity(t *testing.T) {
+	if PredictedStallRounds(0.8, 10, 5) != 0 {
+		t.Error("sub-unity ratio predicted a stall")
+	}
+	if PredictedLog10Slowdown(1.0, 10, 5) != 0 {
+		t.Error("ratio 1 predicted slowdown")
+	}
+	if PredictedLog10Slowdown(2, 10, 0) != 0 {
+		t.Error("zero T gates predicted slowdown")
+	}
+}
+
+// The model's defining property: stalls grow geometrically with
+// factor f.
+func TestPredictedGeometricGrowth(t *testing.T) {
+	const f = 1.5
+	for k := 3; k < 12; k++ {
+		ratio := PredictedStallRounds(f, 7, k+1) / PredictedStallRounds(f, 7, k)
+		if ratio <= 1 || ratio > f+0.5 {
+			t.Errorf("k=%d growth ratio %.3f", k, ratio)
+		}
+		if k > 8 && math.Abs(ratio-f) > 0.05 {
+			t.Errorf("k=%d asymptotic ratio %.3f, want ~%v", k, ratio, f)
+		}
+	}
+}

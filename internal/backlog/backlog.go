@@ -1,0 +1,155 @@
+// Package backlog implements the decoding-backlog execution-time model
+// of §III: T gates cannot execute until every syndrome round generated
+// so far has been decoded, so a decoder slower than syndrome generation
+// (f = rgen/rproc > 1) stalls the machine, and the data generated during
+// each stall compounds — wall-clock overhead exponential in the number
+// of T gates (Fig. 5), which makes computation intractable for any
+// processing ratio above one (Fig. 6).
+package backlog
+
+import (
+	"fmt"
+
+	"repro/internal/qprog"
+)
+
+// Model fixes the machine's timing parameters.
+type Model struct {
+	// SyndromeCycleNs is the syndrome generation cycle time tGen
+	// (160–800 ns for superconducting devices; the paper's examples use
+	// 400 ns).
+	SyndromeCycleNs float64
+	// DecodeNs is the decoder's time to process one syndrome round.
+	DecodeNs float64
+	// CyclesPerGate is the number of syndrome rounds each logical gate
+	// spans; 1 if unset.
+	CyclesPerGate float64
+}
+
+// Ratio returns f = rgen/rproc = DecodeNs / SyndromeCycleNs.
+func (m Model) Ratio() float64 { return m.DecodeNs / m.SyndromeCycleNs }
+
+// TracePoint records the wall clock at one T gate (the dots on Fig. 5).
+type TracePoint struct {
+	ComputeNs float64 // backlog-free time at which the T gate was reached
+	WallNs    float64 // actual wall clock after draining the backlog
+	StallNs   float64 // idle time spent draining
+}
+
+// Trace is the result of executing one program against the model.
+type Trace struct {
+	GateCount  int
+	TGateCount int
+	ComputeNs  float64 // gates × cycle time: the no-backlog execution time
+	WallNs     float64 // actual wall-clock time
+	IdleNs     float64 // total stall time
+	MaxBacklog float64 // largest backlog (in syndrome rounds) ever queued
+	Points     []TracePoint
+}
+
+// Slowdown returns wall / compute.
+func (t Trace) Slowdown() float64 {
+	if t.ComputeNs == 0 {
+		return 1
+	}
+	return t.WallNs / t.ComputeNs
+}
+
+// validate checks the model parameters.
+func (m Model) validate() error {
+	if m.SyndromeCycleNs <= 0 {
+		return fmt.Errorf("backlog: syndrome cycle must be positive, got %v", m.SyndromeCycleNs)
+	}
+	if m.DecodeNs < 0 {
+		return fmt.Errorf("backlog: decode time must be non-negative, got %v", m.DecodeNs)
+	}
+	return nil
+}
+
+// Execute runs a program — a sequence of gates, true marking T gates —
+// through the timing model. Decoding proceeds concurrently with
+// execution; at every T gate the machine stalls until all syndrome
+// rounds generated before the gate are decoded, and rounds generated
+// during the stall join the next epoch's backlog.
+func (m Model) Execute(isT []bool) (Trace, error) {
+	if err := m.validate(); err != nil {
+		return Trace{}, err
+	}
+	cpg := m.CyclesPerGate
+	if cpg == 0 {
+		cpg = 1
+	}
+	var tr Trace
+	tr.GateCount = len(isT)
+	backlog := 0.0 // undecoded syndrome rounds
+	for _, t := range isT {
+		// The gate occupies cpg syndrome rounds; the decoder drains
+		// concurrently at one round per DecodeNs.
+		gateNs := cpg * m.SyndromeCycleNs
+		tr.ComputeNs += gateNs
+		tr.WallNs += gateNs
+		backlog += cpg
+		if m.DecodeNs > 0 {
+			backlog -= gateNs / m.DecodeNs
+		} else {
+			backlog = 0
+		}
+		if backlog < 0 {
+			backlog = 0
+		}
+		if backlog > tr.MaxBacklog {
+			tr.MaxBacklog = backlog
+		}
+		if !t {
+			continue
+		}
+		tr.TGateCount++
+		// Drain: the accumulated rounds take backlog × DecodeNs to
+		// process; rounds generated while stalled become the next
+		// backlog.
+		stall := backlog * m.DecodeNs
+		tr.WallNs += stall
+		tr.IdleNs += stall
+		backlog = stall / m.SyndromeCycleNs
+		if backlog > tr.MaxBacklog {
+			tr.MaxBacklog = backlog
+		}
+		tr.Points = append(tr.Points, TracePoint{
+			ComputeNs: tr.ComputeNs,
+			WallNs:    tr.WallNs,
+			StallNs:   stall,
+		})
+	}
+	return tr, nil
+}
+
+// Program extracts the T-gate profile of a Clifford+T circuit.
+func Program(c *qprog.Circuit) []bool {
+	isT := make([]bool, len(c.Gates))
+	for i, g := range c.Gates {
+		isT[i] = g.Kind == qprog.T || g.Kind == qprog.Tdg
+	}
+	return isT
+}
+
+// SweepPoint is one x/y sample of Fig. 6.
+type SweepPoint struct {
+	Ratio    float64 // rgen/rproc
+	WallNs   float64
+	Slowdown float64
+}
+
+// Sweep evaluates a program's wall-clock time across decoder processing
+// ratios (Fig. 6's x-axis), holding the syndrome cycle fixed.
+func Sweep(isT []bool, syndromeCycleNs float64, ratios []float64) ([]SweepPoint, error) {
+	var out []SweepPoint
+	for _, f := range ratios {
+		m := Model{SyndromeCycleNs: syndromeCycleNs, DecodeNs: f * syndromeCycleNs}
+		tr, err := m.Execute(isT)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, SweepPoint{Ratio: f, WallNs: tr.WallNs, Slowdown: tr.Slowdown()})
+	}
+	return out, nil
+}

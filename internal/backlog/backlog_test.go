@@ -1,0 +1,161 @@
+package backlog
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/qprog"
+)
+
+func prog(tPositions []int, n int) []bool {
+	isT := make([]bool, n)
+	for _, i := range tPositions {
+		isT[i] = true
+	}
+	return isT
+}
+
+func TestValidation(t *testing.T) {
+	if _, err := (Model{SyndromeCycleNs: 0, DecodeNs: 1}).Execute(nil); err == nil {
+		t.Error("zero cycle accepted")
+	}
+	if _, err := (Model{SyndromeCycleNs: 400, DecodeNs: -1}).Execute(nil); err == nil {
+		t.Error("negative decode accepted")
+	}
+}
+
+func TestFastDecoderNoOverhead(t *testing.T) {
+	m := Model{SyndromeCycleNs: 400, DecodeNs: 20} // the SFQ regime
+	tr, err := m.Execute(prog([]int{10, 50, 99}, 100))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tr.ComputeNs != 100*400 {
+		t.Errorf("compute = %v", tr.ComputeNs)
+	}
+	// A sub-unity ratio decoder keeps at most one round queued, so
+	// stalls are bounded by one decode time each.
+	if tr.IdleNs > 3*m.DecodeNs+1e-9 {
+		t.Errorf("idle = %v too large for fast decoder", tr.IdleNs)
+	}
+	if tr.Slowdown() > 1.01 {
+		t.Errorf("slowdown = %v", tr.Slowdown())
+	}
+	if tr.TGateCount != 3 || tr.GateCount != 100 {
+		t.Errorf("counts wrong: %+v", tr)
+	}
+}
+
+// The paper's central claim: for f > 1 the backlog at the k-th T gate
+// grows geometrically with factor f.
+func TestExponentialBacklogGrowth(t *testing.T) {
+	const f = 2.0
+	m := Model{SyndromeCycleNs: 400, DecodeNs: f * 400}
+	// T gate every 10 gates.
+	var tPos []int
+	for i := 9; i < 200; i += 10 {
+		tPos = append(tPos, i)
+	}
+	tr, err := m.Execute(prog(tPos, 200))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tr.Points) != 20 {
+		t.Fatalf("%d trace points", len(tr.Points))
+	}
+	// Successive stalls must grow ~geometrically with ratio -> f.
+	for i := 5; i+1 < len(tr.Points); i++ {
+		ratio := tr.Points[i+1].StallNs / tr.Points[i].StallNs
+		if ratio < 1.5 || ratio > 2.5 {
+			t.Errorf("stall growth ratio at %d = %v, want ~%v", i, ratio, f)
+		}
+	}
+	if tr.Slowdown() < 100 {
+		t.Errorf("slowdown %v too small for f=2 with 20 T gates", tr.Slowdown())
+	}
+}
+
+func TestWallEqualsComputeWithoutTGates(t *testing.T) {
+	m := Model{SyndromeCycleNs: 400, DecodeNs: 4000}
+	tr, err := m.Execute(prog(nil, 50))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tr.WallNs != tr.ComputeNs || tr.IdleNs != 0 {
+		t.Errorf("no-T program stalled: %+v", tr)
+	}
+	if tr.Slowdown() != 1 {
+		t.Errorf("slowdown = %v", tr.Slowdown())
+	}
+	// Backlog still accumulates silently.
+	if tr.MaxBacklog < 40 {
+		t.Errorf("max backlog = %v", tr.MaxBacklog)
+	}
+}
+
+func TestEmptyProgram(t *testing.T) {
+	m := Model{SyndromeCycleNs: 400, DecodeNs: 100}
+	tr, err := m.Execute(nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tr.Slowdown() != 1 || tr.WallNs != 0 {
+		t.Errorf("empty program trace: %+v", tr)
+	}
+}
+
+func TestCyclesPerGate(t *testing.T) {
+	m1 := Model{SyndromeCycleNs: 400, DecodeNs: 100, CyclesPerGate: 1}
+	m5 := Model{SyndromeCycleNs: 400, DecodeNs: 100, CyclesPerGate: 5}
+	p := prog([]int{9}, 10)
+	t1, _ := m1.Execute(p)
+	t5, _ := m5.Execute(p)
+	if t5.ComputeNs != 5*t1.ComputeNs {
+		t.Errorf("cycles per gate not honored: %v vs %v", t5.ComputeNs, t1.ComputeNs)
+	}
+}
+
+func TestProgramExtraction(t *testing.T) {
+	ad, err := qprog.Cuccaro(3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dec := ad.Circuit.Decompose()
+	isT := Program(dec)
+	count := 0
+	for _, b := range isT {
+		if b {
+			count++
+		}
+	}
+	if count != dec.Stats().TGates {
+		t.Errorf("Program found %d T gates, stats say %d", count, dec.Stats().TGates)
+	}
+}
+
+// Fig. 6 shape: wall time explodes past ratio 1 and stays flat below it.
+func TestSweepShape(t *testing.T) {
+	var tPos []int
+	for i := 4; i < 300; i += 5 {
+		tPos = append(tPos, i)
+	}
+	p := prog(tPos, 300)
+	pts, err := Sweep(p, 400, []float64{0.25, 0.5, 0.9, 1.1, 1.5, 2.0})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i+1 < len(pts); i++ {
+		if pts[i+1].WallNs < pts[i].WallNs {
+			t.Errorf("wall time not monotone in ratio at %v", pts[i+1].Ratio)
+		}
+	}
+	if pts[2].Slowdown > 1.5 {
+		t.Errorf("slowdown below ratio 1 = %v", pts[2].Slowdown)
+	}
+	if pts[5].Slowdown < 1e6 {
+		t.Errorf("slowdown at ratio 2 = %v, want astronomically large", pts[5].Slowdown)
+	}
+	if math.IsNaN(pts[5].Slowdown) {
+		t.Error("NaN slowdown")
+	}
+}

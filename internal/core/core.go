@@ -1,0 +1,175 @@
+// Package core is the NISQ+ system façade: the paper's Approximate
+// Quantum Error Correction (AQEC) stack assembled end to end. A System
+// couples a simulated quantum substrate (lattice + error channel +
+// stabilizer extraction) to the online SFQ decoder mesh, and exposes the
+// paper's headline analyses — logical-qubit lifetime, real-time decoder
+// timing, backlog-free program execution, hardware footprint, and the
+// Simple-Quantum-Volume boost.
+//
+// This is the package the runnable examples build on; everything under
+// internal/ is reachable from it.
+package core
+
+import (
+	"fmt"
+
+	"repro/internal/backlog"
+	"repro/internal/lattice"
+	"repro/internal/noise"
+	"repro/internal/qprog"
+	"repro/internal/sfq"
+	"repro/internal/sfqchip"
+	"repro/internal/sqv"
+	"repro/internal/stats"
+	"repro/internal/surface"
+)
+
+// Config describes one NISQ+ system.
+type Config struct {
+	// Distance is the surface-code distance (odd, >= 3).
+	Distance int
+	// PhysicalError is the per-cycle physical error rate p.
+	PhysicalError float64
+	// Depolarizing selects the depolarizing channel (both decode
+	// planes); the default is the paper's pure-dephasing channel.
+	Depolarizing bool
+	// Variant selects the SFQ design; zero value means the final design.
+	Variant sfq.Variant
+	// SyndromeCycleNs is the stabilizer round time; 400 ns if unset.
+	SyndromeCycleNs float64
+	// Seed drives all randomness.
+	Seed int64
+}
+
+// System is a configured NISQ+ machine simulation.
+type System struct {
+	cfg     Config
+	lat     *lattice.Lattice
+	sim     *surface.Simulator
+	meshZ   *sfq.Mesh
+	meshX   *sfq.Mesh
+	decodes []sfq.Stats
+}
+
+// New validates the configuration and assembles the system.
+func New(cfg Config) (*System, error) {
+	if cfg.Variant == (sfq.Variant{}) {
+		cfg.Variant = sfq.Final
+	}
+	if cfg.SyndromeCycleNs == 0 {
+		cfg.SyndromeCycleNs = 400
+	}
+	if cfg.SyndromeCycleNs < 0 {
+		return nil, fmt.Errorf("core: negative syndrome cycle")
+	}
+	lat, err := lattice.New(cfg.Distance)
+	if err != nil {
+		return nil, err
+	}
+	var ch noise.Channel
+	if cfg.Depolarizing {
+		ch, err = noise.NewDepolarizing(cfg.PhysicalError)
+	} else {
+		ch, err = noise.NewDephasing(cfg.PhysicalError)
+	}
+	if err != nil {
+		return nil, err
+	}
+	s := &System{cfg: cfg, lat: lat}
+	s.meshZ = sfq.New(lat.MatchingGraph(lattice.ZErrors), cfg.Variant)
+	sc := surface.Config{
+		Distance: cfg.Distance,
+		Channel:  ch,
+		DecoderZ: s.meshZ,
+		Seed:     cfg.Seed,
+		Observer: func(e lattice.ErrorType, st sfq.Stats) {
+			s.decodes = append(s.decodes, st)
+		},
+	}
+	if cfg.Depolarizing {
+		s.meshX = sfq.New(lat.MatchingGraph(lattice.XErrors), cfg.Variant)
+		sc.DecoderX = s.meshX
+	}
+	s.sim, err = surface.New(sc)
+	if err != nil {
+		return nil, err
+	}
+	return s, nil
+}
+
+// Distance returns the configured code distance.
+func (s *System) Distance() int { return s.cfg.Distance }
+
+// Lattice exposes the underlying code layout.
+func (s *System) Lattice() *lattice.Lattice { return s.lat }
+
+// MeshZ exposes the phase-flip decoder mesh (for direct experiments).
+func (s *System) MeshZ() *sfq.Mesh { return s.meshZ }
+
+// LifetimeReport extends the surface result with decoder-timing moments.
+type LifetimeReport struct {
+	surface.Result
+	// Decodes is the number of mesh invocations observed.
+	Decodes int
+	// TimeNs summarizes per-round decode latency (Table IV's columns).
+	TimeNs stats.Summary
+	// CycleBudgetOK reports whether the decoder's worst observed round
+	// finished within one syndrome generation cycle — the paper's
+	// online-decoding requirement.
+	CycleBudgetOK bool
+}
+
+// RunLifetime simulates the given number of syndrome cycles and reports
+// the logical error rate together with decoder timing.
+func (s *System) RunLifetime(cycles int) (LifetimeReport, error) {
+	s.decodes = s.decodes[:0]
+	res, err := s.sim.Run(cycles)
+	if err != nil {
+		return LifetimeReport{}, err
+	}
+	times := make([]float64, len(s.decodes))
+	for i, st := range s.decodes {
+		times[i] = st.TimeNs()
+	}
+	sum := stats.Summarize(times)
+	return LifetimeReport{
+		Result:        res,
+		Decodes:       len(s.decodes),
+		TimeNs:        sum,
+		CycleBudgetOK: sum.Max <= s.cfg.SyndromeCycleNs,
+	}, nil
+}
+
+// ExecutionTrace runs a Clifford+T program through the backlog model
+// twice — once at the given offline decode latency and once at this
+// system's worst observed SFQ latency — and returns both traces. Run a
+// lifetime first so the mesh has timing samples; otherwise the paper's
+// 20 ns bound is assumed.
+func (s *System) ExecutionTrace(c *qprog.Circuit, offlineDecodeNs float64) (online, offline backlog.Trace, err error) {
+	worst := 20.0
+	for _, st := range s.decodes {
+		if t := st.TimeNs(); t > worst {
+			worst = t
+		}
+	}
+	prog := backlog.Program(c)
+	online, err = backlog.Model{SyndromeCycleNs: s.cfg.SyndromeCycleNs, DecodeNs: worst}.Execute(prog)
+	if err != nil {
+		return
+	}
+	offline, err = backlog.Model{SyndromeCycleNs: s.cfg.SyndromeCycleNs, DecodeNs: offlineDecodeNs}.Execute(prog)
+	return
+}
+
+// Footprint reports the decoder hardware cost at this distance from the
+// ERSFQ synthesis model.
+func (s *System) Footprint() (areaMm2, powerMw float64, modules int) {
+	return sfqchip.DecoderFootprint(s.cfg.Distance)
+}
+
+// SQVBoost evaluates the Fig. 1 Simple-Quantum-Volume expansion for a
+// machine built from this system's physical parameters.
+func (s *System) SQVBoost(physicalQubits int) (sqv.Plan, error) {
+	m := sqv.Machine{PhysicalQubits: physicalQubits, ErrorRate: s.cfg.PhysicalError}
+	return m.PlanAt(sqv.NISQPlusFit(), s.cfg.Distance)
+}

@@ -1,0 +1,122 @@
+package core
+
+import (
+	"testing"
+
+	"repro/internal/qprog"
+	"repro/internal/sfq"
+)
+
+func TestNewValidation(t *testing.T) {
+	if _, err := New(Config{Distance: 4, PhysicalError: 0.01}); err == nil {
+		t.Error("even distance accepted")
+	}
+	if _, err := New(Config{Distance: 3, PhysicalError: 2}); err == nil {
+		t.Error("p=2 accepted")
+	}
+	if _, err := New(Config{Distance: 3, PhysicalError: 0.01, SyndromeCycleNs: -1}); err == nil {
+		t.Error("negative cycle accepted")
+	}
+}
+
+func TestDefaultsAndAccessors(t *testing.T) {
+	s, err := New(Config{Distance: 3, PhysicalError: 0.01, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.Distance() != 3 || s.Lattice().Distance() != 3 {
+		t.Error("distance accessors wrong")
+	}
+	if s.MeshZ().Variant() != sfq.Final {
+		t.Error("default variant is not final")
+	}
+}
+
+func TestRunLifetimeDephasing(t *testing.T) {
+	s, err := New(Config{Distance: 5, PhysicalError: 0.04, Seed: 7})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep, err := s.RunLifetime(1200)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Cycles != 1200 || rep.Decodes != 1200 {
+		t.Errorf("cycles=%d decodes=%d", rep.Cycles, rep.Decodes)
+	}
+	if rep.TimeNs.Max <= 0 {
+		t.Error("no decode timing collected")
+	}
+	// The paper's headline: decoding is online — far under the 400 ns
+	// syndrome cycle.
+	if !rep.CycleBudgetOK {
+		t.Errorf("decoder exceeded cycle budget: max %.1f ns", rep.TimeNs.Max)
+	}
+	if rep.TimeNs.Max > 25 {
+		t.Errorf("d=5 worst decode %.1f ns, paper's bound is ~20 ns at d=9", rep.TimeNs.Max)
+	}
+}
+
+func TestRunLifetimeDepolarizing(t *testing.T) {
+	s, err := New(Config{Distance: 3, PhysicalError: 0.03, Depolarizing: true, Seed: 11})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep, err := s.RunLifetime(400)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Two planes decode per cycle under depolarizing noise.
+	if rep.Decodes != 800 {
+		t.Errorf("decodes=%d want 800", rep.Decodes)
+	}
+}
+
+func TestExecutionTrace(t *testing.T) {
+	s, err := New(Config{Distance: 5, PhysicalError: 0.03, Seed: 13})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.RunLifetime(300); err != nil {
+		t.Fatal(err)
+	}
+	ad, err := qprog.Cuccaro(8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	online, offline, err := s.ExecutionTrace(ad.Circuit.Decompose(), 800)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if online.Slowdown() > 1.1 {
+		t.Errorf("online slowdown %v", online.Slowdown())
+	}
+	if offline.Slowdown() < 100 {
+		t.Errorf("offline slowdown %v not exponential", offline.Slowdown())
+	}
+	if online.TGateCount != offline.TGateCount {
+		t.Error("traces saw different programs")
+	}
+}
+
+func TestFootprintAndSQV(t *testing.T) {
+	s, err := New(Config{Distance: 9, PhysicalError: 1e-5, Seed: 17})
+	if err != nil {
+		t.Fatal(err)
+	}
+	area, power, modules := s.Footprint()
+	if modules != 289 || area <= 0 || power <= 0 {
+		t.Errorf("footprint: %v %v %v", area, power, modules)
+	}
+	s3, err := New(Config{Distance: 3, PhysicalError: 1e-5, Seed: 17})
+	if err != nil {
+		t.Fatal(err)
+	}
+	plan, err := s3.SQVBoost(1024)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if plan.LogicalQubits != 78 || plan.BoostVsTarget < 1000 {
+		t.Errorf("plan = %+v", plan)
+	}
+}

@@ -1,0 +1,96 @@
+package decoder_test
+
+import (
+	"testing"
+
+	"repro/internal/decoder"
+	"repro/internal/lattice"
+	"repro/internal/pauli"
+)
+
+func TestCorrectionSupportCancelling(t *testing.T) {
+	c := decoder.Correction{Qubits: []int{3, 1, 3, 2, 1, 3}}
+	sup := c.Support()
+	want := []int{2, 3}
+	if len(sup) != len(want) {
+		t.Fatalf("Support=%v want %v", sup, want)
+	}
+	for i := range want {
+		if sup[i] != want[i] {
+			t.Fatalf("Support=%v want %v", sup, want)
+		}
+	}
+	if c.Weight() != 2 {
+		t.Errorf("Weight=%d want 2", c.Weight())
+	}
+}
+
+func TestCorrectionFrame(t *testing.T) {
+	l := lattice.MustNew(3)
+	q := l.QubitIndex(lattice.Site{Row: 0, Col: 0})
+	c := decoder.Correction{Qubits: []int{q, q, q}}
+	f := c.Frame(l, lattice.ZErrors)
+	if f.Get(q) != pauli.Z {
+		t.Errorf("Z frame op = %v", f.Get(q))
+	}
+	f = c.Frame(l, lattice.XErrors)
+	if f.Get(q) != pauli.X {
+		t.Errorf("X frame op = %v", f.Get(q))
+	}
+	if f.Weight() != 1 {
+		t.Errorf("triple application did not cancel to weight 1: %d", f.Weight())
+	}
+}
+
+func TestValidateDetectsBadCorrection(t *testing.T) {
+	l := lattice.MustNew(3)
+	g := l.MatchingGraph(lattice.ZErrors)
+	syn := make([]bool, g.NumChecks())
+	// Empty syndrome, empty correction: valid.
+	if err := decoder.Validate(g, syn, decoder.Correction{}); err != nil {
+		t.Errorf("empty case invalid: %v", err)
+	}
+	// A stray single-qubit correction creates hot checks: invalid.
+	q := l.QubitIndex(lattice.Site{Row: 1, Col: 1})
+	if err := decoder.Validate(g, syn, decoder.Correction{Qubits: []int{q}}); err == nil {
+		t.Error("Validate accepted syndrome-changing correction")
+	}
+}
+
+func TestMatchingCorrectionAndWeight(t *testing.T) {
+	l := lattice.MustNew(5)
+	g := l.MatchingGraph(lattice.ZErrors)
+	i, _ := g.CheckIndex(lattice.Site{Row: 0, Col: 1})
+	j, _ := g.CheckIndex(lattice.Site{Row: 0, Col: 5})
+	k, _ := g.CheckIndex(lattice.Site{Row: 4, Col: 7})
+	m := decoder.Matching{Pairs: [][2]int{{i, j}}, Boundary: []int{k}}
+	if got, want := m.Weight(g), g.Dist(i, j)+g.BoundaryDist(k); got != want {
+		t.Errorf("Weight=%d want %d", got, want)
+	}
+	c := m.Correction(g)
+	syn := make([]bool, g.NumChecks())
+	syn[i], syn[j], syn[k] = true, true, true
+	if err := decoder.Validate(g, syn, c); err != nil {
+		t.Errorf("matching correction invalid: %v", err)
+	}
+}
+
+func TestMatchingCovers(t *testing.T) {
+	syn := []bool{true, true, false, true}
+	good := decoder.Matching{Pairs: [][2]int{{0, 1}}, Boundary: []int{3}}
+	if err := good.Covers(syn); err != nil {
+		t.Errorf("good matching rejected: %v", err)
+	}
+	double := decoder.Matching{Pairs: [][2]int{{0, 1}}, Boundary: []int{1, 3}}
+	if err := double.Covers(syn); err == nil {
+		t.Error("double-matched check accepted")
+	}
+	cold := decoder.Matching{Pairs: [][2]int{{0, 2}}, Boundary: []int{1, 3}}
+	if err := cold.Covers(syn); err == nil {
+		t.Error("cold-matched check accepted")
+	}
+	missing := decoder.Matching{Pairs: [][2]int{{0, 1}}}
+	if err := missing.Covers(syn); err == nil {
+		t.Error("unmatched hot check accepted")
+	}
+}

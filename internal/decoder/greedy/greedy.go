@@ -1,0 +1,97 @@
+// Package greedy implements the software reference of the NISQ+
+// approximate decoding algorithm (§V-B of the paper): a greedy
+// approximation to minimum-weight matching.
+//
+// All pairwise distances between hot syndromes — and, to handle the
+// code boundaries, the distance from each hot syndrome to its nearest
+// boundary — are sorted in ascending order (descending likelihood).
+// Edges are then accepted greedily whenever both endpoints are still
+// unmatched; boundary pseudo-nodes never saturate, mirroring the paper's
+// formulation in which external nodes are connected to one another with
+// weight zero. By the classical result of Drake & Hougardy the result is
+// a 2-approximation of the optimal matching.
+package greedy
+
+import (
+	"sort"
+
+	"repro/internal/decoder"
+	"repro/internal/lattice"
+)
+
+// Decoder is the greedy matching decoder. The zero value is ready to use.
+type Decoder struct{}
+
+// New returns a greedy decoder.
+func New() *Decoder { return &Decoder{} }
+
+// Name implements decoder.Decoder.
+func (*Decoder) Name() string { return "greedy" }
+
+// edge is a candidate matching edge. j == lattice.Boundary marks a
+// boundary edge for hot check i.
+type edge struct {
+	w    int
+	i, j int
+}
+
+// Match computes the greedy matching for the syndrome without converting
+// it to a correction. Exposed so harnesses can inspect pairings.
+func (*Decoder) Match(g *lattice.Graph, syn []bool) decoder.Matching {
+	hot := lattice.HotChecks(syn)
+	edges := make([]edge, 0, len(hot)*(len(hot)+1)/2)
+	for a := 0; a < len(hot); a++ {
+		for b := a + 1; b < len(hot); b++ {
+			edges = append(edges, edge{g.Dist(hot[a], hot[b]), hot[a], hot[b]})
+		}
+		edges = append(edges, edge{g.BoundaryDist(hot[a]), hot[a], lattice.Boundary})
+	}
+	// Ascending distance. On ties, pair edges come before boundary
+	// edges — pairing two hot checks at distance w clears both for the
+	// price one boundary match would pay to clear one — and remaining
+	// ties are broken by endpoint indices so decoding is deterministic.
+	rank := func(e edge) int {
+		if e.j == lattice.Boundary {
+			return 1
+		}
+		return 0
+	}
+	sort.Slice(edges, func(x, y int) bool {
+		if edges[x].w != edges[y].w {
+			return edges[x].w < edges[y].w
+		}
+		if rank(edges[x]) != rank(edges[y]) {
+			return rank(edges[x]) < rank(edges[y])
+		}
+		if edges[x].i != edges[y].i {
+			return edges[x].i < edges[y].i
+		}
+		return edges[x].j < edges[y].j
+	})
+
+	matched := make(map[int]bool, len(hot))
+	var m decoder.Matching
+	for _, e := range edges {
+		if matched[e.i] {
+			continue
+		}
+		if e.j == lattice.Boundary {
+			matched[e.i] = true
+			m.Boundary = append(m.Boundary, e.i)
+			continue
+		}
+		if matched[e.j] {
+			continue
+		}
+		matched[e.i], matched[e.j] = true, true
+		m.Pairs = append(m.Pairs, [2]int{e.i, e.j})
+	}
+	return m
+}
+
+// Decode implements decoder.Decoder.
+func (d *Decoder) Decode(g *lattice.Graph, syn []bool) (decoder.Correction, error) {
+	return d.Match(g, syn).Correction(g), nil
+}
+
+var _ decoder.Decoder = (*Decoder)(nil)

@@ -1,0 +1,156 @@
+package mld
+
+import (
+	"testing"
+
+	"repro/internal/decoder"
+	"repro/internal/decoder/mwpm"
+	"repro/internal/lattice"
+	"repro/internal/noise"
+	"repro/internal/pauli"
+	"repro/internal/surface"
+)
+
+func TestNewValidation(t *testing.T) {
+	g3 := lattice.MustNew(3).MatchingGraph(lattice.ZErrors)
+	if _, err := New(g3, 0); err == nil {
+		t.Error("p=0 accepted")
+	}
+	if _, err := New(g3, 1); err == nil {
+		t.Error("p=1 accepted")
+	}
+	g5 := lattice.MustNew(5).MatchingGraph(lattice.ZErrors)
+	if _, err := New(g5, 0.1); err == nil {
+		t.Error("41 data qubits accepted for exact enumeration")
+	}
+}
+
+func TestDecodeClearsAllSyndromes(t *testing.T) {
+	l := lattice.MustNew(3)
+	g := l.MatchingGraph(lattice.ZErrors)
+	d, err := New(g, 0.05)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d.Name() != "ml-exact" || d.P() != 0.05 {
+		t.Error("accessors wrong")
+	}
+	// Every one of the 2^6 syndromes must decode validly.
+	for mask := 0; mask < 1<<6; mask++ {
+		syn := make([]bool, g.NumChecks())
+		for i := range syn {
+			syn[i] = mask&(1<<uint(i)) != 0
+		}
+		c, err := d.Decode(g, syn)
+		if err != nil {
+			t.Fatalf("syndrome %b: %v", mask, err)
+		}
+		if err := decoder.Validate(g, syn, c); err != nil {
+			t.Fatalf("syndrome %b: %v", mask, err)
+		}
+	}
+}
+
+func TestCosetProbsNormalize(t *testing.T) {
+	l := lattice.MustNew(3)
+	g := l.MatchingGraph(lattice.ZErrors)
+	d, err := New(g, 0.08)
+	if err != nil {
+		t.Fatal(err)
+	}
+	syn := make([]bool, g.NumChecks())
+	p0, p1, err := d.CosetProbs(syn)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p0+p1 < 0.999999 || p0+p1 > 1.000001 {
+		t.Errorf("coset probs %v + %v != 1", p0, p1)
+	}
+	// The trivial syndrome at low p overwhelmingly favors "no logical".
+	if p0 < 0.99 {
+		t.Errorf("trivial syndrome p0 = %v", p0)
+	}
+	if _, _, err := d.CosetProbs(make([]bool, 3)); err == nil {
+		t.Error("wrong-size syndrome accepted")
+	}
+}
+
+func TestForeignGraphRejected(t *testing.T) {
+	l := lattice.MustNew(3)
+	g := l.MatchingGraph(lattice.ZErrors)
+	other := l.MatchingGraph(lattice.XErrors)
+	d, err := New(g, 0.05)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := d.Decode(other, make([]bool, other.NumChecks())); err == nil {
+		t.Error("foreign graph accepted")
+	}
+}
+
+// Single errors decode exactly (no logical flip) — the ML decoder can
+// never be worse than distance-1 correction.
+func TestSingleErrorsExact(t *testing.T) {
+	l := lattice.MustNew(3)
+	g := l.MatchingGraph(lattice.ZErrors)
+	d, err := New(g, 0.03)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cut := l.LogicalCutSupport(lattice.ZErrors)
+	for _, s := range l.DataSites() {
+		f := pauli.NewFrame(l.NumQubits())
+		f.Set(l.QubitIndex(s), pauli.Z)
+		c, err := d.Decode(g, g.Syndrome(f))
+		if err != nil {
+			t.Fatal(err)
+		}
+		res := f.Clone()
+		res.ApplyFrame(c.Frame(l, lattice.ZErrors))
+		if res.ParityZ(cut) != 0 {
+			t.Fatalf("single error at %v decoded to a logical flip", s)
+		}
+	}
+}
+
+// The optimality property: over a long lifetime run the exact ML
+// decoder's logical error rate is at most MWPM's (up to statistical
+// slack), because ML maximizes per-round success exactly.
+func TestMLBeatsOrMatchesMWPM(t *testing.T) {
+	const p = 0.08
+	run := func(dec decoder.Decoder) float64 {
+		ch, err := noise.NewDephasing(p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		sim, err := surface.New(surface.Config{
+			Distance: 3,
+			Channel:  ch,
+			DecoderZ: dec,
+			Seed:     77,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		res, err := sim.Run(30000)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res.PL
+	}
+	g := lattice.MustNew(3).MatchingGraph(lattice.ZErrors)
+	ml, err := New(g, p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	plML := run(ml)
+	plMW := run(mwpm.New())
+	// Identical seeds, so the same error streams: ML must not lose by
+	// more than binomial noise.
+	if plML > plMW*1.05+0.002 {
+		t.Errorf("ML PL %v worse than MWPM PL %v", plML, plMW)
+	}
+	if plML == 0 {
+		t.Error("no logical errors at p=0.08; test underpowered")
+	}
+}

@@ -1,0 +1,40 @@
+package lattice
+
+// Edge is one edge of the decoding graph: a data qubit whose error of the
+// graph's type flips the checks at its endpoints. C2 == Boundary marks a
+// boundary edge (the data qubit sits on a code boundary and flips only
+// one check).
+type Edge struct {
+	Q      int // data-qubit index
+	C1, C2 int // check indices; C2 may be Boundary
+}
+
+// Boundary is the pseudo-check index used for boundary edges.
+const Boundary = -1
+
+// DecodingEdges enumerates the decoding-graph edges for the error type:
+// exactly one edge per data qubit. Union-find style decoders operate
+// directly on this edge list.
+func (g *Graph) DecodingEdges() []Edge {
+	edges := make([]Edge, 0, g.l.NumData())
+	for _, s := range g.l.DataSites() {
+		var checks []int
+		for _, n := range []Site{{s.Row - 1, s.Col}, {s.Row + 1, s.Col}, {s.Row, s.Col - 1}, {s.Row, s.Col + 1}} {
+			if !g.l.InBounds(n) {
+				continue
+			}
+			if i, ok := g.index[n]; ok {
+				checks = append(checks, i)
+			}
+		}
+		e := Edge{Q: g.l.QubitIndex(s), C1: Boundary, C2: Boundary}
+		switch len(checks) {
+		case 1:
+			e.C1 = checks[0]
+		case 2:
+			e.C1, e.C2 = checks[0], checks[1]
+		}
+		edges = append(edges, e)
+	}
+	return edges
+}

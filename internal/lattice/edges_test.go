@@ -1,0 +1,58 @@
+package lattice
+
+import (
+	"testing"
+
+	"repro/internal/pauli"
+)
+
+// DecodingEdges must produce exactly one edge per data qubit, with
+// endpoints matching the qubit's syndrome footprint: two checks for
+// bulk qubits, one check plus Boundary for code-edge qubits.
+func TestDecodingEdges(t *testing.T) {
+	for _, d := range []int{3, 5, 7} {
+		l := MustNew(d)
+		for _, e := range []ErrorType{ZErrors, XErrors} {
+			g := l.MatchingGraph(e)
+			op := pauli.Z
+			if e == XErrors {
+				op = pauli.X
+			}
+			edges := g.DecodingEdges()
+			if len(edges) != l.NumData() {
+				t.Fatalf("d=%d %v: %d edges, want %d", d, e, len(edges), l.NumData())
+			}
+			seen := map[int]bool{}
+			for _, edge := range edges {
+				if seen[edge.Q] {
+					t.Fatalf("d=%d %v: duplicate edge for qubit %d", d, e, edge.Q)
+				}
+				seen[edge.Q] = true
+				f := pauli.NewFrame(l.NumQubits())
+				f.Set(edge.Q, op)
+				hot := HotChecks(g.Syndrome(f))
+				var want []int
+				if edge.C1 != Boundary {
+					want = append(want, edge.C1)
+				}
+				if edge.C2 != Boundary {
+					want = append(want, edge.C2)
+				}
+				if len(hot) != len(want) {
+					t.Fatalf("d=%d %v qubit %d: edge endpoints %v, syndrome %v", d, e, edge.Q, want, hot)
+				}
+				for _, h := range hot {
+					if h != edge.C1 && h != edge.C2 {
+						t.Fatalf("d=%d %v qubit %d: check %d not an endpoint", d, e, edge.Q, h)
+					}
+				}
+			}
+		}
+	}
+}
+
+func TestDistanceAccessor(t *testing.T) {
+	if MustNew(7).Distance() != 7 {
+		t.Error("Distance accessor wrong")
+	}
+}

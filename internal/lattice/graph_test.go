@@ -1,0 +1,226 @@
+package lattice
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/pauli"
+)
+
+func TestGraphCheckIndexing(t *testing.T) {
+	l := MustNew(5)
+	for _, e := range []ErrorType{ZErrors, XErrors} {
+		g := l.MatchingGraph(e)
+		if g.NumChecks() != l.d*(l.d-1) {
+			t.Errorf("%v NumChecks=%d want %d", e, g.NumChecks(), l.d*(l.d-1))
+		}
+		for i := 0; i < g.NumChecks(); i++ {
+			j, ok := g.CheckIndex(g.CheckSite(i))
+			if !ok || j != i {
+				t.Fatalf("%v check index round trip failed at %d", e, i)
+			}
+		}
+		if _, ok := g.CheckIndex(Site{0, 0}); ok {
+			t.Errorf("%v data site has a check index", e)
+		}
+		if g.ErrorType() != e || g.Lattice() != l {
+			t.Errorf("%v accessors wrong", e)
+		}
+	}
+}
+
+func TestDistExamples(t *testing.T) {
+	l := MustNew(5)
+	g := l.MatchingGraph(ZErrors)
+	// Two X ancillas on row 0: (0,1) and (0,3) share data (0,2).
+	i, _ := g.CheckIndex(Site{0, 1})
+	j, _ := g.CheckIndex(Site{0, 3})
+	if got := g.Dist(i, j); got != 1 {
+		t.Errorf("same-row adjacent dist=%d want 1", got)
+	}
+	// Vertically adjacent: (0,1) and (2,1) share data (1,1).
+	k, _ := g.CheckIndex(Site{2, 1})
+	if got := g.Dist(i, k); got != 1 {
+		t.Errorf("same-col adjacent dist=%d want 1", got)
+	}
+	// Diagonal: (0,1) to (2,3) needs two data errors.
+	m, _ := g.CheckIndex(Site{2, 3})
+	if got := g.Dist(i, m); got != 2 {
+		t.Errorf("diagonal dist=%d want 2", got)
+	}
+	if g.Dist(i, i) != 0 {
+		t.Error("self distance nonzero")
+	}
+}
+
+func TestBoundaryDist(t *testing.T) {
+	l := MustNew(5) // size 9, columns 0..8
+	g := l.MatchingGraph(ZErrors)
+	cases := []struct {
+		s Site
+		d int
+	}{
+		{Site{0, 1}, 1}, // one step to left boundary
+		{Site{0, 7}, 1}, // one step to right boundary
+		{Site{0, 3}, 2},
+		{Site{0, 5}, 2},
+	}
+	for _, c := range cases {
+		i, ok := g.CheckIndex(c.s)
+		if !ok {
+			t.Fatalf("no check at %v", c.s)
+		}
+		if got := g.BoundaryDist(i); got != c.d {
+			t.Errorf("BoundaryDist(%v)=%d want %d", c.s, got, c.d)
+		}
+	}
+}
+
+// Property: Dist is a metric (symmetric, zero iff equal, triangle
+// inequality) on random check pairs.
+func TestDistMetricProperties(t *testing.T) {
+	l := MustNew(7)
+	rng := rand.New(rand.NewSource(3))
+	for _, e := range []ErrorType{ZErrors, XErrors} {
+		g := l.MatchingGraph(e)
+		n := g.NumChecks()
+		for trial := 0; trial < 500; trial++ {
+			i, j, k := rng.Intn(n), rng.Intn(n), rng.Intn(n)
+			if g.Dist(i, j) != g.Dist(j, i) {
+				t.Fatalf("%v Dist not symmetric at %d,%d", e, i, j)
+			}
+			if (g.Dist(i, j) == 0) != (i == j) {
+				t.Fatalf("%v Dist zero mismatch at %d,%d", e, i, j)
+			}
+			if g.Dist(i, k) > g.Dist(i, j)+g.Dist(j, k) {
+				t.Fatalf("%v triangle inequality violated at %d,%d,%d", e, i, j, k)
+			}
+		}
+	}
+}
+
+// Property: the chain returned by PathQubits has exactly Dist(i,j) data
+// qubits and, applied as an error, produces hot syndromes exactly at
+// checks i and j.
+func TestPathQubitsRealizesSyndrome(t *testing.T) {
+	for _, d := range []int{3, 5, 7} {
+		l := MustNew(d)
+		rng := rand.New(rand.NewSource(int64(d)))
+		for _, e := range []ErrorType{ZErrors, XErrors} {
+			g := l.MatchingGraph(e)
+			op := pauli.Z
+			if e == XErrors {
+				op = pauli.X
+			}
+			n := g.NumChecks()
+			for trial := 0; trial < 100; trial++ {
+				i, j := rng.Intn(n), rng.Intn(n)
+				if i == j {
+					continue
+				}
+				path := g.PathQubits(i, j)
+				if len(path) != g.Dist(i, j) {
+					t.Fatalf("d=%d %v path length %d != dist %d", d, e, len(path), g.Dist(i, j))
+				}
+				f := pauli.NewFrame(l.NumQubits())
+				for _, q := range path {
+					if l.KindAt(l.SiteOf(q)) != Data {
+						t.Fatalf("d=%d %v path contains non-data qubit", d, e)
+					}
+					f.Apply(q, op)
+				}
+				syn := g.Syndrome(f)
+				for c, hot := range syn {
+					want := c == i || c == j
+					if hot != want {
+						t.Fatalf("d=%d %v chain %d-%d: check %d hot=%v want %v", d, e, i, j, c, hot, want)
+					}
+				}
+			}
+		}
+	}
+}
+
+// Property: the boundary chain has exactly BoundaryDist(i) qubits and
+// lights up only check i.
+func TestBoundaryPathRealizesSyndrome(t *testing.T) {
+	for _, d := range []int{3, 5} {
+		l := MustNew(d)
+		for _, e := range []ErrorType{ZErrors, XErrors} {
+			g := l.MatchingGraph(e)
+			op := pauli.Z
+			if e == XErrors {
+				op = pauli.X
+			}
+			for i := 0; i < g.NumChecks(); i++ {
+				path := g.BoundaryPathQubits(i)
+				if len(path) != g.BoundaryDist(i) {
+					t.Fatalf("d=%d %v boundary path length %d != dist %d", d, e, len(path), g.BoundaryDist(i))
+				}
+				f := pauli.NewFrame(l.NumQubits())
+				for _, q := range path {
+					f.Apply(q, op)
+				}
+				for c, hot := range g.Syndrome(f) {
+					if hot != (c == i) {
+						t.Fatalf("d=%d %v boundary chain of %d: check %d hot=%v", d, e, i, c, hot)
+					}
+				}
+			}
+		}
+	}
+}
+
+func TestSyndromePanicsOnSizeMismatch(t *testing.T) {
+	l := MustNew(3)
+	g := l.MatchingGraph(ZErrors)
+	defer func() {
+		if recover() == nil {
+			t.Error("Syndrome accepted wrong-size frame")
+		}
+	}()
+	g.Syndrome(pauli.NewFrame(4))
+}
+
+func TestHotChecks(t *testing.T) {
+	got := HotChecks([]bool{false, true, true, false, true})
+	want := []int{1, 2, 4}
+	if len(got) != len(want) {
+		t.Fatalf("HotChecks=%v want %v", got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("HotChecks=%v want %v", got, want)
+		}
+	}
+	if HotChecks(nil) != nil {
+		t.Error("HotChecks(nil) != nil")
+	}
+}
+
+// A single data-qubit error must light exactly its adjacent checks
+// (Fig. 2 of the paper).
+func TestSingleErrorSyndromes(t *testing.T) {
+	l := MustNew(5)
+	for _, e := range []ErrorType{ZErrors, XErrors} {
+		g := l.MatchingGraph(e)
+		op := pauli.Z
+		if e == XErrors {
+			op = pauli.X
+		}
+		for _, s := range l.DataSites() {
+			f := pauli.NewFrame(l.NumQubits())
+			f.Set(l.QubitIndex(s), op)
+			hot := HotChecks(g.Syndrome(f))
+			if len(hot) < 1 || len(hot) > 2 {
+				t.Fatalf("%v single error at %v lights %d checks", e, s, len(hot))
+			}
+			for _, c := range hot {
+				cs := g.CheckSite(c)
+				if abs(cs.Row-s.Row)+abs(cs.Col-s.Col) != 1 {
+					t.Fatalf("%v error at %v lit non-adjacent check at %v", e, s, cs)
+				}
+			}
+		}
+	}
+}

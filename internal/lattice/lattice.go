@@ -1,0 +1,216 @@
+// Package lattice implements the planar surface-code geometry the NISQ+
+// decoder operates on.
+//
+// The code of distance d lives on a (2d−1)×(2d−1) grid of sites. Sites
+// whose row+column parity is even hold data qubits (d² + (d−1)² of them);
+// odd-parity sites hold ancilla qubits (2d(d−1) of them), split into
+// X-type ancillas (even row, odd column — they detect phase flips) and
+// Z-type ancillas (odd row, even column — they detect bit flips). At
+// d = 9 this gives the 289 physical qubits quoted in §VIII of the paper.
+//
+// Beyond site classification the package exposes the *matching graph*
+// abstraction every decoder consumes: check (ancilla) coordinates,
+// pairwise Manhattan distances, distances to the two relevant code
+// boundaries, and the data-qubit chains realizing those distances.
+package lattice
+
+import "fmt"
+
+// Kind classifies a lattice site.
+type Kind uint8
+
+const (
+	// Data marks a site holding a data qubit.
+	Data Kind = iota
+	// AncillaX marks a site holding an X-stabilizer ancilla qubit
+	// (detects Z errors on its data neighbours).
+	AncillaX
+	// AncillaZ marks a site holding a Z-stabilizer ancilla qubit
+	// (detects X errors on its data neighbours).
+	AncillaZ
+)
+
+// String names the kind.
+func (k Kind) String() string {
+	switch k {
+	case Data:
+		return "data"
+	case AncillaX:
+		return "ancilla-X"
+	case AncillaZ:
+		return "ancilla-Z"
+	}
+	return "invalid"
+}
+
+// ErrorType selects which Pauli error component a decoder is correcting.
+type ErrorType uint8
+
+const (
+	// ZErrors are phase flips, detected by X-type ancillas.
+	ZErrors ErrorType = iota
+	// XErrors are bit flips, detected by Z-type ancillas.
+	XErrors
+)
+
+// String names the error type.
+func (e ErrorType) String() string {
+	if e == ZErrors {
+		return "Z"
+	}
+	return "X"
+}
+
+// Site is a lattice position: Row and Col each range over [0, 2d−2].
+type Site struct {
+	Row, Col int
+}
+
+// Lattice is the distance-d planar surface code layout.
+type Lattice struct {
+	d    int
+	size int // 2d−1
+
+	data []Site // data-qubit sites in row-major order
+	ancX []Site // X-ancilla sites in row-major order
+	ancZ []Site // Z-ancilla sites in row-major order
+
+	ancXIndex map[Site]int // site -> index into ancX
+	ancZIndex map[Site]int // site -> index into ancZ
+}
+
+// New constructs the distance-d lattice. Distance must be an odd integer
+// of at least 3 (even distances do not tile the planar layout used here).
+func New(d int) (*Lattice, error) {
+	if d < 3 || d%2 == 0 {
+		return nil, fmt.Errorf("lattice: distance must be odd and >= 3, got %d", d)
+	}
+	l := &Lattice{
+		d:         d,
+		size:      2*d - 1,
+		ancXIndex: make(map[Site]int),
+		ancZIndex: make(map[Site]int),
+	}
+	for r := 0; r < l.size; r++ {
+		for c := 0; c < l.size; c++ {
+			s := Site{r, c}
+			switch l.KindAt(s) {
+			case Data:
+				l.data = append(l.data, s)
+			case AncillaX:
+				l.ancXIndex[s] = len(l.ancX)
+				l.ancX = append(l.ancX, s)
+			case AncillaZ:
+				l.ancZIndex[s] = len(l.ancZ)
+				l.ancZ = append(l.ancZ, s)
+			}
+		}
+	}
+	return l, nil
+}
+
+// MustNew is New but panics on invalid distance; for tests and examples.
+func MustNew(d int) *Lattice {
+	l, err := New(d)
+	if err != nil {
+		panic(err)
+	}
+	return l
+}
+
+// Distance returns the code distance d.
+func (l *Lattice) Distance() int { return l.d }
+
+// Size returns the grid side length 2d−1.
+func (l *Lattice) Size() int { return l.size }
+
+// NumQubits returns the total number of physical qubits (2d−1)².
+func (l *Lattice) NumQubits() int { return l.size * l.size }
+
+// NumData returns the number of data qubits, d² + (d−1)².
+func (l *Lattice) NumData() int { return len(l.data) }
+
+// NumAncillas returns the number of ancilla qubits, 2d(d−1).
+func (l *Lattice) NumAncillas() int { return len(l.ancX) + len(l.ancZ) }
+
+// KindAt classifies the site s.
+func (l *Lattice) KindAt(s Site) Kind {
+	if (s.Row+s.Col)%2 == 0 {
+		return Data
+	}
+	if s.Row%2 == 0 {
+		return AncillaX
+	}
+	return AncillaZ
+}
+
+// InBounds reports whether the site lies on the grid.
+func (l *Lattice) InBounds(s Site) bool {
+	return s.Row >= 0 && s.Row < l.size && s.Col >= 0 && s.Col < l.size
+}
+
+// QubitIndex maps a site to its dense physical-qubit index, row-major
+// over the full grid. Every site — data or ancilla — has an index, so a
+// pauli.Frame of length NumQubits() covers the whole device.
+func (l *Lattice) QubitIndex(s Site) int { return s.Row*l.size + s.Col }
+
+// SiteOf inverts QubitIndex.
+func (l *Lattice) SiteOf(q int) Site { return Site{q / l.size, q % l.size} }
+
+// DataSites returns all data-qubit sites in row-major order. The returned
+// slice is shared; callers must not mutate it.
+func (l *Lattice) DataSites() []Site { return l.data }
+
+// AncillaSites returns the ancilla sites detecting the given error type,
+// in row-major order. The returned slice is shared; do not mutate.
+func (l *Lattice) AncillaSites(e ErrorType) []Site {
+	if e == ZErrors {
+		return l.ancX
+	}
+	return l.ancZ
+}
+
+// StabilizerSupport returns the physical-qubit indices of the data
+// neighbours of the ancilla at site s (2 on an edge of the grid, 4 in
+// the bulk). It panics if s is not an ancilla site.
+func (l *Lattice) StabilizerSupport(s Site) []int {
+	if l.KindAt(s) == Data {
+		panic(fmt.Sprintf("lattice: %v is a data site", s))
+	}
+	var sup []int
+	for _, n := range []Site{{s.Row - 1, s.Col}, {s.Row + 1, s.Col}, {s.Row, s.Col - 1}, {s.Row, s.Col + 1}} {
+		if l.InBounds(n) {
+			sup = append(sup, l.QubitIndex(n))
+		}
+	}
+	return sup
+}
+
+// LogicalSupport returns the data-qubit indices of the logical operator
+// associated with the error type: for ZErrors the logical-Z chain (data
+// qubits of row 0, running left boundary to right boundary), for XErrors
+// the logical-X chain (data qubits of column 0, top to bottom). The
+// returned chain has exactly d qubits.
+func (l *Lattice) LogicalSupport(e ErrorType) []int {
+	sup := make([]int, 0, l.d)
+	for i := 0; i < l.size; i += 2 {
+		if e == ZErrors {
+			sup = append(sup, l.QubitIndex(Site{0, i}))
+		} else {
+			sup = append(sup, l.QubitIndex(Site{i, 0}))
+		}
+	}
+	return sup
+}
+
+// LogicalCutSupport returns the data-qubit indices a residual error of
+// the given type is tested against to detect a logical flip: an
+// undetectable Z-error chain is a logical error iff it overlaps the
+// logical-X chain (column 0) an odd number of times, and symmetrically
+// for X errors against row 0.
+func (l *Lattice) LogicalCutSupport(e ErrorType) []int {
+	if e == ZErrors {
+		return l.LogicalSupport(XErrors)
+	}
+	return l.LogicalSupport(ZErrors)
+}

@@ -1,0 +1,197 @@
+package lattice
+
+import (
+	"testing"
+
+	"repro/internal/pauli"
+)
+
+func TestNewValidation(t *testing.T) {
+	for _, d := range []int{0, 1, 2, 4, 8} {
+		if _, err := New(d); err == nil {
+			t.Errorf("New(%d) accepted invalid distance", d)
+		}
+	}
+	for _, d := range []int{3, 5, 7, 9} {
+		if _, err := New(d); err != nil {
+			t.Errorf("New(%d) failed: %v", d, err)
+		}
+	}
+}
+
+func TestMustNewPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("MustNew(2) did not panic")
+		}
+	}()
+	MustNew(2)
+}
+
+func TestCounts(t *testing.T) {
+	for _, d := range []int{3, 5, 7, 9} {
+		l := MustNew(d)
+		if got, want := l.Size(), 2*d-1; got != want {
+			t.Errorf("d=%d Size=%d want %d", d, got, want)
+		}
+		if got, want := l.NumQubits(), (2*d-1)*(2*d-1); got != want {
+			t.Errorf("d=%d NumQubits=%d want %d", d, got, want)
+		}
+		if got, want := l.NumData(), d*d+(d-1)*(d-1); got != want {
+			t.Errorf("d=%d NumData=%d want %d", d, got, want)
+		}
+		if got, want := l.NumAncillas(), 2*d*(d-1); got != want {
+			t.Errorf("d=%d NumAncillas=%d want %d", d, got, want)
+		}
+		if l.NumData()+l.NumAncillas() != l.NumQubits() {
+			t.Errorf("d=%d qubit partition does not cover grid", d)
+		}
+	}
+	// The paper's headline count: 289 qubits at d=9.
+	if got := MustNew(9).NumQubits(); got != 289 {
+		t.Errorf("d=9 NumQubits=%d, paper says 289", got)
+	}
+}
+
+func TestKindAt(t *testing.T) {
+	l := MustNew(3)
+	cases := []struct {
+		s Site
+		k Kind
+	}{
+		{Site{0, 0}, Data},
+		{Site{0, 1}, AncillaX},
+		{Site{1, 0}, AncillaZ},
+		{Site{1, 1}, Data},
+		{Site{2, 3}, AncillaX},
+		{Site{3, 2}, AncillaZ},
+	}
+	for _, c := range cases {
+		if got := l.KindAt(c.s); got != c.k {
+			t.Errorf("KindAt(%v)=%v want %v", c.s, got, c.k)
+		}
+	}
+}
+
+func TestKindStrings(t *testing.T) {
+	if Data.String() != "data" || AncillaX.String() != "ancilla-X" || AncillaZ.String() != "ancilla-Z" {
+		t.Error("Kind strings wrong")
+	}
+	if Kind(9).String() != "invalid" {
+		t.Error("invalid Kind string wrong")
+	}
+	if ZErrors.String() != "Z" || XErrors.String() != "X" {
+		t.Error("ErrorType strings wrong")
+	}
+}
+
+func TestQubitIndexRoundTrip(t *testing.T) {
+	l := MustNew(5)
+	for q := 0; q < l.NumQubits(); q++ {
+		if got := l.QubitIndex(l.SiteOf(q)); got != q {
+			t.Fatalf("index round trip failed at %d -> %v -> %d", q, l.SiteOf(q), got)
+		}
+	}
+}
+
+func TestStabilizerSupport(t *testing.T) {
+	l := MustNew(3)
+	// Bulk X ancilla at (2,1): four data neighbours.
+	sup := l.StabilizerSupport(Site{2, 1})
+	if len(sup) != 4 {
+		t.Errorf("bulk support size %d want 4", len(sup))
+	}
+	// Corner-adjacent ancilla at (0,1): three neighbours (1,1),(0,0),(0,2).
+	sup = l.StabilizerSupport(Site{0, 1})
+	if len(sup) != 3 {
+		t.Errorf("edge support size %d want 3", len(sup))
+	}
+	defer func() {
+		if recover() == nil {
+			t.Error("StabilizerSupport on data site did not panic")
+		}
+	}()
+	l.StabilizerSupport(Site{0, 0})
+}
+
+// Every stabilizer support must contain only data qubits, and each data
+// qubit must be covered by at most 2 X-checks and at most 2 Z-checks.
+func TestSupportCoverage(t *testing.T) {
+	for _, d := range []int{3, 5, 7} {
+		l := MustNew(d)
+		for _, e := range []ErrorType{ZErrors, XErrors} {
+			cover := make(map[int]int)
+			for _, s := range l.AncillaSites(e) {
+				for _, q := range l.StabilizerSupport(s) {
+					if l.KindAt(l.SiteOf(q)) != Data {
+						t.Fatalf("d=%d support of %v contains non-data qubit %v", d, s, l.SiteOf(q))
+					}
+					cover[q]++
+				}
+			}
+			for q, n := range cover {
+				if n > 2 {
+					t.Fatalf("d=%d data qubit %v covered by %d %v-checks", d, l.SiteOf(q), n, e)
+				}
+			}
+		}
+	}
+}
+
+// The two logical operators must each have weight d, commute with every
+// stabilizer of their own type's detecting checks, and anticommute with
+// each other.
+func TestLogicalOperators(t *testing.T) {
+	for _, d := range []int{3, 5, 7} {
+		l := MustNew(d)
+		zL := pauli.NewFrame(l.NumQubits())
+		for _, q := range l.LogicalSupport(ZErrors) {
+			zL.Set(q, pauli.Z)
+		}
+		xL := pauli.NewFrame(l.NumQubits())
+		for _, q := range l.LogicalSupport(XErrors) {
+			xL.Set(q, pauli.X)
+		}
+		if zL.Weight() != d || xL.Weight() != d {
+			t.Fatalf("d=%d logical weights %d/%d", d, zL.Weight(), xL.Weight())
+		}
+		if zL.CommutesWith(xL) {
+			t.Fatalf("d=%d logical Z and X commute", d)
+		}
+		// Logical Z must be invisible to every X check (trivial syndrome).
+		g := l.MatchingGraph(ZErrors)
+		for i, hot := range g.Syndrome(zL) {
+			if hot {
+				t.Fatalf("d=%d logical Z triggers check %d", d, i)
+			}
+		}
+		gx := l.MatchingGraph(XErrors)
+		for i, hot := range gx.Syndrome(xL) {
+			if hot {
+				t.Fatalf("d=%d logical X triggers check %d", d, i)
+			}
+		}
+	}
+}
+
+func TestLogicalCutSupport(t *testing.T) {
+	l := MustNew(3)
+	// The cut for Z errors is the logical-X chain and vice versa.
+	if got, want := len(l.LogicalCutSupport(ZErrors)), 3; got != want {
+		t.Errorf("cut size %d want %d", got, want)
+	}
+	zCut := l.LogicalCutSupport(ZErrors)
+	xChain := l.LogicalSupport(XErrors)
+	for i := range zCut {
+		if zCut[i] != xChain[i] {
+			t.Fatal("Z cut is not the X logical chain")
+		}
+	}
+	xCut := l.LogicalCutSupport(XErrors)
+	zChain := l.LogicalSupport(ZErrors)
+	for i := range xCut {
+		if xCut[i] != zChain[i] {
+			t.Fatal("X cut is not the Z logical chain")
+		}
+	}
+}

@@ -1,0 +1,454 @@
+// Package match implements exact maximum-weight matching in general
+// graphs via the blossom algorithm (Edmonds' primal-dual method in the
+// O(n³) formulation), plus a minimum-weight perfect-matching wrapper.
+//
+// The NISQ+ paper compares its approximate SFQ decoder against the
+// minimum-weight perfect-matching (MWPM) surface-code decoder of Fowler
+// et al.; this package is that baseline's combinatorial core, built from
+// scratch on the standard dual-variable formulation: labels on vertices
+// and blossoms, alternating trees grown from free vertices, blossom
+// shrinking at odd cycles, and dual adjustments when the trees get stuck.
+package match
+
+// Infinite is the sentinel slack used during dual adjustment.
+const infinite = int64(1) << 60
+
+// graph carries the working state of one matching computation.
+// Vertices are 1-indexed; indices above n denote shrunken blossoms.
+type graph struct {
+	n  int // number of real vertices
+	nx int // current number of vertex slots in use (incl. blossoms)
+
+	w     [][]int64 // w[u][v]: edge weight between real-or-blossom slots
+	eu    [][]int   // eu[u][v]: real endpoint on u's side of edge (u,v)
+	ev    [][]int   // ev[u][v]: real endpoint on v's side
+	lab   []int64   // dual labels
+	match []int     // match[u]: real endpoint matched to u (0 = free)
+	slack []int     // slack[x]: real vertex with the tightest edge into x
+	st    []int     // st[x]: the top-level blossom containing x
+	pa    []int     // pa[x]: parent edge endpoint in the alternating tree
+	side  []int8    // side[x]: -1 unvisited, 0 outer, 1 inner
+	vis   []int     // visit stamps for LCA search
+	visT  int
+
+	flowerFrom [][]int // flowerFrom[b][x]: sub-blossom of b containing real x
+	flower     [][]int // blossom cycles
+
+	q []int // BFS queue of real vertices
+}
+
+// MaxWeightMatching computes a maximum-weight matching of the complete
+// graph on n vertices with the given symmetric weight matrix (0-indexed;
+// weights must be non-negative, and zero-weight pairs are treated as
+// absent edges). It returns mate, where mate[u] is u's partner or -1,
+// and the total matched weight.
+func MaxWeightMatching(n int, weight func(u, v int) int64) (mate []int, total int64) {
+	if n == 0 {
+		return nil, 0
+	}
+	g := newGraph(n, weight)
+	for g.phase() {
+	}
+	mate = make([]int, n)
+	for u := 1; u <= n; u++ {
+		if g.match[u] != 0 {
+			mate[u-1] = g.match[u] - 1
+			if g.match[u] < u {
+				total += g.w[u][g.match[u]] / 2
+			}
+		} else {
+			mate[u-1] = -1
+		}
+	}
+	return mate, total
+}
+
+// MinWeightPerfectMatching computes a minimum-weight perfect matching of
+// the complete graph on an even number of vertices. It returns mate and
+// the total weight. Weights may be any non-negative values.
+func MinWeightPerfectMatching(n int, weight func(u, v int) int64) (mate []int, total int64) {
+	if n%2 != 0 {
+		panic("match: perfect matching requires an even vertex count")
+	}
+	if n == 0 {
+		return nil, 0
+	}
+	var wMax int64
+	for u := 0; u < n; u++ {
+		for v := u + 1; v < n; v++ {
+			if w := weight(u, v); w > wMax {
+				wMax = w
+			}
+		}
+	}
+	// Flip weights so that minimum becomes maximum; the +1 keeps every
+	// edge strictly positive, which makes the maximum-weight matching
+	// perfect on a complete graph.
+	mate, flipped := MaxWeightMatching(n, func(u, v int) int64 {
+		return wMax - weight(u, v) + 1
+	})
+	for u, v := range mate {
+		if v < 0 {
+			panic("match: perfect matching not found on complete graph")
+		}
+		if v > u {
+			total += weight(u, v)
+		}
+	}
+	_ = flipped
+	return mate, total
+}
+
+func newGraph(n int, weight func(u, v int) int64) *graph {
+	slots := 2*n + 1
+	g := &graph{n: n, nx: n}
+	g.w = make([][]int64, slots)
+	g.eu = make([][]int, slots)
+	g.ev = make([][]int, slots)
+	g.flowerFrom = make([][]int, slots)
+	for i := range g.w {
+		g.w[i] = make([]int64, slots)
+		g.eu[i] = make([]int, slots)
+		g.ev[i] = make([]int, slots)
+		g.flowerFrom[i] = make([]int, n+1)
+	}
+	g.lab = make([]int64, slots)
+	g.match = make([]int, slots)
+	g.slack = make([]int, slots)
+	g.st = make([]int, slots)
+	g.pa = make([]int, slots)
+	g.side = make([]int8, slots)
+	g.vis = make([]int, slots)
+	g.flower = make([][]int, slots)
+
+	var wMax int64
+	for u := 1; u <= n; u++ {
+		g.st[u] = u
+		g.flowerFrom[u][u] = u
+		for v := 1; v <= n; v++ {
+			g.eu[u][v], g.ev[u][v] = u, v
+			if u != v {
+				// Doubled weights keep every dual adjustment integral.
+				g.w[u][v] = 2 * weight(u-1, v-1)
+				if g.w[u][v] > wMax {
+					wMax = g.w[u][v]
+				}
+			}
+		}
+	}
+	for u := 1; u <= n; u++ {
+		g.lab[u] = wMax / 2
+	}
+	return g
+}
+
+// eDelta is the dual slack of the edge between real vertices u and v as
+// recorded in slot pair (u,v).
+func (g *graph) eDelta(u, v int) int64 {
+	return g.lab[g.eu[u][v]] + g.lab[g.ev[u][v]] - g.w[g.eu[u][v]][g.ev[u][v]]
+}
+
+func (g *graph) updateSlack(u, x int) {
+	if g.slack[x] == 0 || g.eDelta(u, x) < g.eDelta(g.slack[x], x) {
+		g.slack[x] = u
+	}
+}
+
+func (g *graph) setSlack(x int) {
+	g.slack[x] = 0
+	for u := 1; u <= g.n; u++ {
+		if g.w[u][x] > 0 && g.st[u] != x && g.side[g.st[u]] == 0 {
+			g.updateSlack(u, x)
+		}
+	}
+}
+
+func (g *graph) qPush(x int) {
+	if x <= g.n {
+		g.q = append(g.q, x)
+		return
+	}
+	for _, i := range g.flower[x] {
+		g.qPush(i)
+	}
+}
+
+func (g *graph) setSt(x, b int) {
+	g.st[x] = b
+	if x > g.n {
+		for _, i := range g.flower[x] {
+			g.setSt(i, b)
+		}
+	}
+}
+
+// getPr orients blossom b's cycle so that sub-blossom xr sits at an even
+// position and returns that position.
+func (g *graph) getPr(b, xr int) int {
+	pr := 0
+	for i, f := range g.flower[b] {
+		if f == xr {
+			pr = i
+			break
+		}
+	}
+	if pr%2 == 1 {
+		// Reverse the cycle (keeping the base fixed) to make pr even.
+		fl := g.flower[b]
+		for i, j := 1, len(fl)-1; i < j; i, j = i+1, j-1 {
+			fl[i], fl[j] = fl[j], fl[i]
+		}
+		return len(fl) - pr
+	}
+	return pr
+}
+
+// setMatch matches slot u across the edge recorded at (u,v), recursing
+// into blossoms.
+func (g *graph) setMatch(u, v int) {
+	g.match[u] = g.ev[u][v]
+	if u <= g.n {
+		return
+	}
+	xr := g.flowerFrom[u][g.eu[u][v]]
+	pr := g.getPr(u, xr)
+	for i := 0; i < pr; i++ {
+		g.setMatch(g.flower[u][i], g.flower[u][i^1])
+	}
+	g.setMatch(xr, v)
+	// Rotate so the newly matched sub-blossom becomes the base.
+	fl := g.flower[u]
+	rotated := append(append([]int{}, fl[pr:]...), fl[:pr]...)
+	g.flower[u] = rotated
+}
+
+func (g *graph) augment(u, v int) {
+	for {
+		xnv := g.st[g.match[u]]
+		g.setMatch(u, v)
+		if xnv == 0 {
+			return
+		}
+		g.setMatch(xnv, g.st[g.pa[xnv]])
+		u, v = g.st[g.pa[xnv]], xnv
+	}
+}
+
+func (g *graph) getLCA(u, v int) int {
+	g.visT++
+	for u != 0 || v != 0 {
+		if u != 0 {
+			if g.vis[u] == g.visT {
+				return u
+			}
+			g.vis[u] = g.visT
+			u = g.st[g.match[u]]
+			if u != 0 {
+				u = g.st[g.pa[u]]
+			}
+		}
+		u, v = v, u
+	}
+	return 0
+}
+
+func (g *graph) addBlossom(u, lca, v int) {
+	b := g.n + 1
+	for b <= g.nx && g.st[b] != 0 {
+		b++
+	}
+	if b > g.nx {
+		g.nx++
+	}
+	g.lab[b] = 0
+	g.side[b] = 0
+	g.match[b] = g.match[lca]
+	g.flower[b] = g.flower[b][:0]
+	g.flower[b] = append(g.flower[b], lca)
+	for x := u; x != lca; {
+		g.flower[b] = append(g.flower[b], x)
+		y := g.st[g.match[x]]
+		g.flower[b] = append(g.flower[b], y)
+		g.qPush(y)
+		x = g.st[g.pa[y]]
+	}
+	// Reverse everything after the base so the two arms are ordered
+	// consistently around the cycle.
+	fl := g.flower[b]
+	for i, j := 1, len(fl)-1; i < j; i, j = i+1, j-1 {
+		fl[i], fl[j] = fl[j], fl[i]
+	}
+	for x := v; x != lca; {
+		g.flower[b] = append(g.flower[b], x)
+		y := g.st[g.match[x]]
+		g.flower[b] = append(g.flower[b], y)
+		g.qPush(y)
+		x = g.st[g.pa[y]]
+	}
+	g.setSt(b, b)
+	for x := 1; x <= g.nx; x++ {
+		g.w[b][x], g.w[x][b] = 0, 0
+	}
+	for x := 1; x <= g.n; x++ {
+		g.flowerFrom[b][x] = 0
+	}
+	for _, xs := range g.flower[b] {
+		for x := 1; x <= g.nx; x++ {
+			if g.w[b][x] == 0 || g.eDelta(xs, x) < g.eDelta(b, x) {
+				g.eu[b][x], g.ev[b][x], g.w[b][x] = g.eu[xs][x], g.ev[xs][x], g.w[xs][x]
+				g.eu[x][b], g.ev[x][b], g.w[x][b] = g.eu[x][xs], g.ev[x][xs], g.w[x][xs]
+			}
+		}
+		for x := 1; x <= g.n; x++ {
+			if g.flowerFrom[xs][x] != 0 {
+				g.flowerFrom[b][x] = xs
+			}
+		}
+	}
+	g.setSlack(b)
+}
+
+func (g *graph) expandBlossom(b int) {
+	for _, i := range g.flower[b] {
+		g.setSt(i, i)
+	}
+	xr := g.flowerFrom[b][g.eu[b][g.pa[b]]]
+	pr := g.getPr(b, xr)
+	for i := 0; i < pr; i += 2 {
+		xs := g.flower[b][i]
+		xns := g.flower[b][i+1]
+		g.pa[xs] = g.eu[xns][xs]
+		g.side[xs], g.side[xns] = 1, 0
+		g.slack[xs] = 0
+		g.setSlack(xns)
+		g.qPush(xns)
+	}
+	g.side[xr] = 1
+	g.pa[xr] = g.pa[b]
+	for i := pr + 1; i < len(g.flower[b]); i++ {
+		xs := g.flower[b][i]
+		g.side[xs] = -1
+		g.setSlack(xs)
+	}
+	g.st[b] = 0
+}
+
+// onFoundEdge processes a tight edge between real endpoints (u0, v0); it
+// reports whether an augmenting path was found and applied.
+func (g *graph) onFoundEdge(u0, v0 int) bool {
+	u, v := g.st[u0], g.st[v0]
+	switch g.side[v] {
+	case -1:
+		g.pa[v] = u0
+		g.side[v] = 1
+		nu := g.st[g.match[v]]
+		g.slack[v], g.slack[nu] = 0, 0
+		g.side[nu] = 0
+		g.qPush(nu)
+	case 0:
+		lca := g.getLCA(u, v)
+		if lca == 0 {
+			g.augment(u, v)
+			g.augment(v, u)
+			return true
+		}
+		g.addBlossom(u, lca, v)
+	}
+	return false
+}
+
+// phase runs one augmentation phase; it reports whether a new matched
+// edge was added (false means the matching is maximum).
+func (g *graph) phase() bool {
+	for x := 1; x <= g.nx; x++ {
+		g.side[x] = -1
+		g.slack[x] = 0
+	}
+	g.q = g.q[:0]
+	for x := 1; x <= g.nx; x++ {
+		if g.st[x] == x && g.match[x] == 0 {
+			g.pa[x] = 0
+			g.side[x] = 0
+			g.qPush(x)
+		}
+	}
+	if len(g.q) == 0 {
+		return false
+	}
+	for {
+		for len(g.q) > 0 {
+			u := g.q[0]
+			g.q = g.q[1:]
+			if g.side[g.st[u]] == 1 {
+				continue
+			}
+			for v := 1; v <= g.n; v++ {
+				if g.w[u][v] > 0 && g.st[u] != g.st[v] {
+					if g.eDelta(u, v) == 0 {
+						if g.onFoundEdge(u, v) {
+							return true
+						}
+					} else {
+						g.updateSlack(u, g.st[v])
+					}
+				}
+			}
+		}
+		d := infinite
+		for b := g.n + 1; b <= g.nx; b++ {
+			if g.st[b] == b && g.side[b] == 1 {
+				if g.lab[b]/2 < d {
+					d = g.lab[b] / 2
+				}
+			}
+		}
+		for x := 1; x <= g.nx; x++ {
+			if g.st[x] == x && g.slack[x] != 0 {
+				switch g.side[x] {
+				case -1:
+					if del := g.eDelta(g.slack[x], x); del < d {
+						d = del
+					}
+				case 0:
+					if del := g.eDelta(g.slack[x], x) / 2; del < d {
+						d = del
+					}
+				}
+			}
+		}
+		for u := 1; u <= g.n; u++ {
+			switch g.side[g.st[u]] {
+			case 0:
+				if g.lab[u] <= d {
+					return false
+				}
+				g.lab[u] -= d
+			case 1:
+				g.lab[u] += d
+			}
+		}
+		for b := g.n + 1; b <= g.nx; b++ {
+			if g.st[b] == b {
+				switch g.side[b] {
+				case 0:
+					g.lab[b] += 2 * d
+				case 1:
+					g.lab[b] -= 2 * d
+				}
+			}
+		}
+		g.q = g.q[:0]
+		for x := 1; x <= g.nx; x++ {
+			if g.st[x] == x && g.slack[x] != 0 && g.st[g.slack[x]] != x && g.eDelta(g.slack[x], x) == 0 {
+				if g.onFoundEdge(g.slack[x], x) {
+					return true
+				}
+			}
+		}
+		for b := g.n + 1; b <= g.nx; b++ {
+			if g.st[b] == b && g.side[b] == 1 && g.lab[b] == 0 {
+				g.expandBlossom(b)
+			}
+		}
+	}
+}

@@ -1,0 +1,242 @@
+package match
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// bruteMaxMatching returns the maximum total weight over all matchings
+// (not necessarily perfect) of the complete graph with the given weights,
+// treating zero-weight pairs as absent edges.
+func bruteMaxMatching(n int, w [][]int64) int64 {
+	used := make([]bool, n)
+	var rec func(u int) int64
+	rec = func(u int) int64 {
+		for u < n && used[u] {
+			u++
+		}
+		if u >= n {
+			return 0
+		}
+		used[u] = true
+		best := rec(u + 1) // leave u unmatched
+		for v := u + 1; v < n; v++ {
+			if used[v] || w[u][v] == 0 {
+				continue
+			}
+			used[v] = true
+			if got := w[u][v] + rec(u+1); got > best {
+				best = got
+			}
+			used[v] = false
+		}
+		used[u] = false
+		return best
+	}
+	return rec(0)
+}
+
+// bruteMinPerfect returns the minimum total weight over all perfect
+// matchings via bitmask DP.
+func bruteMinPerfect(n int, w [][]int64) int64 {
+	const inf = int64(1) << 60
+	dp := make([]int64, 1<<uint(n))
+	for i := range dp {
+		dp[i] = inf
+	}
+	dp[0] = 0
+	for mask := 0; mask < 1<<uint(n); mask++ {
+		if dp[mask] == inf {
+			continue
+		}
+		u := 0
+		for u < n && mask&(1<<uint(u)) != 0 {
+			u++
+		}
+		if u == n {
+			continue
+		}
+		for v := u + 1; v < n; v++ {
+			if mask&(1<<uint(v)) != 0 {
+				continue
+			}
+			next := mask | 1<<uint(u) | 1<<uint(v)
+			if cand := dp[mask] + w[u][v]; cand < dp[next] {
+				dp[next] = cand
+			}
+		}
+	}
+	return dp[1<<uint(n)-1]
+}
+
+func randWeights(rng *rand.Rand, n int, maxW int64) [][]int64 {
+	w := make([][]int64, n)
+	for i := range w {
+		w[i] = make([]int64, n)
+	}
+	for i := 0; i < n; i++ {
+		for j := i + 1; j < n; j++ {
+			w[i][j] = rng.Int63n(maxW)
+			w[j][i] = w[i][j]
+		}
+	}
+	return w
+}
+
+func matchingWeight(t *testing.T, n int, w [][]int64, mate []int) int64 {
+	t.Helper()
+	var total int64
+	for u := 0; u < n; u++ {
+		v := mate[u]
+		if v == -1 {
+			continue
+		}
+		if v < 0 || v >= n || mate[v] != u {
+			t.Fatalf("mate inconsistent: mate[%d]=%d, mate[%d]=%d", u, v, v, mate[v])
+		}
+		if v > u {
+			total += w[u][v]
+		}
+	}
+	return total
+}
+
+func TestMaxWeightMatchingSmallExact(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	for trial := 0; trial < 300; trial++ {
+		n := 1 + rng.Intn(8)
+		w := randWeights(rng, n, 20)
+		mate, total := MaxWeightMatching(n, func(u, v int) int64 { return w[u][v] })
+		got := matchingWeight(t, n, w, mate)
+		if got != total {
+			t.Fatalf("n=%d trial=%d reported total %d != recomputed %d", n, trial, total, got)
+		}
+		want := bruteMaxMatching(n, w)
+		if total != want {
+			t.Fatalf("n=%d trial=%d max matching weight %d, brute force %d (w=%v)", n, trial, total, want, w)
+		}
+	}
+}
+
+func TestMaxWeightMatchingTriangle(t *testing.T) {
+	// A triangle forces an odd component; the best matching picks the
+	// single heaviest edge.
+	w := [][]int64{
+		{0, 5, 3},
+		{5, 0, 4},
+		{3, 4, 0},
+	}
+	mate, total := MaxWeightMatching(3, func(u, v int) int64 { return w[u][v] })
+	if total != 5 {
+		t.Fatalf("triangle total = %d, want 5", total)
+	}
+	if mate[0] != 1 || mate[1] != 0 || mate[2] != -1 {
+		t.Fatalf("triangle mate = %v", mate)
+	}
+}
+
+func TestMaxWeightMatchingBlossomStress(t *testing.T) {
+	// Larger random instances with weights chosen to force many equal
+	// distances (odd-cycle structure), checked for internal consistency
+	// and against brute force when n is small enough.
+	rng := rand.New(rand.NewSource(2))
+	for trial := 0; trial < 120; trial++ {
+		n := 2 + rng.Intn(9)
+		w := randWeights(rng, n, 5) // small range -> many ties -> blossoms
+		mate, total := MaxWeightMatching(n, func(u, v int) int64 { return w[u][v] })
+		if got := matchingWeight(t, n, w, mate); got != total {
+			t.Fatalf("n=%d inconsistent total", n)
+		}
+		if want := bruteMaxMatching(n, w); total != want {
+			t.Fatalf("n=%d trial=%d weight %d want %d (w=%v)", n, trial, total, want, w)
+		}
+	}
+}
+
+func TestMinWeightPerfectMatchingExact(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	for trial := 0; trial < 200; trial++ {
+		n := 2 * (1 + rng.Intn(5))
+		w := randWeights(rng, n, 15)
+		// Perfect matching needs every pair usable; keep weights >= 0
+		// and remember 0 means "absent" only in MaxWeightMatching, not
+		// in the min-perfect wrapper (which shifts internally).
+		mate, total := MinWeightPerfectMatching(n, func(u, v int) int64 { return w[u][v] })
+		for u, v := range mate {
+			if v == -1 {
+				t.Fatalf("n=%d vertex %d unmatched in perfect matching", n, u)
+			}
+		}
+		if got := matchingWeight(t, n, w, mate); got != total {
+			t.Fatalf("n=%d total %d != recomputed %d", n, total, got)
+		}
+		if want := bruteMinPerfect(n, w); total != want {
+			t.Fatalf("n=%d trial=%d min perfect %d want %d (w=%v)", n, trial, total, want, w)
+		}
+	}
+}
+
+func TestMinWeightPerfectMatchingOddPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("odd vertex count did not panic")
+		}
+	}()
+	MinWeightPerfectMatching(3, func(u, v int) int64 { return 1 })
+}
+
+func TestEmptyAndSingle(t *testing.T) {
+	mate, total := MaxWeightMatching(0, nil)
+	if mate != nil || total != 0 {
+		t.Error("empty graph mishandled")
+	}
+	mate, total = MaxWeightMatching(1, func(u, v int) int64 { return 0 })
+	if len(mate) != 1 || mate[0] != -1 || total != 0 {
+		t.Errorf("single vertex mishandled: %v %d", mate, total)
+	}
+	mate, total = MinWeightPerfectMatching(0, nil)
+	if mate != nil || total != 0 {
+		t.Error("empty perfect matching mishandled")
+	}
+}
+
+func TestMinPerfectLargerConsistency(t *testing.T) {
+	// n up to 40: can't brute force, but verify perfectness and that the
+	// weight is no worse than a greedy matching.
+	rng := rand.New(rand.NewSource(4))
+	for trial := 0; trial < 20; trial++ {
+		n := 2 * (10 + rng.Intn(11))
+		w := randWeights(rng, n, 1000)
+		mate, total := MinWeightPerfectMatching(n, func(u, v int) int64 { return w[u][v] })
+		var greedy int64
+		used := make([]bool, n)
+		for u := 0; u < n; u++ {
+			if used[u] {
+				continue
+			}
+			best, bi := int64(1)<<62, -1
+			for v := u + 1; v < n; v++ {
+				if !used[v] && w[u][v] < best {
+					best, bi = w[u][v], v
+				}
+			}
+			used[u], used[bi] = true, true
+			greedy += best
+		}
+		if got := matchingWeight(t, n, w, mate); got != total {
+			t.Fatalf("n=%d total mismatch", n)
+		}
+		if total > greedy {
+			t.Fatalf("n=%d blossom %d worse than greedy %d", n, total, greedy)
+		}
+	}
+}
+
+func BenchmarkMinWeightPerfectMatching40(b *testing.B) {
+	rng := rand.New(rand.NewSource(5))
+	w := randWeights(rng, 40, 100)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		MinWeightPerfectMatching(40, func(u, v int) int64 { return w[u][v] })
+	}
+}

@@ -1,0 +1,228 @@
+package noise
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/pauli"
+)
+
+func TestConstructorValidation(t *testing.T) {
+	for _, p := range []float64{-0.1, 1.1, math.NaN()} {
+		if _, err := NewDepolarizing(p); err == nil {
+			t.Errorf("NewDepolarizing(%v) accepted", p)
+		}
+		if _, err := NewDephasing(p); err == nil {
+			t.Errorf("NewDephasing(%v) accepted", p)
+		}
+		if _, err := NewBitFlip(p); err == nil {
+			t.Errorf("NewBitFlip(%v) accepted", p)
+		}
+		if _, err := NewMeasureFlip(p); err == nil {
+			t.Errorf("NewMeasureFlip(%v) accepted", p)
+		}
+	}
+}
+
+func TestStrings(t *testing.T) {
+	dep, _ := NewDepolarizing(0.01)
+	dph, _ := NewDephasing(0.02)
+	bf, _ := NewBitFlip(0.03)
+	mf, _ := NewMeasureFlip(0.04)
+	if dep.String() != "depolarizing(p=0.01)" || dep.P() != 0.01 {
+		t.Error(dep.String())
+	}
+	if dph.String() != "dephasing(p=0.02)" || dph.P() != 0.02 {
+		t.Error(dph.String())
+	}
+	if bf.String() != "bitflip(p=0.03)" || bf.P() != 0.03 {
+		t.Error(bf.String())
+	}
+	if mf.String() != "measureflip(q=0.04)" || mf.Q() != 0.04 {
+		t.Error(mf.String())
+	}
+}
+
+// Statistical check: over many samples the empirical error rate matches p
+// within 5 sigma, and the dephasing channel produces only Z errors.
+func TestChannelStatistics(t *testing.T) {
+	const n = 20000
+	const p = 0.1
+	targets := make([]int, n)
+	for i := range targets {
+		targets[i] = i
+	}
+	rng := NewRand(42)
+
+	dph, _ := NewDephasing(p)
+	f := pauli.NewFrame(n)
+	dph.Sample(rng, f, targets)
+	count := 0
+	for i := 0; i < n; i++ {
+		switch f.Get(i) {
+		case pauli.Z:
+			count++
+		case pauli.I:
+		default:
+			t.Fatalf("dephasing produced %v", f.Get(i))
+		}
+	}
+	sigma := math.Sqrt(n * p * (1 - p))
+	if math.Abs(float64(count)-n*p) > 5*sigma {
+		t.Errorf("dephasing rate %d/%d far from p=%v", count, n, p)
+	}
+
+	dep, _ := NewDepolarizing(p)
+	f = pauli.NewFrame(n)
+	dep.Sample(rng, f, targets)
+	var cx, cy, cz int
+	for i := 0; i < n; i++ {
+		switch f.Get(i) {
+		case pauli.X:
+			cx++
+		case pauli.Y:
+			cy++
+		case pauli.Z:
+			cz++
+		}
+	}
+	third := n * p / 3
+	sigma3 := math.Sqrt(third * (1 - p/3))
+	for name, c := range map[string]int{"X": cx, "Y": cy, "Z": cz} {
+		if math.Abs(float64(c)-third) > 5*sigma3 {
+			t.Errorf("depolarizing %s rate %d far from %v", name, c, third)
+		}
+	}
+
+	bf, _ := NewBitFlip(p)
+	f = pauli.NewFrame(n)
+	bf.Sample(rng, f, targets)
+	count = 0
+	for i := 0; i < n; i++ {
+		switch f.Get(i) {
+		case pauli.X:
+			count++
+		case pauli.I:
+		default:
+			t.Fatalf("bitflip produced %v", f.Get(i))
+		}
+	}
+	if math.Abs(float64(count)-n*p) > 5*sigma {
+		t.Errorf("bitflip rate %d/%d far from p=%v", count, n, p)
+	}
+}
+
+func TestZeroAndOneRates(t *testing.T) {
+	const n = 100
+	targets := make([]int, n)
+	for i := range targets {
+		targets[i] = i
+	}
+	rng := NewRand(1)
+	zero, _ := NewDephasing(0)
+	f := pauli.NewFrame(n)
+	zero.Sample(rng, f, targets)
+	if !f.IsIdentity() {
+		t.Error("p=0 channel produced errors")
+	}
+	one, _ := NewDephasing(1)
+	one.Sample(rng, f, targets)
+	if f.Weight() != n {
+		t.Errorf("p=1 channel produced %d errors, want %d", f.Weight(), n)
+	}
+}
+
+func TestMeasureFlip(t *testing.T) {
+	rng := NewRand(5)
+	mf, _ := NewMeasureFlip(1)
+	syn := []bool{true, false, true}
+	mf.Flip(rng, syn)
+	if syn[0] || !syn[1] || syn[2] {
+		t.Errorf("q=1 flip wrong: %v", syn)
+	}
+	mf0, _ := NewMeasureFlip(0)
+	mf0.Flip(rng, syn)
+	if syn[0] || !syn[1] || syn[2] {
+		t.Errorf("q=0 flip changed syndrome: %v", syn)
+	}
+}
+
+func TestDeterminism(t *testing.T) {
+	targets := []int{0, 1, 2, 3, 4, 5, 6, 7}
+	dep, _ := NewDepolarizing(0.5)
+	a := pauli.NewFrame(8)
+	b := pauli.NewFrame(8)
+	dep.Sample(NewRand(99), a, targets)
+	dep.Sample(NewRand(99), b, targets)
+	if !a.Equal(b) {
+		t.Error("same seed produced different samples")
+	}
+}
+
+// Channels restrict errors to the targets they are given.
+func TestSampleRespectsTargets(t *testing.T) {
+	rng := NewRand(3)
+	dep, _ := NewDepolarizing(1)
+	f := pauli.NewFrame(10)
+	dep.Sample(rng, f, []int{2, 4})
+	for i := 0; i < 10; i++ {
+		if (i == 2 || i == 4) != (f.Get(i) != pauli.I) {
+			t.Fatalf("error placement wrong at %d: %v", i, f)
+		}
+	}
+}
+
+var _ = []Channel{Depolarizing{}, Dephasing{}, BitFlip{}}
+
+func TestErasureChannel(t *testing.T) {
+	if _, err := NewErasure(1.5, pauli.Z); err == nil {
+		t.Error("pe>1 accepted")
+	}
+	if _, err := NewErasure(0.5, pauli.I); err == nil {
+		t.Error("identity op accepted")
+	}
+	ch, err := NewErasure(0.3, pauli.Z)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ch.Pe() != 0.3 || ch.String() != "erasure(pe=0.3,Z)" {
+		t.Errorf("accessors wrong: %v %v", ch.Pe(), ch.String())
+	}
+	const n = 20000
+	targets := make([]int, n)
+	for i := range targets {
+		targets[i] = i
+	}
+	rng := NewRand(8)
+	f := pauli.NewFrame(n)
+	mask := ch.SampleErasure(rng, f, targets)
+	erased, errs := 0, 0
+	for i := 0; i < n; i++ {
+		if mask[i] {
+			erased++
+		}
+		if f.Get(i) != pauli.I {
+			errs++
+			if !mask[i] {
+				t.Fatal("error outside the erased set")
+			}
+		}
+	}
+	sigma := math.Sqrt(n * 0.3 * 0.7)
+	if math.Abs(float64(erased)-n*0.3) > 5*sigma {
+		t.Errorf("erasure rate %d/%d far from 0.3", erased, n)
+	}
+	// Half the erased qubits carry errors.
+	sigmaE := math.Sqrt(float64(erased) * 0.25)
+	if math.Abs(float64(errs)-float64(erased)/2) > 5*sigmaE {
+		t.Errorf("%d errors on %d erased qubits, want ~half", errs, erased)
+	}
+	// pe=0 erases nothing.
+	zero, _ := NewErasure(0, pauli.X)
+	f2 := pauli.NewFrame(10)
+	for _, e := range zero.SampleErasure(rng, f2, []int{0, 1, 2}) {
+		if e {
+			t.Error("pe=0 erased a qubit")
+		}
+	}
+}

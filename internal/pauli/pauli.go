@@ -1,0 +1,217 @@
+// Package pauli implements the single- and multi-qubit Pauli operator
+// algebra used throughout the surface-code simulator.
+//
+// The surface code discretizes arbitrary physical errors into elements of
+// the Pauli group {I, X, Y, Z}^n (see §II-C of the NISQ+ paper). This
+// package provides the group operations (composition, commutation) and a
+// compact Frame type that tracks the accumulated Pauli error on every
+// qubit of a device across simulation cycles.
+package pauli
+
+import "strings"
+
+// Op is a single-qubit Pauli operator. The zero value is the identity.
+type Op uint8
+
+// The four single-qubit Pauli operators. The encoding is chosen so that
+// the X component is bit 0 and the Z component is bit 1, making
+// composition a XOR and commutation a symplectic product.
+const (
+	I Op = 0 // identity
+	X Op = 1 // bit flip
+	Z Op = 2 // phase flip
+	Y Op = 3 // combined bit and phase flip (X·Z up to phase)
+)
+
+// ParseOp converts one of the runes 'I', 'X', 'Y', 'Z' into an Op.
+// It reports false for any other rune.
+func ParseOp(r rune) (Op, bool) {
+	switch r {
+	case 'I', 'i':
+		return I, true
+	case 'X', 'x':
+		return X, true
+	case 'Y', 'y':
+		return Y, true
+	case 'Z', 'z':
+		return Z, true
+	}
+	return I, false
+}
+
+// String returns the conventional letter for the operator.
+func (p Op) String() string {
+	switch p {
+	case I:
+		return "I"
+	case X:
+		return "X"
+	case Z:
+		return "Z"
+	case Y:
+		return "Y"
+	}
+	return "?"
+}
+
+// HasX reports whether the operator contains a bit-flip component
+// (X or Y). Z-type stabilizers detect exactly these operators.
+func (p Op) HasX() bool { return p&X != 0 }
+
+// HasZ reports whether the operator contains a phase-flip component
+// (Z or Y). X-type stabilizers detect exactly these operators.
+func (p Op) HasZ() bool { return p&Z != 0 }
+
+// Mul composes two Pauli operators, discarding the global phase.
+// Composition is commutative up to phase, and phases are irrelevant for
+// error tracking, so Mul(a, b) == Mul(b, a).
+func Mul(a, b Op) Op { return a ^ b }
+
+// Commutes reports whether the two operators commute. Distinct
+// non-identity Paulis anticommute; everything commutes with itself and
+// with the identity.
+func Commutes(a, b Op) bool {
+	if a == I || b == I || a == b {
+		return true
+	}
+	return false
+}
+
+// Weight1 reports whether the operator is not the identity.
+func Weight1(p Op) bool { return p != I }
+
+// Frame is an n-qubit Pauli error frame: the accumulated Pauli operator
+// acting on each qubit of a device. The zero-length Frame is valid and
+// represents a zero-qubit system.
+type Frame struct {
+	ops []Op
+}
+
+// NewFrame returns an identity frame over n qubits.
+func NewFrame(n int) *Frame {
+	return &Frame{ops: make([]Op, n)}
+}
+
+// FromString builds a frame from a string of IXYZ letters, e.g. "IXZY".
+// It reports false if any rune is not a Pauli letter.
+func FromString(s string) (*Frame, bool) {
+	f := NewFrame(len(s))
+	for i, r := range s {
+		op, ok := ParseOp(r)
+		if !ok {
+			return nil, false
+		}
+		f.ops[i] = op
+	}
+	return f, true
+}
+
+// Len returns the number of qubits the frame covers.
+func (f *Frame) Len() int { return len(f.ops) }
+
+// Get returns the operator acting on qubit q.
+func (f *Frame) Get(q int) Op { return f.ops[q] }
+
+// Set replaces the operator acting on qubit q.
+func (f *Frame) Set(q int, p Op) { f.ops[q] = p }
+
+// Apply composes p onto the operator already acting on qubit q.
+func (f *Frame) Apply(q int, p Op) { f.ops[q] = Mul(f.ops[q], p) }
+
+// ApplyFrame composes the entire frame g onto f. The two frames must
+// cover the same number of qubits.
+func (f *Frame) ApplyFrame(g *Frame) {
+	for i, p := range g.ops {
+		f.ops[i] = Mul(f.ops[i], p)
+	}
+}
+
+// Clear resets every qubit to the identity.
+func (f *Frame) Clear() {
+	for i := range f.ops {
+		f.ops[i] = I
+	}
+}
+
+// Clone returns an independent copy of the frame.
+func (f *Frame) Clone() *Frame {
+	g := NewFrame(len(f.ops))
+	copy(g.ops, f.ops)
+	return g
+}
+
+// Weight returns the number of qubits with a non-identity operator.
+func (f *Frame) Weight() int {
+	w := 0
+	for _, p := range f.ops {
+		if p != I {
+			w++
+		}
+	}
+	return w
+}
+
+// IsIdentity reports whether every qubit carries the identity.
+func (f *Frame) IsIdentity() bool { return f.Weight() == 0 }
+
+// Equal reports whether two frames are identical operators.
+func (f *Frame) Equal(g *Frame) bool {
+	if len(f.ops) != len(g.ops) {
+		return false
+	}
+	for i := range f.ops {
+		if f.ops[i] != g.ops[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// ParityZ returns the parity (0 or 1) of phase-flip components over the
+// given qubit set: the measurement outcome an X-type stabilizer with that
+// support would report.
+func (f *Frame) ParityZ(qubits []int) int {
+	par := 0
+	for _, q := range qubits {
+		if f.ops[q].HasZ() {
+			par ^= 1
+		}
+	}
+	return par
+}
+
+// ParityX returns the parity (0 or 1) of bit-flip components over the
+// given qubit set: the measurement outcome a Z-type stabilizer with that
+// support would report.
+func (f *Frame) ParityX(qubits []int) int {
+	par := 0
+	for _, q := range qubits {
+		if f.ops[q].HasX() {
+			par ^= 1
+		}
+	}
+	return par
+}
+
+// String renders the frame as a string of IXYZ letters.
+func (f *Frame) String() string {
+	var b strings.Builder
+	b.Grow(len(f.ops))
+	for _, p := range f.ops {
+		b.WriteString(p.String())
+	}
+	return b.String()
+}
+
+// CommutesWith reports whether the frame, viewed as one n-qubit Pauli
+// operator, commutes with g. Two Pauli products commute iff they
+// anticommute on an even number of qubits.
+func (f *Frame) CommutesWith(g *Frame) bool {
+	anti := 0
+	for i := range f.ops {
+		if !Commutes(f.ops[i], g.ops[i]) {
+			anti++
+		}
+	}
+	return anti%2 == 0
+}

@@ -1,0 +1,239 @@
+package pauli
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestOpString(t *testing.T) {
+	cases := map[Op]string{I: "I", X: "X", Y: "Y", Z: "Z"}
+	for op, want := range cases {
+		if got := op.String(); got != want {
+			t.Errorf("Op(%d).String() = %q, want %q", op, got, want)
+		}
+	}
+	if got := Op(7).String(); got != "?" {
+		t.Errorf("invalid op String() = %q, want ?", got)
+	}
+}
+
+func TestParseOp(t *testing.T) {
+	for _, r := range "IXYZixyz" {
+		if _, ok := ParseOp(r); !ok {
+			t.Errorf("ParseOp(%q) not ok", r)
+		}
+	}
+	if _, ok := ParseOp('Q'); ok {
+		t.Error("ParseOp('Q') unexpectedly ok")
+	}
+	if op, _ := ParseOp('y'); op != Y {
+		t.Errorf("ParseOp('y') = %v, want Y", op)
+	}
+}
+
+func TestMulTable(t *testing.T) {
+	// The full 4x4 multiplication table of the Pauli group mod phase.
+	want := map[[2]Op]Op{
+		{I, I}: I, {I, X}: X, {I, Y}: Y, {I, Z}: Z,
+		{X, I}: X, {X, X}: I, {X, Y}: Z, {X, Z}: Y,
+		{Y, I}: Y, {Y, X}: Z, {Y, Y}: I, {Y, Z}: X,
+		{Z, I}: Z, {Z, X}: Y, {Z, Y}: X, {Z, Z}: I,
+	}
+	for in, out := range want {
+		if got := Mul(in[0], in[1]); got != out {
+			t.Errorf("Mul(%v,%v) = %v, want %v", in[0], in[1], got, out)
+		}
+	}
+}
+
+func TestCommutes(t *testing.T) {
+	ops := []Op{I, X, Y, Z}
+	for _, a := range ops {
+		for _, b := range ops {
+			want := a == I || b == I || a == b
+			if got := Commutes(a, b); got != want {
+				t.Errorf("Commutes(%v,%v) = %v, want %v", a, b, got, want)
+			}
+		}
+	}
+}
+
+func TestHasComponents(t *testing.T) {
+	if I.HasX() || I.HasZ() {
+		t.Error("identity has components")
+	}
+	if !X.HasX() || X.HasZ() {
+		t.Error("X components wrong")
+	}
+	if Z.HasX() || !Z.HasZ() {
+		t.Error("Z components wrong")
+	}
+	if !Y.HasX() || !Y.HasZ() {
+		t.Error("Y components wrong")
+	}
+}
+
+// Property: Mul is associative and commutative, with I as identity and
+// every element self-inverse.
+func TestMulGroupLaws(t *testing.T) {
+	f := func(a, b, c uint8) bool {
+		x, y, z := Op(a%4), Op(b%4), Op(c%4)
+		if Mul(x, y) != Mul(y, x) {
+			return false
+		}
+		if Mul(Mul(x, y), z) != Mul(x, Mul(y, z)) {
+			return false
+		}
+		if Mul(x, I) != x || Mul(x, x) != I {
+			return false
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestFrameBasics(t *testing.T) {
+	f := NewFrame(5)
+	if f.Len() != 5 || !f.IsIdentity() {
+		t.Fatalf("new frame not identity: %v", f)
+	}
+	f.Set(2, Y)
+	f.Apply(2, X) // Y*X = Z
+	if f.Get(2) != Z {
+		t.Errorf("Get(2) = %v, want Z", f.Get(2))
+	}
+	if f.Weight() != 1 {
+		t.Errorf("Weight = %d, want 1", f.Weight())
+	}
+	f.Clear()
+	if !f.IsIdentity() {
+		t.Error("Clear did not reset frame")
+	}
+}
+
+func TestFromString(t *testing.T) {
+	f, ok := FromString("IXZY")
+	if !ok {
+		t.Fatal("FromString failed")
+	}
+	if f.String() != "IXZY" {
+		t.Errorf("round trip = %q", f.String())
+	}
+	if _, ok := FromString("IXQ"); ok {
+		t.Error("FromString accepted invalid letter")
+	}
+}
+
+func TestApplyFrameIsGroupAction(t *testing.T) {
+	a, _ := FromString("XXZI")
+	b, _ := FromString("XYZZ")
+	a.ApplyFrame(b)
+	if a.String() != "IZIZ" {
+		t.Errorf("ApplyFrame = %q, want IZIZ", a.String())
+	}
+}
+
+func TestCloneIndependence(t *testing.T) {
+	a, _ := FromString("XYZ")
+	b := a.Clone()
+	b.Set(0, I)
+	if a.Get(0) != X {
+		t.Error("Clone aliases original")
+	}
+	if !a.Equal(a.Clone()) {
+		t.Error("Equal(clone) false")
+	}
+	if a.Equal(NewFrame(2)) {
+		t.Error("Equal across lengths true")
+	}
+}
+
+func TestParities(t *testing.T) {
+	f, _ := FromString("ZXYI")
+	// Z components on qubits 0 and 2.
+	if got := f.ParityZ([]int{0, 1, 2, 3}); got != 0 {
+		t.Errorf("ParityZ all = %d, want 0", got)
+	}
+	if got := f.ParityZ([]int{0, 1}); got != 1 {
+		t.Errorf("ParityZ {0,1} = %d, want 1", got)
+	}
+	// X components on qubits 1 and 2.
+	if got := f.ParityX([]int{1, 2}); got != 0 {
+		t.Errorf("ParityX {1,2} = %d, want 0", got)
+	}
+	if got := f.ParityX([]int{2, 3}); got != 1 {
+		t.Errorf("ParityX {2,3} = %d, want 1", got)
+	}
+}
+
+// Property: frame-level commutation matches the parity of pointwise
+// anticommutations, and each frame commutes with itself.
+func TestCommutesWithProperties(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	randFrame := func(n int) *Frame {
+		f := NewFrame(n)
+		for i := 0; i < n; i++ {
+			f.Set(i, Op(rng.Intn(4)))
+		}
+		return f
+	}
+	for trial := 0; trial < 200; trial++ {
+		n := 1 + rng.Intn(12)
+		a, b := randFrame(n), randFrame(n)
+		if !a.CommutesWith(a) {
+			t.Fatalf("frame %v does not commute with itself", a)
+		}
+		if a.CommutesWith(b) != b.CommutesWith(a) {
+			t.Fatalf("commutation not symmetric: %v vs %v", a, b)
+		}
+		// X-only frame vs Z-only frame: commute iff overlap even.
+		xs, zs := NewFrame(n), NewFrame(n)
+		overlap := 0
+		for i := 0; i < n; i++ {
+			if rng.Intn(2) == 0 {
+				xs.Set(i, X)
+			}
+			if rng.Intn(2) == 0 {
+				zs.Set(i, Z)
+			}
+			if xs.Get(i) == X && zs.Get(i) == Z {
+				overlap++
+			}
+		}
+		if xs.CommutesWith(zs) != (overlap%2 == 0) {
+			t.Fatalf("X/Z commutation mismatch, overlap %d", overlap)
+		}
+	}
+}
+
+// Property: ParityZ is linear — the parity of a composed frame is the XOR
+// of the parities. This is the syndrome-linearity property the surface
+// code relies on.
+func TestParityLinearity(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	for trial := 0; trial < 200; trial++ {
+		n := 1 + rng.Intn(16)
+		a, b := NewFrame(n), NewFrame(n)
+		for i := 0; i < n; i++ {
+			a.Set(i, Op(rng.Intn(4)))
+			b.Set(i, Op(rng.Intn(4)))
+		}
+		sup := []int{}
+		for i := 0; i < n; i++ {
+			if rng.Intn(2) == 0 {
+				sup = append(sup, i)
+			}
+		}
+		sum := a.Clone()
+		sum.ApplyFrame(b)
+		if sum.ParityZ(sup) != a.ParityZ(sup)^b.ParityZ(sup) {
+			t.Fatalf("ParityZ not linear on %v + %v", a, b)
+		}
+		if sum.ParityX(sup) != a.ParityX(sup)^b.ParityX(sup) {
+			t.Fatalf("ParityX not linear on %v + %v", a, b)
+		}
+	}
+}

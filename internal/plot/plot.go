@@ -1,0 +1,154 @@
+// Package plot renders numeric series as ASCII charts for the cmd/
+// harnesses — a dependency-free stand-in for the paper's figures.
+// Log-log axes suit the threshold curves (Fig. 10) and the
+// required-distance comparison (Fig. 11).
+package plot
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"strings"
+)
+
+// Series is one named curve.
+type Series struct {
+	Name string
+	X, Y []float64
+}
+
+// Chart collects series and axis configuration.
+type Chart struct {
+	Title  string
+	XLabel string
+	YLabel string
+	LogX   bool
+	LogY   bool
+	Width  int // plot area width in columns (default 64)
+	Height int // plot area height in rows (default 20)
+	series []Series
+}
+
+// Add appends a series. Points with non-positive coordinates are
+// dropped on logarithmic axes.
+func (c *Chart) Add(s Series) { c.series = append(c.series, s) }
+
+// markers cycles through per-series glyphs.
+var markers = []byte{'o', 'x', '+', '#', '@', '%', '&', '~'}
+
+// Render draws the chart.
+func (c *Chart) Render() string {
+	w, h := c.Width, c.Height
+	if w <= 0 {
+		w = 64
+	}
+	if h <= 0 {
+		h = 20
+	}
+	tx := func(v float64) (float64, bool) {
+		if c.LogX {
+			if v <= 0 {
+				return 0, false
+			}
+			return math.Log10(v), true
+		}
+		return v, true
+	}
+	ty := func(v float64) (float64, bool) {
+		if c.LogY {
+			if v <= 0 {
+				return 0, false
+			}
+			return math.Log10(v), true
+		}
+		return v, true
+	}
+
+	// Collect transformed points to find the bounds.
+	type pt struct {
+		x, y float64
+		m    byte
+	}
+	var pts []pt
+	minX, maxX := math.Inf(1), math.Inf(-1)
+	minY, maxY := math.Inf(1), math.Inf(-1)
+	for si, s := range c.series {
+		m := markers[si%len(markers)]
+		for i := range s.X {
+			x, okx := tx(s.X[i])
+			y, oky := ty(s.Y[i])
+			if !okx || !oky {
+				continue
+			}
+			pts = append(pts, pt{x, y, m})
+			minX, maxX = math.Min(minX, x), math.Max(maxX, x)
+			minY, maxY = math.Min(minY, y), math.Max(maxY, y)
+		}
+	}
+	var b strings.Builder
+	if c.Title != "" {
+		b.WriteString(c.Title + "\n")
+	}
+	if len(pts) == 0 {
+		b.WriteString("(no plottable points)\n")
+		return b.String()
+	}
+	if maxX == minX {
+		maxX = minX + 1
+	}
+	if maxY == minY {
+		maxY = minY + 1
+	}
+
+	grid := make([][]byte, h)
+	for i := range grid {
+		grid[i] = []byte(strings.Repeat(" ", w))
+	}
+	for _, p := range pts {
+		col := int(math.Round((p.x - minX) / (maxX - minX) * float64(w-1)))
+		row := h - 1 - int(math.Round((p.y-minY)/(maxY-minY)*float64(h-1)))
+		if grid[row][col] == ' ' || grid[row][col] == p.m {
+			grid[row][col] = p.m
+		} else {
+			grid[row][col] = '*' // collision of different series
+		}
+	}
+
+	inv := func(v float64, log bool) float64 {
+		if log {
+			return math.Pow(10, v)
+		}
+		return v
+	}
+	for i, row := range grid {
+		label := "          "
+		switch i {
+		case 0:
+			label = fmt.Sprintf("%-10.3g", inv(maxY, c.LogY))
+		case h - 1:
+			label = fmt.Sprintf("%-10.3g", inv(minY, c.LogY))
+		case h / 2:
+			label = fmt.Sprintf("%-10.3g", inv((minY+maxY)/2, c.LogY))
+		}
+		b.WriteString(label + "|" + string(row) + "\n")
+	}
+	b.WriteString(strings.Repeat(" ", 10) + "+" + strings.Repeat("-", w) + "\n")
+	left := fmt.Sprintf("%.3g", inv(minX, c.LogX))
+	right := fmt.Sprintf("%.3g", inv(maxX, c.LogX))
+	pad := w - len(left) - len(right)
+	if pad < 1 {
+		pad = 1
+	}
+	b.WriteString(strings.Repeat(" ", 11) + left + strings.Repeat(" ", pad) + right + "\n")
+	if c.XLabel != "" || c.YLabel != "" {
+		b.WriteString(fmt.Sprintf("%11sx: %s   y: %s\n", "", c.XLabel, c.YLabel))
+	}
+	// Legend, in insertion order.
+	var legend []string
+	for si, s := range c.series {
+		legend = append(legend, fmt.Sprintf("%c %s", markers[si%len(markers)], s.Name))
+	}
+	sort.Strings(legend)
+	b.WriteString(strings.Repeat(" ", 11) + strings.Join(legend, "   ") + "\n")
+	return b.String()
+}

@@ -1,0 +1,74 @@
+package plot
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestEmptyChart(t *testing.T) {
+	c := &Chart{Title: "t"}
+	out := c.Render()
+	if !strings.Contains(out, "no plottable points") {
+		t.Errorf("empty chart rendered: %q", out)
+	}
+}
+
+func TestLinearChartContainsMarkers(t *testing.T) {
+	c := &Chart{Width: 30, Height: 10}
+	c.Add(Series{Name: "a", X: []float64{0, 1, 2}, Y: []float64{0, 1, 4}})
+	c.Add(Series{Name: "b", X: []float64{0, 1, 2}, Y: []float64{4, 1, 0}})
+	out := c.Render()
+	if !strings.Contains(out, "o") || !strings.Contains(out, "x") {
+		t.Errorf("markers missing:\n%s", out)
+	}
+	if !strings.Contains(out, "o a") || !strings.Contains(out, "x b") {
+		t.Errorf("legend missing:\n%s", out)
+	}
+}
+
+func TestLogAxesDropNonPositive(t *testing.T) {
+	c := &Chart{LogX: true, LogY: true, Width: 20, Height: 8}
+	c.Add(Series{Name: "s", X: []float64{0, 0.01, 0.1}, Y: []float64{-1, 0.001, 0.1}})
+	out := c.Render()
+	if strings.Contains(out, "no plottable points") {
+		t.Fatalf("all points dropped:\n%s", out)
+	}
+	// Axis labels must be back-transformed to linear values.
+	if !strings.Contains(out, "0.1") {
+		t.Errorf("axis labels not inverse-transformed:\n%s", out)
+	}
+}
+
+func TestSingleValueAxesDoNotPanic(t *testing.T) {
+	c := &Chart{Width: 10, Height: 5}
+	c.Add(Series{Name: "p", X: []float64{2}, Y: []float64{3}})
+	out := c.Render()
+	if out == "" {
+		t.Error("nothing rendered")
+	}
+}
+
+func TestCollisionMarker(t *testing.T) {
+	c := &Chart{Width: 5, Height: 3}
+	c.Add(Series{Name: "a", X: []float64{1}, Y: []float64{1}})
+	c.Add(Series{Name: "b", X: []float64{1}, Y: []float64{1}})
+	out := c.Render()
+	if !strings.Contains(out, "*") {
+		t.Errorf("collision not marked:\n%s", out)
+	}
+}
+
+func TestGridDimensions(t *testing.T) {
+	c := &Chart{Width: 40, Height: 12, Title: "T"}
+	c.Add(Series{Name: "a", X: []float64{0, 1}, Y: []float64{0, 1}})
+	lines := strings.Split(strings.TrimRight(c.Render(), "\n"), "\n")
+	// title + 12 rows + axis + ticks + legend
+	if len(lines) != 1+12+1+1+1 {
+		t.Errorf("rendered %d lines", len(lines))
+	}
+	for _, l := range lines[1:13] {
+		if len(l) != 10+1+40 {
+			t.Errorf("row width %d: %q", len(l), l)
+		}
+	}
+}

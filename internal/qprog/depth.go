@@ -1,0 +1,75 @@
+package qprog
+
+// Depth returns the circuit depth under greedy ASAP scheduling: gates
+// touching disjoint qubits execute in the same layer. This is the
+// metric behind Table I's benchmark descriptions — the Barenco ladder is
+// linear depth while the cnx tree construction is logarithmic.
+func (c *Circuit) Depth() int {
+	busy := make([]int, c.Qubits) // first free layer per qubit
+	depth := 0
+	for _, g := range c.Gates {
+		layer := 0
+		for i := 0; i < g.N; i++ {
+			if busy[g.Qubits[i]] > layer {
+				layer = busy[g.Qubits[i]]
+			}
+		}
+		for i := 0; i < g.N; i++ {
+			busy[g.Qubits[i]] = layer + 1
+		}
+		if layer+1 > depth {
+			depth = layer + 1
+		}
+	}
+	return depth
+}
+
+// Layers schedules the circuit into ASAP layers and returns the gate
+// indices of each layer, in order.
+func (c *Circuit) Layers() [][]int {
+	busy := make([]int, c.Qubits)
+	var layers [][]int
+	for gi, g := range c.Gates {
+		layer := 0
+		for i := 0; i < g.N; i++ {
+			if busy[g.Qubits[i]] > layer {
+				layer = busy[g.Qubits[i]]
+			}
+		}
+		for i := 0; i < g.N; i++ {
+			busy[g.Qubits[i]] = layer + 1
+		}
+		for len(layers) <= layer {
+			layers = append(layers, nil)
+		}
+		layers[layer] = append(layers[layer], gi)
+	}
+	return layers
+}
+
+// TDepth returns the depth counting only T/T† layers — the
+// fault-tolerant cost metric, since T gates are the ones requiring
+// decoder synchronization (§III).
+func (c *Circuit) TDepth() int {
+	busy := make([]int, c.Qubits)
+	depth := 0
+	for _, g := range c.Gates {
+		layer := 0
+		for i := 0; i < g.N; i++ {
+			if busy[g.Qubits[i]] > layer {
+				layer = busy[g.Qubits[i]]
+			}
+		}
+		adv := 0
+		if g.Kind == T || g.Kind == Tdg {
+			adv = 1
+		}
+		for i := 0; i < g.N; i++ {
+			busy[g.Qubits[i]] = layer + adv
+		}
+		if layer+adv > depth {
+			depth = layer + adv
+		}
+	}
+	return depth
+}

@@ -1,0 +1,105 @@
+package qprog
+
+import "testing"
+
+func TestDepthBasics(t *testing.T) {
+	c := NewCircuit("d", 4)
+	if c.Depth() != 0 {
+		t.Error("empty circuit has depth")
+	}
+	c.X(0)
+	c.X(1) // parallel with the first
+	if c.Depth() != 1 {
+		t.Errorf("two disjoint gates depth %d", c.Depth())
+	}
+	c.CNOT(0, 1) // depends on both
+	if c.Depth() != 2 {
+		t.Errorf("dependent gate depth %d", c.Depth())
+	}
+	c.CCX(1, 2, 3)
+	if c.Depth() != 3 {
+		t.Errorf("chain depth %d", c.Depth())
+	}
+}
+
+func TestLayersPartitionGates(t *testing.T) {
+	ad, err := Cuccaro(5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	layers := ad.Circuit.Layers()
+	if len(layers) != ad.Circuit.Depth() {
+		t.Errorf("layer count %d != depth %d", len(layers), ad.Circuit.Depth())
+	}
+	seen := map[int]bool{}
+	for _, layer := range layers {
+		used := map[int]bool{}
+		for _, gi := range layer {
+			if seen[gi] {
+				t.Fatalf("gate %d scheduled twice", gi)
+			}
+			seen[gi] = true
+			g := ad.Circuit.Gates[gi]
+			for i := 0; i < g.N; i++ {
+				if used[g.Qubits[i]] {
+					t.Fatalf("layer reuses qubit %d", g.Qubits[i])
+				}
+				used[g.Qubits[i]] = true
+			}
+		}
+	}
+	if len(seen) != len(ad.Circuit.Gates) {
+		t.Errorf("scheduled %d of %d gates", len(seen), len(ad.Circuit.Gates))
+	}
+}
+
+// The paper describes cnx-log-depth as logarithmic and the V-chain as
+// its linear-depth counterpart; verify the asymptotic split.
+func TestTreeIsShallowerThanLadder(t *testing.T) {
+	type sample struct{ n, tree, chain int }
+	var samples []sample
+	for _, n := range []int{8, 16, 32, 64} {
+		mcT, err := LogDepthTree(n)
+		if err != nil {
+			t.Fatal(err)
+		}
+		mcV, err := VChain("v", n)
+		if err != nil {
+			t.Fatal(err)
+		}
+		samples = append(samples, sample{n, mcT.Circuit.Depth(), mcV.Circuit.Depth()})
+	}
+	for _, s := range samples {
+		if s.tree >= s.chain {
+			t.Errorf("n=%d: tree depth %d >= chain depth %d", s.n, s.tree, s.chain)
+		}
+	}
+	// Doubling n must add O(1) layers to the tree but O(n) to the chain.
+	treeGrowth := samples[3].tree - samples[0].tree
+	chainGrowth := samples[3].chain - samples[0].chain
+	if treeGrowth > 10 {
+		t.Errorf("tree depth grew by %d from n=8 to n=64; not logarithmic", treeGrowth)
+	}
+	if chainGrowth < 100 {
+		t.Errorf("chain depth grew by only %d; expected linear growth", chainGrowth)
+	}
+}
+
+func TestTDepth(t *testing.T) {
+	c := NewCircuit("t", 2)
+	c.T(0)
+	c.T(1) // parallel
+	c.CNOT(0, 1)
+	c.T(0)
+	if got := c.TDepth(); got != 2 {
+		t.Errorf("TDepth = %d, want 2", got)
+	}
+	ad, err := Cuccaro(4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dec := ad.Circuit.Decompose()
+	if dec.TDepth() == 0 || dec.TDepth() > dec.Depth() {
+		t.Errorf("TDepth %d out of range (depth %d)", dec.TDepth(), dec.Depth())
+	}
+}

@@ -1,0 +1,104 @@
+package qprog
+
+import "fmt"
+
+// MultiControl bundles a multi-controlled-X construction with its
+// register layout: the circuit flips Target iff every control is 1,
+// restoring the ancilla register.
+type MultiControl struct {
+	Circuit *Circuit
+	Control []int
+	Ancilla []int
+	Target  int
+	// Dirty reports whether the ancillas may hold arbitrary initial
+	// values (borrowed qubits) or must start in |0⟩ (clean).
+	Dirty bool
+}
+
+// VChain builds the Barenco et al. multi-control Toffoli ladder on n
+// controls with n−2 *dirty* ancilla qubits: 4(n−2) Toffolis arranged as
+// two down-up sweeps whose second pass cancels the garbage the first
+// deposits on the borrowed ancillas. Table I's "barenco half dirty
+// toffoli" is this circuit at n = 20 and "cnu half borrowed" at n = 19.
+func VChain(name string, n int) (MultiControl, error) {
+	if n < 3 {
+		return MultiControl{}, fmt.Errorf("qprog: VChain needs >= 3 controls, got %d", n)
+	}
+	qubits := n + (n - 2) + 1
+	c := NewCircuit(fmt.Sprintf("%s-%d", name, n), qubits)
+	mc := MultiControl{Circuit: c, Target: qubits - 1, Dirty: true}
+	for i := 0; i < n; i++ {
+		mc.Control = append(mc.Control, i)
+	}
+	for i := 0; i < n-2; i++ {
+		mc.Ancilla = append(mc.Ancilla, n+i)
+	}
+	sweep := func() {
+		c.CCX(mc.Control[n-1], mc.Ancilla[n-3], mc.Target)
+		for i := n - 2; i >= 2; i-- {
+			c.CCX(mc.Control[i], mc.Ancilla[i-2], mc.Ancilla[i-1])
+		}
+		c.CCX(mc.Control[0], mc.Control[1], mc.Ancilla[0])
+		for i := 2; i <= n-2; i++ {
+			c.CCX(mc.Control[i], mc.Ancilla[i-2], mc.Ancilla[i-1])
+		}
+	}
+	sweep()
+	sweep()
+	return mc, nil
+}
+
+// LogDepthTree builds the logarithmic-depth multi-control Toffoli on an
+// even number of controls with n−2 *clean* ancillas: two balanced AND
+// trees reduce each half of the controls to a root, one Toffoli joins
+// the roots onto the target, and the trees uncompute — 2(n−1)−1
+// Toffolis in O(log n) depth. Table I's "cnx log depth" is this circuit
+// at n = 20.
+func LogDepthTree(n int) (MultiControl, error) {
+	if n < 4 || n%2 != 0 {
+		return MultiControl{}, fmt.Errorf("qprog: LogDepthTree needs an even control count >= 4, got %d", n)
+	}
+	qubits := n + (n - 2) + 1
+	c := NewCircuit(fmt.Sprintf("cnx-log-depth-%d", n), qubits)
+	mc := MultiControl{Circuit: c, Target: qubits - 1}
+	for i := 0; i < n; i++ {
+		mc.Control = append(mc.Control, i)
+	}
+	for i := 0; i < n-2; i++ {
+		mc.Ancilla = append(mc.Ancilla, n+i)
+	}
+	next := 0
+	alloc := func() int {
+		a := mc.Ancilla[next]
+		next++
+		return a
+	}
+	// tree reduces the wires to a single wire holding their AND,
+	// recording the Toffolis so they can be uncomputed in reverse.
+	var compute []Gate
+	var tree func(wires []int) int
+	tree = func(wires []int) int {
+		for len(wires) > 1 {
+			var level []int
+			for i := 0; i+1 < len(wires); i += 2 {
+				a := alloc()
+				c.CCX(wires[i], wires[i+1], a)
+				compute = append(compute, c.Gates[len(c.Gates)-1])
+				level = append(level, a)
+			}
+			if len(wires)%2 == 1 {
+				level = append(level, wires[len(wires)-1])
+			}
+			wires = level
+		}
+		return wires[0]
+	}
+	left := tree(mc.Control[:n/2])
+	right := tree(mc.Control[n/2:])
+	c.CCX(left, right, mc.Target)
+	for i := len(compute) - 1; i >= 0; i-- {
+		g := compute[i]
+		c.CCX(g.Qubits[0], g.Qubits[1], g.Qubits[2])
+	}
+	return mc, nil
+}

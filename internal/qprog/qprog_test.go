@@ -1,0 +1,253 @@
+package qprog
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestGateValidation(t *testing.T) {
+	c := NewCircuit("v", 3)
+	mustPanic := func(name string, f func()) {
+		t.Helper()
+		defer func() {
+			if recover() == nil {
+				t.Errorf("%s did not panic", name)
+			}
+		}()
+		f()
+	}
+	mustPanic("out of range", func() { c.X(5) })
+	mustPanic("negative", func() { c.CNOT(-1, 0) })
+	mustPanic("duplicate", func() { c.CCX(0, 0, 1) })
+	c.X(0)
+	c.CNOT(0, 1)
+	c.CCX(0, 1, 2)
+	if len(c.Gates) != 3 {
+		t.Errorf("gates = %d", len(c.Gates))
+	}
+}
+
+func TestGateKindStrings(t *testing.T) {
+	names := map[GateKind]string{X: "X", CNOT: "CNOT", CCX: "CCX", H: "H", T: "T", Tdg: "Tdg", S: "S", Sdg: "Sdg"}
+	for k, want := range names {
+		if k.String() != want {
+			t.Errorf("%d String = %q want %q", k, k.String(), want)
+		}
+	}
+}
+
+func TestRunClassicalRejects(t *testing.T) {
+	c := NewCircuit("h", 1)
+	c.H(0)
+	if err := c.RunClassical(NewBitState(1)); err == nil {
+		t.Error("H accepted by classical simulator")
+	}
+	c2 := NewCircuit("x", 2)
+	c2.X(0)
+	if err := c2.RunClassical(NewBitState(1)); err == nil {
+		t.Error("wrong-size state accepted")
+	}
+}
+
+func TestBitStateRegisters(t *testing.T) {
+	s := NewBitState(6)
+	reg := []int{1, 3, 5}
+	s.SetUint(reg, 5) // 101
+	if !s[1] || s[3] || !s[5] {
+		t.Errorf("SetUint wrong: %v", s)
+	}
+	if s.Uint(reg) != 5 {
+		t.Errorf("Uint = %d", s.Uint(reg))
+	}
+}
+
+// Property: both adders compute b <- a+b+cin and z <- z^carry with a and
+// cin restored, for random operands at several widths.
+func TestAddersAdd(t *testing.T) {
+	builders := map[string]func(int) (Adder, error){
+		"cuccaro":   Cuccaro,
+		"takahashi": Takahashi,
+	}
+	for name, build := range builders {
+		for _, n := range []int{1, 2, 3, 5, 8, 19, 20} {
+			ad, err := build(n)
+			if err != nil {
+				t.Fatal(err)
+			}
+			f := func(a, b uint64, cin bool) bool {
+				a &= (1 << uint(n)) - 1
+				b &= (1 << uint(n)) - 1
+				s := NewBitState(ad.Circuit.Qubits)
+				s.SetUint(ad.A, a)
+				s.SetUint(ad.B, b)
+				s[ad.Cin] = cin
+				if err := ad.Circuit.RunClassical(s); err != nil {
+					t.Fatal(err)
+				}
+				ci := uint64(0)
+				if cin {
+					ci = 1
+				}
+				sum := a + b + ci
+				wantB := sum & ((1 << uint(n)) - 1)
+				wantZ := sum>>uint(n) != 0
+				return s.Uint(ad.A) == a && s.Uint(ad.B) == wantB &&
+					s[ad.Z] == wantZ && s[ad.Cin] == cin
+			}
+			if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+				t.Errorf("%s n=%d: %v", name, n, err)
+			}
+		}
+	}
+}
+
+// Adders must also be correct after Clifford+T decomposition... which we
+// cannot run classically; instead verify decomposition preserves gate
+// structure: same CNOT+decomposed-Toffoli accounting and no CCX left.
+func TestDecomposeAccounting(t *testing.T) {
+	ad, err := Cuccaro(4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	before := ad.Circuit.Stats()
+	dec := ad.Circuit.Decompose()
+	after := dec.Stats()
+	if after.CCXs != 0 {
+		t.Errorf("decomposition left %d Toffolis", after.CCXs)
+	}
+	if after.TGates != 7*before.CCXs {
+		t.Errorf("T count %d, want %d", after.TGates, 7*before.CCXs)
+	}
+	if after.Total != before.Total-before.CCXs+15*before.CCXs {
+		t.Errorf("total %d inconsistent with 15-gate network", after.Total)
+	}
+	if after.TwoQ != before.TwoQ+6*before.CCXs {
+		t.Errorf("two-qubit count %d inconsistent", after.TwoQ)
+	}
+}
+
+// Property: the V-chain flips the target iff all controls are 1 and
+// restores dirty ancillas to their arbitrary initial values.
+func TestVChainControlsAndDirtyAncilla(t *testing.T) {
+	rng := rand.New(rand.NewSource(12))
+	for _, n := range []int{3, 4, 5, 7, 19, 20} {
+		mc, err := VChain("vchain", n)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for trial := 0; trial < 80; trial++ {
+			s := NewBitState(mc.Circuit.Qubits)
+			allOnes := trial%2 == 0
+			for _, q := range mc.Control {
+				s[q] = allOnes || rng.Intn(2) == 0
+			}
+			if !allOnes {
+				// Force at least one zero control.
+				s[mc.Control[rng.Intn(len(mc.Control))]] = false
+			}
+			for _, q := range mc.Ancilla {
+				s[q] = rng.Intn(2) == 0 // dirty
+			}
+			s[mc.Target] = rng.Intn(2) == 0
+			before := s.Clone()
+			if err := mc.Circuit.RunClassical(s); err != nil {
+				t.Fatal(err)
+			}
+			shouldFlip := true
+			for _, q := range mc.Control {
+				shouldFlip = shouldFlip && before[q]
+			}
+			if (s[mc.Target] != before[mc.Target]) != shouldFlip {
+				t.Fatalf("n=%d trial=%d: target flip wrong", n, trial)
+			}
+			for _, q := range append(append([]int{}, mc.Control...), mc.Ancilla...) {
+				if s[q] != before[q] {
+					t.Fatalf("n=%d trial=%d: qubit %d not restored", n, trial, q)
+				}
+			}
+		}
+	}
+}
+
+// Property: the log-depth tree behaves like a multi-control X with clean
+// ancillas restored to zero.
+func TestLogDepthTreeControls(t *testing.T) {
+	rng := rand.New(rand.NewSource(13))
+	for _, n := range []int{4, 6, 10, 20} {
+		mc, err := LogDepthTree(n)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for trial := 0; trial < 80; trial++ {
+			s := NewBitState(mc.Circuit.Qubits)
+			allOnes := trial%2 == 0
+			for _, q := range mc.Control {
+				s[q] = allOnes || rng.Intn(2) == 0
+			}
+			if !allOnes {
+				s[mc.Control[rng.Intn(len(mc.Control))]] = false
+			}
+			before := s.Clone()
+			if err := mc.Circuit.RunClassical(s); err != nil {
+				t.Fatal(err)
+			}
+			shouldFlip := true
+			for _, q := range mc.Control {
+				shouldFlip = shouldFlip && before[q]
+			}
+			if s[mc.Target] != shouldFlip {
+				t.Fatalf("n=%d trial=%d: target=%v want %v", n, trial, s[mc.Target], shouldFlip)
+			}
+			for _, q := range mc.Ancilla {
+				if s[q] {
+					t.Fatalf("n=%d trial=%d: ancilla %d not cleaned", n, trial, q)
+				}
+			}
+		}
+	}
+}
+
+func TestBuilderValidation(t *testing.T) {
+	if _, err := Cuccaro(0); err == nil {
+		t.Error("Cuccaro(0) accepted")
+	}
+	if _, err := Takahashi(-1); err == nil {
+		t.Error("Takahashi(-1) accepted")
+	}
+	if _, err := VChain("x", 2); err == nil {
+		t.Error("VChain(2) accepted")
+	}
+	if _, err := LogDepthTree(5); err == nil {
+		t.Error("odd LogDepthTree accepted")
+	}
+}
+
+// The Table I reproduction: qubit counts must match the paper exactly
+// and T counts must match within one Toffoli (7 T gates).
+func TestBenchmarksMatchTableI(t *testing.T) {
+	bs, err := Benchmarks()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(bs) != 5 {
+		t.Fatalf("%d benchmarks", len(bs))
+	}
+	for _, b := range bs {
+		if b.Stats.Qubits != b.PaperQubits {
+			t.Errorf("%s: %d qubits, paper says %d", b.Name, b.Stats.Qubits, b.PaperQubits)
+		}
+		diff := b.Stats.TGates - b.PaperTGates
+		if diff < -7 || diff > 7 {
+			t.Errorf("%s: %d T gates, paper says %d", b.Name, b.Stats.TGates, b.PaperTGates)
+		}
+		// Totals land within 20% of the paper's accounting.
+		ratio := float64(b.Stats.Total) / float64(b.PaperTotal)
+		if ratio < 0.8 || ratio > 1.2 {
+			t.Errorf("%s: total %d vs paper %d (ratio %.2f)", b.Name, b.Stats.Total, b.PaperTotal, ratio)
+		}
+		if b.Stats.CCXs != 0 {
+			t.Errorf("%s not decomposed", b.Name)
+		}
+	}
+}

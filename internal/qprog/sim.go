@@ -1,0 +1,63 @@
+package qprog
+
+import "fmt"
+
+// BitState is a classical basis state: one bit per qubit. The reversible
+// fragment {X, CNOT, CCX} maps basis states to basis states, which lets
+// the adder and multi-control benchmarks be verified exhaustively
+// without a full quantum simulator.
+type BitState []bool
+
+// NewBitState allocates an all-zero state.
+func NewBitState(n int) BitState { return make(BitState, n) }
+
+// Clone copies the state.
+func (s BitState) Clone() BitState {
+	c := make(BitState, len(s))
+	copy(c, s)
+	return c
+}
+
+// RunClassical applies the circuit to the state in place. It fails on
+// non-classical gates (H, T, ...), which only appear after
+// decomposition.
+func (c *Circuit) RunClassical(s BitState) error {
+	if len(s) != c.Qubits {
+		return fmt.Errorf("qprog: state has %d bits, circuit has %d qubits", len(s), c.Qubits)
+	}
+	for _, g := range c.Gates {
+		switch g.Kind {
+		case X:
+			s[g.Qubits[0]] = !s[g.Qubits[0]]
+		case CNOT:
+			if s[g.Qubits[0]] {
+				s[g.Qubits[1]] = !s[g.Qubits[1]]
+			}
+		case CCX:
+			if s[g.Qubits[0]] && s[g.Qubits[1]] {
+				s[g.Qubits[2]] = !s[g.Qubits[2]]
+			}
+		default:
+			return fmt.Errorf("qprog: gate %v is not classical", g.Kind)
+		}
+	}
+	return nil
+}
+
+// SetUint writes value little-endian into the register qubits.
+func (s BitState) SetUint(reg []int, value uint64) {
+	for i, q := range reg {
+		s[q] = value&(1<<uint(i)) != 0
+	}
+}
+
+// Uint reads the register little-endian.
+func (s BitState) Uint(reg []int) uint64 {
+	var v uint64
+	for i, q := range reg {
+		if s[q] {
+			v |= 1 << uint(i)
+		}
+	}
+	return v
+}

@@ -1,0 +1,111 @@
+package qprog
+
+import (
+	"bufio"
+	"fmt"
+	"strconv"
+	"strings"
+)
+
+// Text serializes the circuit in a simple line format:
+//
+//	circuit <name> <qubits>
+//	<gate> <operand> [...]
+//
+// Gate mnemonics are lower-case kind names. Parse inverts it exactly.
+func (c *Circuit) Text() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "circuit %s %d\n", sanitizeName(c.Name), c.Qubits)
+	for _, g := range c.Gates {
+		b.WriteString(strings.ToLower(g.Kind.String()))
+		for i := 0; i < g.N; i++ {
+			fmt.Fprintf(&b, " %d", g.Qubits[i])
+		}
+		b.WriteByte('\n')
+	}
+	return b.String()
+}
+
+// sanitizeName keeps the header single-token.
+func sanitizeName(name string) string {
+	if name == "" {
+		return "unnamed"
+	}
+	return strings.ReplaceAll(name, " ", "_")
+}
+
+// kindByMnemonic inverts the gate naming.
+var kindByMnemonic = map[string]GateKind{
+	"x": X, "cnot": CNOT, "ccx": CCX, "h": H,
+	"t": T, "tdg": Tdg, "s": S, "sdg": Sdg,
+}
+
+// Parse reads a circuit in the Text format. Blank lines and lines
+// starting with '#' are ignored.
+func Parse(src string) (*Circuit, error) {
+	sc := bufio.NewScanner(strings.NewReader(src))
+	var c *Circuit
+	lineNo := 0
+	for sc.Scan() {
+		lineNo++
+		line := strings.TrimSpace(sc.Text())
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		fields := strings.Fields(line)
+		if c == nil {
+			if fields[0] != "circuit" || len(fields) != 3 {
+				return nil, fmt.Errorf("qprog: line %d: expected \"circuit <name> <qubits>\"", lineNo)
+			}
+			n, err := strconv.Atoi(fields[2])
+			if err != nil || n < 1 {
+				return nil, fmt.Errorf("qprog: line %d: bad qubit count %q", lineNo, fields[2])
+			}
+			c = NewCircuit(fields[1], n)
+			continue
+		}
+		kind, ok := kindByMnemonic[fields[0]]
+		if !ok {
+			return nil, fmt.Errorf("qprog: line %d: unknown gate %q", lineNo, fields[0])
+		}
+		if len(fields)-1 != kind.arity() {
+			return nil, fmt.Errorf("qprog: line %d: %s takes %d operands, got %d",
+				lineNo, fields[0], kind.arity(), len(fields)-1)
+		}
+		qs := make([]int, 0, 3)
+		for _, f := range fields[1:] {
+			q, err := strconv.Atoi(f)
+			if err != nil {
+				return nil, fmt.Errorf("qprog: line %d: bad operand %q", lineNo, f)
+			}
+			if q < 0 || q >= c.Qubits {
+				return nil, fmt.Errorf("qprog: line %d: qubit %d out of range [0,%d)", lineNo, q, c.Qubits)
+			}
+			qs = append(qs, q)
+		}
+		// Reuse the validating appender (duplicate-operand checks).
+		if err := capture(func() { c.add(kind, qs...) }); err != nil {
+			return nil, fmt.Errorf("qprog: line %d: %v", lineNo, err)
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	if c == nil {
+		return nil, fmt.Errorf("qprog: empty input")
+	}
+	return c, nil
+}
+
+// capture converts the IR builder's panics into errors at the parse
+// boundary (panics are fine for programmatic construction bugs, but
+// parsed input is data).
+func capture(f func()) (err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			err = fmt.Errorf("%v", r)
+		}
+	}()
+	f()
+	return nil
+}

@@ -1,0 +1,129 @@
+package qprog
+
+import (
+	"math/rand"
+	"strings"
+	"testing"
+)
+
+func circuitsEqual(a, b *Circuit) bool {
+	if a.Qubits != b.Qubits || len(a.Gates) != len(b.Gates) {
+		return false
+	}
+	for i := range a.Gates {
+		if a.Gates[i] != b.Gates[i] {
+			return false
+		}
+	}
+	return true
+}
+
+func TestTextRoundTripBenchmarks(t *testing.T) {
+	benches, err := Benchmarks()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, b := range benches {
+		got, err := Parse(b.Circuit.Text())
+		if err != nil {
+			t.Fatalf("%s: %v", b.Name, err)
+		}
+		if !circuitsEqual(got, b.Circuit) {
+			t.Fatalf("%s: round trip changed the circuit", b.Name)
+		}
+	}
+}
+
+// Property: random circuits survive the round trip.
+func TestTextRoundTripRandom(t *testing.T) {
+	rng := rand.New(rand.NewSource(17))
+	for trial := 0; trial < 100; trial++ {
+		n := 3 + rng.Intn(10)
+		c := NewCircuit("rand circuit", n)
+		for g := 0; g < rng.Intn(40); g++ {
+			a, b, d := rng.Intn(n), rng.Intn(n), rng.Intn(n)
+			switch rng.Intn(6) {
+			case 0:
+				c.X(a)
+			case 1:
+				if a != b {
+					c.CNOT(a, b)
+				}
+			case 2:
+				if a != b && b != d && a != d {
+					c.CCX(a, b, d)
+				}
+			case 3:
+				c.H(a)
+			case 4:
+				c.T(a)
+			case 5:
+				c.Tdg(a)
+			}
+		}
+		got, err := Parse(c.Text())
+		if err != nil {
+			t.Fatalf("trial %d: %v\n%s", trial, err, c.Text())
+		}
+		if !circuitsEqual(got, c) {
+			t.Fatalf("trial %d: round trip changed the circuit", trial)
+		}
+	}
+}
+
+func TestParseCommentsAndBlanks(t *testing.T) {
+	src := `
+# a comment
+circuit demo 3
+
+x 0
+# another
+cnot 0 1
+ccx 0 1 2
+`
+	c, err := Parse(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.Name != "demo" || c.Qubits != 3 || len(c.Gates) != 3 {
+		t.Errorf("parsed %q/%d with %d gates", c.Name, c.Qubits, len(c.Gates))
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	cases := []string{
+		"",
+		"x 0",                      // missing header
+		"circuit a",                // short header
+		"circuit a zero\nx 0",      // bad qubit count
+		"circuit a 2\nfoo 0",       // unknown gate
+		"circuit a 2\ncnot 0",      // wrong arity
+		"circuit a 2\nx 5",         // out of range
+		"circuit a 2\nx q",         // bad operand
+		"circuit a 2\ncnot 1 1",    // duplicate operand
+		"circuit a 3\nccx 0 1 2 2", // extra operand
+		"circuit a 0\nx 0",         // zero qubits
+	}
+	for _, src := range cases {
+		if _, err := Parse(src); err == nil {
+			t.Errorf("Parse(%q) accepted", strings.ReplaceAll(src, "\n", "; "))
+		}
+	}
+}
+
+func TestTextNameSanitized(t *testing.T) {
+	c := NewCircuit("two words", 1)
+	c.X(0)
+	got, err := Parse(c.Text())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Name != "two_words" {
+		t.Errorf("name = %q", got.Name)
+	}
+	unnamed := NewCircuit("", 1)
+	unnamed.X(0)
+	if !strings.Contains(unnamed.Text(), "circuit unnamed 1") {
+		t.Error("empty name not defaulted")
+	}
+}

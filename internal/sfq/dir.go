@@ -1,0 +1,60 @@
+// Package sfq implements the NISQ+ paper's contribution: a cycle-accurate
+// simulator of the SFQ decoder-module mesh (§V-C, §VI).
+//
+// The decoder is a rectilinear mesh of identical modules, one per
+// physical qubit, ringed by boundary modules. Hot syndrome modules emit
+// grow signals that advance one module per clock in all four directions;
+// where two grow signals meet, an intermediate module initiates a
+// pair-request / pair-grant handshake (the equidistant mechanism) and,
+// once both endpoints grant, back-propagates pair signals that mark the
+// correction chain and clear the endpoints' hot inputs, triggering a
+// global reset that blocks module inputs for the circuit depth (5
+// clocks). Boundary modules respond to arriving grow signals in place of
+// a second endpoint. The incremental design variants of Fig. 10's top
+// row — Baseline, +Reset, +Reset+Boundary, and the final design — are
+// all selectable.
+package sfq
+
+// Dir is one of the four mesh directions.
+type Dir uint8
+
+// The four mesh directions. Signal buffers are indexed by the direction
+// a signal is traveling toward.
+const (
+	North Dir = iota
+	East
+	South
+	West
+)
+
+// dirs lists all directions for range loops.
+var dirs = [4]Dir{North, East, South, West}
+
+// Opposite returns the reverse direction.
+func (d Dir) Opposite() Dir { return d ^ 2 }
+
+// Delta returns the row/column step of the direction.
+func (d Dir) Delta() (dr, dc int) {
+	switch d {
+	case North:
+		return -1, 0
+	case East:
+		return 0, 1
+	case South:
+		return 1, 0
+	}
+	return 0, -1
+}
+
+// String names the direction.
+func (d Dir) String() string {
+	switch d {
+	case North:
+		return "N"
+	case East:
+		return "E"
+	case South:
+		return "S"
+	}
+	return "W"
+}

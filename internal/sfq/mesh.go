@@ -1,0 +1,644 @@
+package sfq
+
+import (
+	"fmt"
+
+	"repro/internal/decoder"
+	"repro/internal/lattice"
+)
+
+// cellKind classifies a mesh cell.
+type cellKind uint8
+
+const (
+	cellInert    cellKind = iota // ring position with no boundary role
+	cellInterior                 // one module per physical qubit
+	cellBoundary                 // boundary module facing the code edge
+)
+
+// Stats reports what one Decode call did, in mesh clock cycles.
+type Stats struct {
+	Cycles           int // total mesh clocks consumed
+	Pairings         int // completed pairings (incl. boundary pairings)
+	BoundaryPairings int // pairings whose second endpoint was a boundary
+	Resets           int // global resets triggered by completed pairings
+	Retries          int // stall-recovery resets (rotated grant priority)
+	Fallbacks        int // hot modules drained to a boundary by the watchdog
+	Unresolved       int // hot modules left unpaired when the mesh gave up
+}
+
+// TimeNs converts the cycle count to nanoseconds at the synthesized
+// full-circuit latency.
+func (s Stats) TimeNs() float64 { return float64(s.Cycles) * CycleTimePs / 1000 }
+
+// Mesh is the SFQ decoder: a (2d+1)×(2d+1) grid of decoder modules (the
+// (2d−1)² per-qubit modules ringed by boundary modules) bound to one
+// matching graph. A Mesh is reusable across Decode calls but not safe
+// for concurrent use.
+type Mesh struct {
+	g       *lattice.Graph
+	variant Variant
+	m       int // mesh side length
+
+	kind     []cellKind
+	dataQ    []int // interior data cells -> qubit index, else -1
+	checkIdx []int // interior check cells -> check index, else -1
+	cellOf   []int // check index -> cell index
+
+	// MaxCycles bounds one decode; Decode fails beyond it. Defaults to
+	// 200 × mesh side.
+	MaxCycles int
+
+	// maxRetries bounds stall-recovery attempts per decode.
+	maxRetries int
+
+	// Dynamic per-decode state.
+	hot      []bool
+	growFrom [][4]bool
+	fired    []bool
+	reqDirs  [][4]bool
+	grants   [][4]bool
+	sentPair []bool
+	granted  []bool
+	errOut   []bool
+
+	grow, req, grant, pair     [][4]bool // signals in flight, by direction of travel
+	growN, reqN, grantN, pairN [][4]bool // next-cycle buffers
+	pairB, pairBN              [][4]bool // provenance: pair signal originated at a boundary module
+
+	reqArrived [][4]bool // scratch: request arrivals at hot modules this cycle
+
+	resetCountdown int
+	priorityOffset int
+	stats          Stats
+	tracer         Tracer
+}
+
+// New builds a decoder mesh for the matching graph with the given design
+// variant.
+func New(g *lattice.Graph, v Variant) *Mesh {
+	size := g.Lattice().Size()
+	side := size + 2
+	m := &Mesh{
+		g:          g,
+		variant:    v,
+		m:          side,
+		MaxCycles:  200 * side,
+		maxRetries: 3,
+	}
+	n := side * side
+	m.kind = make([]cellKind, n)
+	m.dataQ = make([]int, n)
+	m.checkIdx = make([]int, n)
+	m.cellOf = make([]int, g.NumChecks())
+	for i := range m.dataQ {
+		m.dataQ[i], m.checkIdx[i] = -1, -1
+	}
+	l := g.Lattice()
+	for lr := 0; lr < size; lr++ {
+		for lc := 0; lc < size; lc++ {
+			i := m.index(lr+1, lc+1)
+			m.kind[i] = cellInterior
+			s := lattice.Site{Row: lr, Col: lc}
+			if l.KindAt(s) == lattice.Data {
+				m.dataQ[i] = l.QubitIndex(s)
+			} else if ci, ok := g.CheckIndex(s); ok {
+				m.checkIdx[i] = ci
+				m.cellOf[ci] = i
+			}
+		}
+	}
+	// Boundary modules sit on the ring, facing the two code edges the
+	// decoded error type can terminate on, adjacent to boundary data
+	// qubits (even lattice coordinates).
+	for x := 0; x < size; x += 2 {
+		if g.ErrorType() == lattice.ZErrors {
+			m.kind[m.index(x+1, 0)] = cellBoundary
+			m.kind[m.index(x+1, side-1)] = cellBoundary
+		} else {
+			m.kind[m.index(0, x+1)] = cellBoundary
+			m.kind[m.index(side-1, x+1)] = cellBoundary
+		}
+	}
+
+	m.hot = make([]bool, n)
+	m.growFrom = make([][4]bool, n)
+	m.fired = make([]bool, n)
+	m.reqDirs = make([][4]bool, n)
+	m.grants = make([][4]bool, n)
+	m.sentPair = make([]bool, n)
+	m.granted = make([]bool, n)
+	m.errOut = make([]bool, n)
+	m.grow = make([][4]bool, n)
+	m.req = make([][4]bool, n)
+	m.grant = make([][4]bool, n)
+	m.pair = make([][4]bool, n)
+	m.growN = make([][4]bool, n)
+	m.reqN = make([][4]bool, n)
+	m.grantN = make([][4]bool, n)
+	m.pairN = make([][4]bool, n)
+	m.pairB = make([][4]bool, n)
+	m.pairBN = make([][4]bool, n)
+	m.reqArrived = make([][4]bool, n)
+	return m
+}
+
+// Name implements decoder.Decoder.
+func (m *Mesh) Name() string { return "sfq-" + m.variant.Name() }
+
+// Variant returns the mesh's design variant.
+func (m *Mesh) Variant() Variant { return m.variant }
+
+// Stats returns the statistics of the most recent Decode call.
+func (m *Mesh) Stats() Stats { return m.stats }
+
+func (m *Mesh) index(r, c int) int { return r*m.m + c }
+
+// neighbor returns the cell index one step in direction d, or -1 when
+// the step leaves the mesh.
+func (m *Mesh) neighbor(i int, d Dir) int {
+	dr, dc := d.Delta()
+	r, c := i/m.m+dr, i%m.m+dc
+	if r < 0 || r >= m.m || c < 0 || c >= m.m {
+		return -1
+	}
+	return r*m.m + c
+}
+
+// Decode implements decoder.Decoder. The graph must be the one the mesh
+// was built for.
+func (m *Mesh) Decode(g *lattice.Graph, syn []bool) (decoder.Correction, error) {
+	if g != m.g {
+		return decoder.Correction{}, fmt.Errorf("sfq: mesh bound to a different matching graph")
+	}
+	c, _, err := m.DecodeWithStats(syn)
+	return c, err
+}
+
+// DecodeWithStats runs the mesh on the syndrome and also returns cycle
+// statistics. The returned correction may leave checks uncleared when
+// the design variant cannot resolve them (Stats.Unresolved counts them);
+// the final variant resolves everything it is given.
+func (m *Mesh) DecodeWithStats(syn []bool) (decoder.Correction, Stats, error) {
+	if len(syn) != m.g.NumChecks() {
+		return decoder.Correction{}, Stats{}, fmt.Errorf("sfq: syndrome has %d checks, graph has %d", len(syn), m.g.NumChecks())
+	}
+	m.reset()
+	nHot := 0
+	for ci, h := range syn {
+		if h {
+			m.hot[m.cellOf[ci]] = true
+			nHot++
+		}
+	}
+	if nHot == 0 {
+		return decoder.Correction{}, Stats{}, nil
+	}
+	m.emitGrows()
+	retries := 0
+	for {
+		if !m.anyHot() && !m.anySignal(m.pair) && m.resetCountdown == 0 {
+			break // every syndrome paired and every chain fully marked
+		}
+		if m.resetCountdown == 0 && m.quiescent() {
+			// Stalled with hot modules left: recover with a global
+			// reset and a rotated grant priority, or give up.
+			if m.variant.Reset && retries < m.maxRetries {
+				retries++
+				m.stats.Retries++
+				m.priorityOffset = retries
+				m.globalReset()
+			} else if m.variant.Boundary {
+				// Watchdog: drive every remaining hot module's chain
+				// straight to its nearest boundary. This keeps the
+				// final design live on grant deadlocks the handshake
+				// retries could not break.
+				m.drainToBoundary()
+				break
+			} else {
+				m.stats.Unresolved = m.countHot()
+				break
+			}
+		}
+		if m.stats.Cycles >= m.MaxCycles {
+			if m.variant.Boundary {
+				m.drainToBoundary()
+			} else {
+				m.stats.Unresolved = m.countHot()
+			}
+			break
+		}
+		m.step()
+		if m.tracer != nil {
+			m.tracer(m.stats.Cycles, m.Render())
+		}
+	}
+	var c decoder.Correction
+	for i, e := range m.errOut {
+		if e && m.dataQ[i] >= 0 {
+			c.Qubits = append(c.Qubits, m.dataQ[i])
+		}
+	}
+	return c, m.stats, nil
+}
+
+// reset clears all per-decode state.
+func (m *Mesh) reset() {
+	for i := range m.hot {
+		m.hot[i] = false
+		m.growFrom[i] = [4]bool{}
+		m.fired[i] = false
+		m.reqDirs[i] = [4]bool{}
+		m.grants[i] = [4]bool{}
+		m.sentPair[i] = false
+		m.granted[i] = false
+		m.errOut[i] = false
+		m.grow[i] = [4]bool{}
+		m.req[i] = [4]bool{}
+		m.grant[i] = [4]bool{}
+		m.pair[i] = [4]bool{}
+		m.pairB[i] = [4]bool{}
+	}
+	m.resetCountdown = 0
+	m.priorityOffset = 0
+	m.stats = Stats{}
+}
+
+// emitGrows loads a grow wavefront in all four directions at every hot
+// module.
+func (m *Mesh) emitGrows() {
+	for i, h := range m.hot {
+		if h {
+			m.grow[i] = [4]bool{true, true, true, true}
+		}
+	}
+}
+
+func (m *Mesh) anyHot() bool { return m.countHot() > 0 }
+
+func (m *Mesh) countHot() int {
+	n := 0
+	for _, h := range m.hot {
+		if h {
+			n++
+		}
+	}
+	return n
+}
+
+func (m *Mesh) anySignal(buf [][4]bool) bool {
+	for i := range buf {
+		if buf[i] != ([4]bool{}) {
+			return true
+		}
+	}
+	return false
+}
+
+// quiescent reports whether no signal of any kind is in flight.
+func (m *Mesh) quiescent() bool {
+	return !m.anySignal(m.grow) && !m.anySignal(m.req) &&
+		!m.anySignal(m.grant) && !m.anySignal(m.pair)
+}
+
+// globalReset implements the §VI-A reset: every subcircuit except pair
+// propagation is cleared and module inputs are blocked for ResetDepth
+// cycles.
+func (m *Mesh) globalReset() {
+	for i := range m.hot {
+		m.growFrom[i] = [4]bool{}
+		m.fired[i] = false
+		m.reqDirs[i] = [4]bool{}
+		m.grants[i] = [4]bool{}
+		m.sentPair[i] = false
+		m.granted[i] = false
+		m.grow[i] = [4]bool{}
+		m.req[i] = [4]bool{}
+		m.grant[i] = [4]bool{}
+		// pair and errOut survive by design.
+	}
+	m.resetCountdown = ResetDepth
+}
+
+// step advances the mesh one clock.
+func (m *Mesh) step() {
+	clearBuf(m.growN)
+	clearBuf(m.reqN)
+	clearBuf(m.grantN)
+	clearBuf(m.pairN)
+	clearBuf(m.pairBN)
+
+	pairingDone := false
+	if m.resetCountdown > 0 {
+		// Inputs blocked: only pair signals propagate.
+		pairingDone = m.movePairs()
+		m.resetCountdown--
+		if m.resetCountdown == 0 {
+			// Blocking over; surviving hot modules grow again.
+			for i, h := range m.hot {
+				if h {
+					m.growN[i] = [4]bool{true, true, true, true}
+				}
+			}
+		}
+	} else {
+		m.moveGrows()
+		m.moveReqs()
+		m.moveGrants()
+		pairingDone = m.movePairs()
+		m.fireIntermediates()
+		m.completeHandshakes()
+	}
+
+	m.grow, m.growN = m.growN, m.grow
+	m.req, m.reqN = m.reqN, m.req
+	m.grant, m.grantN = m.grantN, m.grant
+	m.pair, m.pairN = m.pairN, m.pair
+	m.pairB, m.pairBN = m.pairBN, m.pairB
+	m.stats.Cycles++
+
+	if pairingDone && m.variant.Reset {
+		m.globalReset()
+		m.stats.Resets++
+	}
+}
+
+func clearBuf(buf [][4]bool) {
+	for i := range buf {
+		buf[i] = [4]bool{}
+	}
+}
+
+// moveGrows advances grow wavefronts one module and latches arrivals.
+// Opposing wavefronts annihilate where they meet: a grow signal does not
+// continue into territory an opposite-direction grow has already swept,
+// so the meeting module is the unique intermediate on the line — without
+// this, the two fronts would latch every module between the endpoints
+// and flood the handshake with spurious intermediates.
+func (m *Mesh) moveGrows() {
+	type arrival struct {
+		n int
+		d Dir
+	}
+	var arrivals []arrival
+	for i := range m.grow {
+		for _, d := range dirs {
+			if !m.grow[i][d] {
+				continue
+			}
+			n := m.neighbor(i, d)
+			if n < 0 {
+				continue
+			}
+			entry := d.Opposite()
+			switch m.kind[n] {
+			case cellInterior:
+				m.growFrom[n][entry] = true
+				arrivals = append(arrivals, arrival{n, d})
+			case cellBoundary:
+				if m.variant.Boundary && !m.fired[n] {
+					m.fired[n] = true
+					m.reqDirs[n][entry] = true
+					if m.variant.ReqGrant {
+						m.reqN[n][entry] = true
+					} else {
+						m.sentPair[n] = true
+						m.pairN[n][entry] = true
+						m.pairBN[n][entry] = true
+					}
+				}
+			}
+		}
+	}
+	// Propagation is decided after every arrival has latched, so
+	// head-on meetings stop both fronts symmetrically.
+	for _, a := range arrivals {
+		if !m.growFrom[a.n][a.d] {
+			m.growN[a.n][a.d] = true
+		}
+	}
+}
+
+// moveReqs advances pair requests; requests stop at hot modules, which
+// grant at most one.
+func (m *Mesh) moveReqs() {
+	arrivedAt := []int{}
+	for i := range m.req {
+		for _, d := range dirs {
+			if !m.req[i][d] {
+				continue
+			}
+			n := m.neighbor(i, d)
+			if n < 0 || m.kind[n] != cellInterior {
+				continue
+			}
+			entry := d.Opposite()
+			if m.hot[n] {
+				if !m.reqArrived[n][entry] {
+					m.reqArrived[n][entry] = true
+					arrivedAt = append(arrivedAt, n)
+				}
+			} else {
+				m.reqN[n][d] = true
+			}
+		}
+	}
+	// Grant policy: one grant per hot module, direction chosen by a
+	// fixed priority rotated on stall retries.
+	for _, n := range arrivedAt {
+		if m.granted[n] || !m.hot[n] {
+			m.reqArrived[n] = [4]bool{}
+			continue
+		}
+		prio := [4]Dir{North, West, East, South}
+		// The grant priority is fixed hardware order on the first
+		// attempt; stall retries rotate it per module so symmetric
+		// grant cycles cannot repeat verbatim.
+		off := 0
+		if m.priorityOffset > 0 {
+			off = (m.priorityOffset + n) % 4
+		}
+		for k := 0; k < 4; k++ {
+			d := prio[(k+off)%4]
+			if m.reqArrived[n][d] {
+				m.granted[n] = true
+				m.grantN[n][d] = true
+				break
+			}
+		}
+		m.reqArrived[n] = [4]bool{}
+	}
+}
+
+// moveGrants advances pair grants; a grant is consumed by the first
+// module that requested along its line (the intermediate, or a boundary
+// module).
+func (m *Mesh) moveGrants() {
+	for i := range m.grant {
+		for _, d := range dirs {
+			if !m.grant[i][d] {
+				continue
+			}
+			n := m.neighbor(i, d)
+			if n < 0 {
+				continue
+			}
+			entry := d.Opposite()
+			switch m.kind[n] {
+			case cellInterior:
+				if m.fired[n] && m.reqDirs[n][entry] && !m.grants[n][entry] {
+					m.grants[n][entry] = true
+				} else {
+					m.grantN[n][d] = true
+				}
+			case cellBoundary:
+				if m.fired[n] && m.reqDirs[n][entry] && !m.sentPair[n] {
+					m.sentPair[n] = true
+					m.pairN[n][entry] = true
+					m.pairBN[n][entry] = true
+				}
+			}
+		}
+	}
+}
+
+// movePairs advances pair signals, toggling the error output of every
+// module they reach (chains from successive pairings that cross the same
+// data qubit must cancel, Pauli operators being self-inverse); a pair
+// signal terminates at a hot module, clearing it. It reports whether any
+// pairing completed this cycle.
+func (m *Mesh) movePairs() bool {
+	done := false
+	for i := range m.pair {
+		for _, d := range dirs {
+			if !m.pair[i][d] {
+				continue
+			}
+			n := m.neighbor(i, d)
+			if n < 0 || m.kind[n] != cellInterior {
+				continue
+			}
+			m.errOut[n] = !m.errOut[n]
+			if m.hot[n] {
+				m.hot[n] = false
+				m.stats.Pairings++
+				if m.pairB[i][d] {
+					m.stats.BoundaryPairings++
+				}
+				done = true
+			} else {
+				m.pairN[n][d] = true
+				m.pairBN[n][d] = m.pairB[i][d]
+			}
+		}
+	}
+	return done
+}
+
+// fireIntermediates turns modules holding grow signals from two distinct
+// directions into intermediates. The hardwired effectiveness rule keeps
+// exactly one of the two corners of any L-shaped meeting: head-on
+// meetings always fire, and of the two corner candidates only the one
+// whose grows arrived from the north fires.
+func (m *Mesh) fireIntermediates() {
+	for i := range m.growFrom {
+		if m.kind[i] != cellInterior || m.fired[i] || m.hot[i] {
+			continue
+		}
+		gf := m.growFrom[i]
+		var a, b Dir
+		switch {
+		case gf[West] && gf[East]:
+			a, b = West, East
+		case gf[North] && gf[South]:
+			a, b = North, South
+		case gf[North] && gf[West]:
+			a, b = North, West
+		case gf[North] && gf[East]:
+			a, b = North, East
+		default:
+			continue
+		}
+		m.fired[i] = true
+		m.reqDirs[i][a] = true
+		m.reqDirs[i][b] = true
+		if m.variant.ReqGrant {
+			m.reqN[i][a] = true
+			m.reqN[i][b] = true
+		} else {
+			m.sentPair[i] = true
+			m.errOut[i] = !m.errOut[i]
+			m.pairN[i][a] = true
+			m.pairN[i][b] = true
+		}
+	}
+}
+
+// completeHandshakes lets intermediates holding grants from both request
+// directions emit their pair signals.
+func (m *Mesh) completeHandshakes() {
+	if !m.variant.ReqGrant {
+		return
+	}
+	for i := range m.fired {
+		if !m.fired[i] || m.sentPair[i] || m.kind[i] != cellInterior {
+			continue
+		}
+		all := true
+		for _, d := range dirs {
+			if m.reqDirs[i][d] && !m.grants[i][d] {
+				all = false
+				break
+			}
+		}
+		if !all {
+			continue
+		}
+		m.sentPair[i] = true
+		m.errOut[i] = !m.errOut[i]
+		for _, d := range dirs {
+			if m.reqDirs[i][d] {
+				m.pairN[i][d] = true
+			}
+		}
+	}
+}
+
+// drainToBoundary force-pairs every remaining hot module with its
+// nearest boundary, toggling the error outputs along the straight-line
+// chain and charging the cycles the drive would take (request, grant and
+// pair traversals plus a reset per pairing).
+func (m *Mesh) drainToBoundary() {
+	for i, h := range m.hot {
+		if !h {
+			continue
+		}
+		var d Dir
+		var hops int
+		if m.g.ErrorType() == lattice.ZErrors {
+			c := i % m.m
+			if c <= m.m-1-c {
+				d, hops = West, c
+			} else {
+				d, hops = East, m.m-1-c
+			}
+		} else {
+			r := i / m.m
+			if r <= m.m-1-r {
+				d, hops = North, r
+			} else {
+				d, hops = South, m.m-1-r
+			}
+		}
+		for j := m.neighbor(i, d); j >= 0 && m.kind[j] == cellInterior; j = m.neighbor(j, d) {
+			m.errOut[j] = !m.errOut[j]
+		}
+		m.hot[i] = false
+		m.stats.Fallbacks++
+		m.stats.Pairings++
+		m.stats.BoundaryPairings++
+		m.stats.Cycles += 3*hops + ResetDepth
+	}
+}
+
+var _ decoder.Decoder = (*Mesh)(nil)

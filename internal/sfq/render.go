@@ -1,0 +1,58 @@
+package sfq
+
+import "strings"
+
+// Tracer receives a rendered frame of the mesh after every clock when
+// installed on the Mesh; used by the watch example and golden tests.
+type Tracer func(cycle int, frame string)
+
+// SetTracer installs (or clears, with nil) a per-cycle tracer.
+func (m *Mesh) SetTracer(t Tracer) { m.tracer = t }
+
+// Render draws the mesh state as one character per module:
+//
+//	H  hot syndrome module
+//	P  pair signal in flight
+//	G  pair-grant in flight
+//	r  pair-request in flight
+//	*  grow wavefront
+//	#  error output latched (the correction chain)
+//	=  boundary module
+//	·  idle interior module
+//
+// Signals take precedence over the chain marking, which takes
+// precedence over idle.
+func (m *Mesh) Render() string {
+	var b strings.Builder
+	for r := 0; r < m.m; r++ {
+		for c := 0; c < m.m; c++ {
+			i := m.index(r, c)
+			b.WriteString(m.cellGlyph(i))
+		}
+		b.WriteByte('\n')
+	}
+	return b.String()
+}
+
+func (m *Mesh) cellGlyph(i int) string {
+	switch {
+	case m.kind[i] == cellInert:
+		return " "
+	case m.hot[i]:
+		return "H"
+	case m.pair[i] != [4]bool{}:
+		return "P"
+	case m.grant[i] != [4]bool{}:
+		return "G"
+	case m.req[i] != [4]bool{}:
+		return "r"
+	case m.grow[i] != [4]bool{}:
+		return "*"
+	case m.errOut[i] && m.kind[i] == cellInterior:
+		return "#"
+	case m.kind[i] == cellBoundary:
+		return "="
+	default:
+		return "·"
+	}
+}

@@ -1,0 +1,80 @@
+package sfq
+
+// Variant selects which of the paper's incremental design mechanisms are
+// enabled. The top row of Fig. 10 evaluates these cumulatively.
+type Variant struct {
+	// Reset enables the global reset mechanism: after every completed
+	// pairing all module state except in-flight pair signals is cleared
+	// and module inputs are blocked for ResetDepth cycles.
+	Reset bool
+	// Boundary enables the ring of boundary modules that pair hot
+	// syndromes with the code boundaries.
+	Boundary bool
+	// ReqGrant enables the equidistant mechanism: the pair-request /
+	// pair-grant handshake that serializes degenerate pairings.
+	ReqGrant bool
+}
+
+// The paper's four incremental designs.
+var (
+	// Baseline is the §V-C baseline: grow signals and direct pair
+	// back-propagation only.
+	Baseline = Variant{}
+	// WithReset adds the global reset mechanism.
+	WithReset = Variant{Reset: true}
+	// WithBoundary adds boundary modules on top of resets.
+	WithBoundary = Variant{Reset: true, Boundary: true}
+	// Final is the complete design: resets, boundaries, and the
+	// request-grant equidistant mechanism.
+	Final = Variant{Reset: true, Boundary: true, ReqGrant: true}
+)
+
+// Name labels the variant the way the paper's figures do.
+func (v Variant) Name() string {
+	switch v {
+	case Baseline:
+		return "baseline"
+	case WithReset:
+		return "resets"
+	case WithBoundary:
+		return "resets+boundaries"
+	case Final:
+		return "final"
+	}
+	n := "custom"
+	if v.Reset {
+		n += "+reset"
+	}
+	if v.Boundary {
+		n += "+boundary"
+	}
+	if v.ReqGrant {
+		n += "+reqgrant"
+	}
+	return n
+}
+
+// VariantByName resolves the paper's variant names; it reports false for
+// unknown names.
+func VariantByName(name string) (Variant, bool) {
+	switch name {
+	case "baseline":
+		return Baseline, true
+	case "resets", "reset":
+		return WithReset, true
+	case "resets+boundaries", "boundaries", "boundary":
+		return WithBoundary, true
+	case "final":
+		return Final, true
+	}
+	return Variant{}, false
+}
+
+// ResetDepth is the number of cycles a global reset blocks module
+// inputs: the logical depth of the decoder-module circuit (§VI-B).
+const ResetDepth = 5
+
+// CycleTimePs is the wall-clock duration of one mesh cycle in
+// picoseconds: the full-circuit latency from the ERSFQ synthesis results
+// (Table III).
+const CycleTimePs = 162.72

@@ -1,0 +1,45 @@
+// Package sfqchip models the ERSFQ hardware side of the NISQ+ decoder:
+// the Table II cell library, gate-level netlists for the five decoder
+// subcircuits of §VI-B, the full path-balancing pass dc-biased SFQ logic
+// requires (every input-to-gate path must have equal gate count, met by
+// inserting DRO DFFs), and the area / power / Josephson-junction /
+// latency roll-ups behind Table III and the dilution-refrigerator budget
+// analysis of §VIII.
+package sfqchip
+
+import "fmt"
+
+// Cell describes one ERSFQ standard cell (Table II).
+type Cell struct {
+	Name    string
+	AreaUm2 float64 // cell area in µm²
+	JJs     int     // Josephson junction count
+	DelayPs float64 // intrinsic delay in ps
+	PowerUw float64 // dissipation in µW (per the Table III AND/OR/NOT rows)
+}
+
+// The Table II ERSFQ cell library.
+var library = []Cell{
+	{Name: "AND2", AreaUm2: 4200, JJs: 17, DelayPs: 9.2, PowerUw: 0.026},
+	{Name: "OR2", AreaUm2: 4200, JJs: 12, DelayPs: 7.2, PowerUw: 0.026},
+	{Name: "XOR2", AreaUm2: 4200, JJs: 12, DelayPs: 5.7, PowerUw: 0.026},
+	{Name: "NOT", AreaUm2: 4200, JJs: 13, DelayPs: 9.2, PowerUw: 0.026},
+	{Name: "DRO_DFF", AreaUm2: 3360, JJs: 10, DelayPs: 5.0, PowerUw: 0.021},
+}
+
+// Library returns the Table II cells.
+func Library() []Cell {
+	out := make([]Cell, len(library))
+	copy(out, library)
+	return out
+}
+
+// CellByName resolves a library cell.
+func CellByName(name string) (Cell, error) {
+	for _, c := range library {
+		if c.Name == name {
+			return c, nil
+		}
+	}
+	return Cell{}, fmt.Errorf("sfqchip: unknown cell %q", name)
+}

@@ -1,0 +1,304 @@
+package sfqchip
+
+import (
+	"fmt"
+	"math"
+)
+
+// Ref identifies a signal in a netlist: a primary input or a gate
+// output.
+type Ref int
+
+// Input returns the Ref of primary input i.
+func Input(i int) Ref { return Ref(-(i + 1)) }
+
+// isInput reports whether the ref names a primary input.
+func (r Ref) isInput() bool { return r < 0 }
+
+// inputIndex returns the primary-input index of an input ref.
+func (r Ref) inputIndex() int { return int(-r) - 1 }
+
+// gate is one instantiated cell.
+type gate struct {
+	cell Cell
+	ins  []Ref
+}
+
+// Netlist is a DAG of library cells over a set of primary inputs. Gates
+// are appended in topological order (inputs must already exist).
+type Netlist struct {
+	name      string
+	numInputs int
+	gates     []gate
+	outputs   []Ref
+	balanced  bool
+	dffs      int // path-balancing DFFs inserted by Balance
+}
+
+// NewNetlist creates an empty netlist with the given number of primary
+// inputs.
+func NewNetlist(name string, numInputs int) *Netlist {
+	return &Netlist{name: name, numInputs: numInputs}
+}
+
+// Name returns the netlist's label.
+func (n *Netlist) Name() string { return n.name }
+
+// NumInputs returns the primary input count.
+func (n *Netlist) NumInputs() int { return n.numInputs }
+
+// NumGates returns the gate count (including any inserted DFFs).
+func (n *Netlist) NumGates() int { return len(n.gates) }
+
+// DFFs returns the number of path-balancing DFFs inserted by Balance.
+func (n *Netlist) DFFs() int { return n.dffs }
+
+// AddGate appends a cell driven by the given refs and returns its output
+// ref. Fan-in must match the cell family: 1 for NOT and DRO_DFF, 2 for
+// the two-input gates.
+func (n *Netlist) AddGate(cellName string, ins ...Ref) (Ref, error) {
+	c, err := CellByName(cellName)
+	if err != nil {
+		return 0, err
+	}
+	want := 2
+	if cellName == "NOT" || cellName == "DRO_DFF" {
+		want = 1
+	}
+	if len(ins) != want {
+		return 0, fmt.Errorf("sfqchip: %s takes %d inputs, got %d", cellName, want, len(ins))
+	}
+	for _, r := range ins {
+		if r.isInput() {
+			if r.inputIndex() >= n.numInputs {
+				return 0, fmt.Errorf("sfqchip: input %d out of range", r.inputIndex())
+			}
+		} else if int(r) >= len(n.gates) {
+			return 0, fmt.Errorf("sfqchip: gate ref %d not yet defined", int(r))
+		}
+	}
+	n.gates = append(n.gates, gate{cell: c, ins: ins})
+	n.balanced = false
+	return Ref(len(n.gates) - 1), nil
+}
+
+// MustGate is AddGate panicking on error; for the fixed built-in
+// subcircuit builders.
+func (n *Netlist) MustGate(cellName string, ins ...Ref) Ref {
+	r, err := n.AddGate(cellName, ins...)
+	if err != nil {
+		panic(err)
+	}
+	return r
+}
+
+// MarkOutput declares a primary output.
+func (n *Netlist) MarkOutput(r Ref) { n.outputs = append(n.outputs, r) }
+
+// levels computes each gate's pipeline level (primary inputs are level
+// 0; each gate is one level past its deepest input).
+func (n *Netlist) levels() []int {
+	lv := make([]int, len(n.gates))
+	for i, g := range n.gates {
+		max := 0
+		for _, r := range g.ins {
+			d := 0
+			if !r.isInput() {
+				d = lv[int(r)]
+			}
+			if d > max {
+				max = d
+			}
+		}
+		lv[i] = max + 1
+	}
+	return lv
+}
+
+// LogicalDepth is the length of the longest input-to-output path counted
+// in logic gates. Path-balancing DRO DFFs are pipeline storage, not
+// logic, and are excluded — the convention Table III's depth column
+// uses.
+func (n *Netlist) LogicalDepth() int {
+	ld := make([]int, len(n.gates))
+	for i, g := range n.gates {
+		max := 0
+		for _, r := range g.ins {
+			if !r.isInput() && ld[int(r)] > max {
+				max = ld[int(r)]
+			}
+		}
+		ld[i] = max
+		if g.cell.Name != "DRO_DFF" {
+			ld[i]++
+		}
+	}
+	max := 0
+	for _, r := range n.outputs {
+		if !r.isInput() && ld[int(r)] > max {
+			max = ld[int(r)]
+		}
+	}
+	return max
+}
+
+// Balance inserts DRO DFFs so that every path from any primary input to
+// any primary output crosses the same number of clocked cells — the full
+// path-balancing property dc-biased SFQ circuits require. Gate levels
+// are first relaxed as late as possible (the PBMap-style slack pass that
+// minimizes DFF count), then each edge's residual slack is filled with
+// DFFs. It returns the number of DFFs inserted.
+func (n *Netlist) Balance() int {
+	if n.balanced {
+		return 0
+	}
+	asap := n.levels()
+	depth := 0
+	for _, r := range n.outputs {
+		if !r.isInput() && asap[int(r)] > depth {
+			depth = asap[int(r)]
+		}
+	}
+	// As-late-as-possible levels: every gate sinks just below its
+	// earliest consumer; outputs stay at the overall depth so the
+	// circuit presents a single synchronized wavefront.
+	alap := make([]int, len(n.gates))
+	for i := range alap {
+		alap[i] = depth
+	}
+	for i := len(n.gates) - 1; i >= 0; i-- {
+		for _, r := range n.gates[i].ins {
+			if !r.isInput() && alap[i]-1 < alap[int(r)] {
+				alap[int(r)] = alap[i] - 1
+			}
+		}
+	}
+	// Clamp: a gate cannot be earlier than its ASAP level.
+	lv := make([]int, len(n.gates))
+	for i := range lv {
+		lv[i] = alap[i]
+		if asap[i] > lv[i] {
+			lv[i] = asap[i]
+		}
+	}
+	// Fill each edge's slack with DFF chains. Primary inputs are level
+	// 0, so input→gate edges need lv(gate)−1 DFFs.
+	var rebuilt []gate
+	remap := make([]Ref, len(n.gates))
+	dffs := 0
+	pad := func(r Ref, from, to int) Ref {
+		for k := from; k < to; k++ {
+			rebuilt = append(rebuilt, gate{cell: mustCell("DRO_DFF"), ins: []Ref{r}})
+			r = Ref(len(rebuilt) - 1)
+			dffs++
+		}
+		return r
+	}
+	for i, g := range n.gates {
+		ins := make([]Ref, len(g.ins))
+		for k, r := range g.ins {
+			srcLevel := 0
+			src := r
+			if !r.isInput() {
+				srcLevel = lv[int(r)]
+				src = remap[int(r)]
+			}
+			ins[k] = pad(src, srcLevel, lv[i]-1)
+		}
+		rebuilt = append(rebuilt, gate{cell: g.cell, ins: ins})
+		remap[i] = Ref(len(rebuilt) - 1)
+	}
+	outs := make([]Ref, len(n.outputs))
+	for i, r := range n.outputs {
+		if r.isInput() {
+			outs[i] = pad(r, 0, depth)
+		} else {
+			outs[i] = pad(remap[int(r)], lv[int(r)], depth)
+		}
+	}
+	n.gates = rebuilt
+	n.outputs = outs
+	n.dffs += dffs
+	n.balanced = true
+	return dffs
+}
+
+// IsBalanced verifies the full path-balancing property directly: every
+// path from a primary input to a primary output has the same gate count.
+func (n *Netlist) IsBalanced() bool {
+	lv := n.levels()
+	// All outputs must sit at the same pipeline depth (DFFs included).
+	depth := 0
+	for _, r := range n.outputs {
+		if !r.isInput() && lv[int(r)] > depth {
+			depth = lv[int(r)]
+		}
+	}
+	for _, r := range n.outputs {
+		if r.isInput() {
+			if depth != 0 {
+				return false
+			}
+			continue
+		}
+		if lv[int(r)] != depth {
+			return false
+		}
+	}
+	// Within every gate, all inputs must sit exactly one level below.
+	for i, g := range n.gates {
+		for _, r := range g.ins {
+			d := 0
+			if !r.isInput() {
+				d = lv[int(r)]
+			}
+			if d != lv[i]-1 {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+// Report is one row of Table III.
+type Report struct {
+	Name         string
+	LogicalDepth int
+	LatencyPs    float64
+	AreaUm2      float64
+	PowerUw      float64
+	JJs          int
+	Gates        int
+	DFFs         int
+}
+
+// Characterize rolls the netlist up into a Table III row. Latency is the
+// sum over pipeline stages of the slowest cell delay in each stage (the
+// clock must wait for the slowest gate of a stage before releasing the
+// next pulse wave).
+func (n *Netlist) Characterize() Report {
+	r := Report{Name: n.name, LogicalDepth: n.LogicalDepth(), Gates: len(n.gates), DFFs: n.dffs}
+	lv := n.levels()
+	stage := map[int]float64{}
+	for i, g := range n.gates {
+		r.AreaUm2 += g.cell.AreaUm2
+		r.PowerUw += g.cell.PowerUw
+		r.JJs += g.cell.JJs
+		if g.cell.DelayPs > stage[lv[i]] {
+			stage[lv[i]] = g.cell.DelayPs
+		}
+	}
+	for _, d := range stage {
+		r.LatencyPs += d
+	}
+	r.LatencyPs = math.Round(r.LatencyPs*100) / 100
+	return r
+}
+
+func mustCell(name string) Cell {
+	c, err := CellByName(name)
+	if err != nil {
+		panic(err)
+	}
+	return c
+}

@@ -1,0 +1,289 @@
+package sfqchip
+
+import (
+	"math/rand"
+	"strings"
+	"testing"
+)
+
+func TestLibraryMatchesTableII(t *testing.T) {
+	want := map[string]struct {
+		area  float64
+		jjs   int
+		delay float64
+	}{
+		"AND2":    {4200, 17, 9.2},
+		"OR2":     {4200, 12, 7.2},
+		"XOR2":    {4200, 12, 5.7},
+		"NOT":     {4200, 13, 9.2},
+		"DRO_DFF": {3360, 10, 5.0},
+	}
+	cells := Library()
+	if len(cells) != len(want) {
+		t.Fatalf("library has %d cells", len(cells))
+	}
+	for _, c := range cells {
+		w, ok := want[c.Name]
+		if !ok {
+			t.Fatalf("unexpected cell %q", c.Name)
+		}
+		if c.AreaUm2 != w.area || c.JJs != w.jjs || c.DelayPs != w.delay {
+			t.Errorf("%s = %+v, want %+v", c.Name, c, w)
+		}
+	}
+	if _, err := CellByName("NAND9"); err == nil {
+		t.Error("unknown cell resolved")
+	}
+}
+
+func TestNetlistValidation(t *testing.T) {
+	n := NewNetlist("t", 2)
+	if _, err := n.AddGate("AND2", Input(0)); err == nil {
+		t.Error("wrong fan-in accepted")
+	}
+	if _, err := n.AddGate("NOT", Input(5)); err == nil {
+		t.Error("out-of-range input accepted")
+	}
+	if _, err := n.AddGate("AND2", Input(0), Ref(7)); err == nil {
+		t.Error("forward gate ref accepted")
+	}
+	if _, err := n.AddGate("FOO", Input(0), Input(1)); err == nil {
+		t.Error("unknown cell accepted")
+	}
+	r, err := n.AddGate("AND2", Input(0), Input(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	n.MarkOutput(r)
+	if n.NumGates() != 1 || n.NumInputs() != 2 || n.LogicalDepth() != 1 {
+		t.Errorf("basic netlist accounting wrong: %d gates depth %d", n.NumGates(), n.LogicalDepth())
+	}
+}
+
+// Balance must establish the full path-balancing property on an
+// intentionally skewed netlist and report the DFFs it inserted.
+func TestBalanceSkewedNetlist(t *testing.T) {
+	n := NewNetlist("skew", 3)
+	a := n.MustGate("AND2", Input(0), Input(1)) // level 1
+	b := n.MustGate("OR2", a, Input(2))         // level 2: input 2 needs 1 DFF
+	c := n.MustGate("NOT", b)                   // level 3
+	n.MarkOutput(c)
+	n.MarkOutput(a) // level-1 output must be padded to depth 3
+	if n.IsBalanced() {
+		t.Fatal("skewed netlist claims balance")
+	}
+	dffs := n.Balance()
+	if dffs == 0 {
+		t.Fatal("no DFFs inserted")
+	}
+	if !n.IsBalanced() {
+		t.Fatal("Balance did not balance")
+	}
+	if n.DFFs() != dffs {
+		t.Errorf("DFFs()=%d, Balance returned %d", n.DFFs(), dffs)
+	}
+	// Balancing again is a no-op.
+	if n.Balance() != 0 {
+		t.Error("second Balance inserted more DFFs")
+	}
+}
+
+// Property: Balance always yields IsBalanced on random DAGs, and never
+// changes the logical depth.
+func TestBalanceRandomDAGs(t *testing.T) {
+	rng := rand.New(rand.NewSource(8))
+	cells := []string{"AND2", "OR2", "XOR2"}
+	for trial := 0; trial < 100; trial++ {
+		ni := 2 + rng.Intn(5)
+		n := NewNetlist("rand", ni)
+		var refs []Ref
+		for i := 0; i < ni; i++ {
+			refs = append(refs, Input(i))
+		}
+		for g := 0; g < 3+rng.Intn(15); g++ {
+			var r Ref
+			if rng.Intn(5) == 0 {
+				r = n.MustGate("NOT", refs[rng.Intn(len(refs))])
+			} else {
+				r = n.MustGate(cells[rng.Intn(len(cells))],
+					refs[rng.Intn(len(refs))], refs[rng.Intn(len(refs))])
+			}
+			refs = append(refs, r)
+		}
+		for k := 0; k < 1+rng.Intn(3); k++ {
+			n.MarkOutput(refs[ni+rng.Intn(len(refs)-ni)])
+		}
+		before := n.LogicalDepth()
+		n.Balance()
+		if !n.IsBalanced() {
+			t.Fatalf("trial %d: unbalanced after Balance", trial)
+		}
+		if got := n.LogicalDepth(); got != before {
+			t.Fatalf("trial %d: depth changed %d -> %d", trial, before, got)
+		}
+	}
+}
+
+func TestCharacterizeCountsCells(t *testing.T) {
+	n := NewNetlist("c", 2)
+	a := n.MustGate("AND2", Input(0), Input(1))
+	b := n.MustGate("NOT", a)
+	n.MarkOutput(b)
+	r := n.Characterize()
+	if r.AreaUm2 != 8400 || r.JJs != 30 || r.Gates != 2 {
+		t.Errorf("report = %+v", r)
+	}
+	if r.LatencyPs != 9.2+9.2 {
+		t.Errorf("latency = %v", r.LatencyPs)
+	}
+	if r.PowerUw != 0.052 {
+		t.Errorf("power = %v", r.PowerUw)
+	}
+}
+
+// The decoder subcircuits must balance, have depths close to the
+// paper's (5 for subcircuits, 6 for the full circuit, within a small
+// slack), and have footprints in the paper's order of magnitude.
+func TestTableIIIShape(t *testing.T) {
+	reports := TableIII()
+	if len(reports) != 4 {
+		t.Fatalf("TableIII has %d rows", len(reports))
+	}
+	byName := map[string]Report{}
+	for _, r := range reports {
+		byName[r.Name] = r
+	}
+	for name, r := range byName {
+		if name == "Full Circuit" {
+			continue
+		}
+		if r.LogicalDepth < 3 || r.LogicalDepth > 7 {
+			t.Errorf("%s depth %d outside [3,7]", name, r.LogicalDepth)
+		}
+	}
+	full := byName["Full Circuit"]
+	if full.LogicalDepth < 5 || full.LogicalDepth > 9 {
+		t.Errorf("full circuit depth %d outside [5,9]", full.LogicalDepth)
+	}
+	// Paper: full circuit 1.28 mm² and 13.08 µW per module. Our model
+	// must land within the same order of magnitude.
+	if full.AreaUm2 < 2e5 || full.AreaUm2 > 5e6 {
+		t.Errorf("full circuit area %v µm² implausible", full.AreaUm2)
+	}
+	if full.PowerUw < 0.5 || full.PowerUw > 50 {
+		t.Errorf("full circuit power %v µW implausible", full.PowerUw)
+	}
+	// The full circuit strictly contains each subcircuit.
+	for name, r := range byName {
+		if name != "Full Circuit" && r.AreaUm2 >= full.AreaUm2 {
+			t.Errorf("%s area %v >= full %v", name, r.AreaUm2, full.AreaUm2)
+		}
+	}
+}
+
+// Every decoder subcircuit netlist must be balanced after Balance — the
+// correctness requirement for dc-biased SFQ.
+func TestSubcircuitsBalance(t *testing.T) {
+	for _, n := range []*Netlist{GrowPairReq(), PairGrant(), PairSub(), ResetKeeper(5), FullModule()} {
+		n.Balance()
+		if !n.IsBalanced() {
+			t.Errorf("%s not balanced", n.Name())
+		}
+	}
+}
+
+func TestResetKeeperStretch(t *testing.T) {
+	n := ResetKeeper(5)
+	// 5 DRO stages + OR tree over 6 taps.
+	if n.NumGates() < 10 {
+		t.Errorf("reset keeper has %d gates", n.NumGates())
+	}
+	if n.LogicalDepth() < 1 {
+		t.Errorf("reset keeper depth %d < 1", n.LogicalDepth())
+	}
+}
+
+func TestDecoderFootprintScaling(t *testing.T) {
+	a9, p9, m9 := DecoderFootprint(9)
+	if m9 != 289 {
+		t.Errorf("d=9 modules = %d, want 289", m9)
+	}
+	a3, p3, m3 := DecoderFootprint(3)
+	if m3 != 25 {
+		t.Errorf("d=3 modules = %d", m3)
+	}
+	if a9 <= a3 || p9 <= p3 {
+		t.Error("footprint not increasing with distance")
+	}
+	aMod, pMod := ModuleFootprint()
+	if diff := a9 - aMod*289; diff > 1e-9 || diff < -1e-9 {
+		t.Error("decoder area is not modules x module area")
+	}
+	if pMod <= 0 {
+		t.Error("module power nonpositive")
+	}
+}
+
+func TestMeshSideWithinBudget(t *testing.T) {
+	small := MeshSideWithinBudget(0.001)
+	big := MeshSideWithinBudget(1)
+	if small <= 0 || big <= small {
+		t.Errorf("budget scaling wrong: %d, %d", small, big)
+	}
+	if MeshSideWithinBudget(0) != 0 {
+		t.Error("zero budget allows a mesh")
+	}
+}
+
+func TestWriteVerilog(t *testing.T) {
+	n := GrowPairReq()
+	n.Balance()
+	var buf strings.Builder
+	if err := n.WriteVerilog(&buf, ""); err != nil {
+		t.Fatal(err)
+	}
+	v := buf.String()
+	for _, want := range []string{
+		"module Pair_Req__Grow_Subcircuit",
+		"input  wire clk",
+		"input  wire in13",
+		"output wire out7",
+		"endmodule",
+		"DRO_DFF",
+		"AND2",
+	} {
+		if !strings.Contains(v, want) {
+			t.Errorf("verilog missing %q", want)
+		}
+	}
+	// Every instantiated cell must exist in the library.
+	for _, line := range strings.Split(v, "\n") {
+		line = strings.TrimSpace(line)
+		if !strings.HasPrefix(line, "AND2 ") && !strings.HasPrefix(line, "OR2 ") &&
+			!strings.HasPrefix(line, "XOR2 ") && !strings.HasPrefix(line, "NOT ") &&
+			!strings.HasPrefix(line, "DRO_DFF ") {
+			continue
+		}
+		cell := strings.Fields(line)[0]
+		if _, err := CellByName(cell); err != nil {
+			t.Errorf("unknown cell instantiated: %s", cell)
+		}
+	}
+	// Custom module names pass through.
+	var buf2 strings.Builder
+	if err := n.WriteVerilog(&buf2, "grow"); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf2.String(), "module grow (") {
+		t.Error("module name not honored")
+	}
+}
+
+func TestSanitizeIdent(t *testing.T) {
+	if sanitizeIdent("") != "netlist" {
+		t.Error("empty name")
+	}
+	if sanitizeIdent("9lives!") != "_9lives_" {
+		t.Errorf("got %q", sanitizeIdent("9lives!"))
+	}
+}

@@ -1,0 +1,291 @@
+package sfqchip
+
+import "math"
+
+// Direction index order used by the subcircuit builders: N, E, S, W
+// (matching internal/sfq).
+const (
+	dN = iota
+	dE
+	dS
+	dW
+)
+
+func opp(d int) int { return d ^ 2 }
+
+// orTree folds refs with OR2 gates.
+func orTree(n *Netlist, refs ...Ref) Ref {
+	if len(refs) == 1 {
+		return refs[0]
+	}
+	mid := len(refs) / 2
+	return n.MustGate("OR2", orTree(n, refs[:mid]...), orTree(n, refs[mid:]...))
+}
+
+// andTree folds refs with AND2 gates.
+func andTree(n *Netlist, refs ...Ref) Ref {
+	if len(refs) == 1 {
+		return refs[0]
+	}
+	mid := len(refs) / 2
+	return n.MustGate("AND2", andTree(n, refs[:mid]...), andTree(n, refs[mid:]...))
+}
+
+// GrowPairReq builds the combined Pair Req./Grow subcircuit (the two are
+// one row of Table III). Inputs: hot, block, growIn[4] (wavefront
+// arrivals by direction of origin), growFrom[4] (latched arrivals),
+// reqIn[4]. Outputs: growOut[4] then reqOut[4].
+//
+// Grow logic: growOut_d = ¬block ∧ (hot ∨ growIn_opp(d)).
+// Request logic: an intermediate fires on grow latches from two distinct
+// directions — (W∧E), (N∧S), (N∧W) or (N∧E), the §V-C effectiveness
+// rule — and sends requests back toward both; otherwise requests pass
+// straight through non-hot modules.
+func GrowPairReq() *Netlist {
+	n := NewNetlist("Pair Req./Grow Subcircuit", 14)
+	hot := Input(0)
+	block := Input(1)
+	growIn := [4]Ref{Input(2), Input(3), Input(4), Input(5)}
+	growFrom := [4]Ref{Input(6), Input(7), Input(8), Input(9)}
+	reqIn := [4]Ref{Input(10), Input(11), Input(12), Input(13)}
+
+	pass := n.MustGate("NOT", block)
+	for d := 0; d < 4; d++ {
+		or := n.MustGate("OR2", hot, growIn[opp(d)])
+		n.MarkOutput(n.MustGate("AND2", pass, or))
+	}
+
+	fWE := n.MustGate("AND2", growFrom[dW], growFrom[dE])
+	fNS := n.MustGate("AND2", growFrom[dN], growFrom[dS])
+	fNW := n.MustGate("AND2", growFrom[dN], growFrom[dW])
+	fNE := n.MustGate("AND2", growFrom[dN], growFrom[dE])
+	fire := [4]Ref{
+		dN: orTree(n, fNS, fNW, fNE),
+		dE: n.MustGate("OR2", fWE, fNE),
+		dS: fNS,
+		dW: n.MustGate("OR2", fWE, fNW),
+	}
+	cold := n.MustGate("NOT", hot)
+	for d := 0; d < 4; d++ {
+		through := n.MustGate("AND2", reqIn[opp(d)], cold)
+		out := n.MustGate("OR2", fire[d], through)
+		n.MarkOutput(n.MustGate("AND2", pass, out))
+	}
+	return n
+}
+
+// PairGrant builds the Pair Grant subcircuit. Inputs: hot, granted
+// (one-grant latch), block, reqArr[4] (requests stopping here),
+// grantIn[4], want[4] (request-direction latches). Outputs grantOut[4].
+//
+// A hot, not-yet-granting module grants the highest-priority arriving
+// request (N > W > E > S); passing grants are forwarded unless this
+// module is the intermediate that requested along that line.
+func PairGrant() *Netlist {
+	n := NewNetlist("Pair Grant Subcircuit", 15)
+	hot := Input(0)
+	granted := Input(1)
+	block := Input(2)
+	reqArr := [4]Ref{Input(3), Input(4), Input(5), Input(6)}
+	grantIn := [4]Ref{Input(7), Input(8), Input(9), Input(10)}
+	want := [4]Ref{Input(11), Input(12), Input(13), Input(14)}
+
+	pass := n.MustGate("NOT", block)
+	free := n.MustGate("AND2", hot, n.MustGate("NOT", granted))
+	// Priority encode N > W > E > S.
+	notN := n.MustGate("NOT", reqArr[dN])
+	notW := n.MustGate("NOT", reqArr[dW])
+	notE := n.MustGate("NOT", reqArr[dE])
+	pick := [4]Ref{
+		dN: reqArr[dN],
+		dW: n.MustGate("AND2", reqArr[dW], notN),
+		dE: andTree(n, reqArr[dE], notN, notW),
+		dS: andTree(n, reqArr[dS], notN, notW, notE),
+	}
+	for d := 0; d < 4; d++ {
+		grant := n.MustGate("AND2", free, pick[d])
+		fwd := n.MustGate("AND2", grantIn[opp(d)], n.MustGate("NOT", want[opp(d)]))
+		out := n.MustGate("OR2", grant, fwd)
+		n.MarkOutput(n.MustGate("AND2", pass, out))
+	}
+	return n
+}
+
+// PairSub builds the Pair subcircuit. Inputs: hot, pairIn[4],
+// grants[4], want[4]. Outputs: pairOut[4] then resetOut.
+//
+// An intermediate whose every requested direction has been granted emits
+// pair signals along those directions; passing pair signals forward
+// through cold modules; a pair arriving at a hot module emits the global
+// reset instead of passing (§VI-B).
+func PairSub() *Netlist {
+	n := NewNetlist("Pair Subcircuit", 13)
+	hot := Input(0)
+	pairIn := [4]Ref{Input(1), Input(2), Input(3), Input(4)}
+	grants := [4]Ref{Input(5), Input(6), Input(7), Input(8)}
+	want := [4]Ref{Input(9), Input(10), Input(11), Input(12)}
+
+	// met = fired ∧ ∀d (want_d → grants_d)
+	var oks [4]Ref
+	for d := 0; d < 4; d++ {
+		oks[d] = n.MustGate("OR2", grants[d], n.MustGate("NOT", want[d]))
+	}
+	fired := orTree(n, want[0], want[1], want[2], want[3])
+	met := n.MustGate("AND2", andTree(n, oks[0], oks[1], oks[2], oks[3]), fired)
+	cold := n.MustGate("NOT", hot)
+	for d := 0; d < 4; d++ {
+		emit := n.MustGate("AND2", met, want[d])
+		through := n.MustGate("AND2", pairIn[opp(d)], cold)
+		n.MarkOutput(n.MustGate("OR2", emit, through))
+	}
+	anyPair := orTree(n, pairIn[0], pairIn[1], pairIn[2], pairIn[3])
+	n.MarkOutput(n.MustGate("AND2", hot, anyPair))
+	return n
+}
+
+// ResetKeeper builds the Reset subcircuit: the arriving global reset
+// pulse is stretched across ResetDepth cycles by a DRO chain (§VI-A's
+// cascaded buffers) and ORed into the block signal that gates every
+// other subcircuit input. depth is the module circuit depth to cover.
+func ResetKeeper(depth int) *Netlist {
+	n := NewNetlist("Reset Subcircuit", 1)
+	in := Input(0)
+	taps := []Ref{in}
+	prev := in
+	for i := 0; i < depth; i++ {
+		prev = n.MustGate("DRO_DFF", prev)
+		taps = append(taps, prev)
+	}
+	n.MarkOutput(orTree(n, taps...))
+	return n
+}
+
+// FullModule composes every subcircuit of one decoder module into a
+// single netlist sharing the hot-syndrome and block inputs, mirroring
+// the Table III "Full Circuit" row.
+func FullModule() *Netlist {
+	n := NewNetlist("Full Circuit", 27)
+	hot := Input(0)
+	resetIn := Input(1)
+	growIn := [4]Ref{Input(2), Input(3), Input(4), Input(5)}
+	growFrom := [4]Ref{Input(6), Input(7), Input(8), Input(9)}
+	reqIn := [4]Ref{Input(10), Input(11), Input(12), Input(13)}
+	granted := Input(14)
+	grantIn := [4]Ref{Input(15), Input(16), Input(17), Input(18)}
+	want := [4]Ref{Input(19), Input(20), Input(21), Input(22)}
+	pairIn := [4]Ref{Input(23), Input(24), Input(25), Input(26)}
+
+	// Reset keeper drives the block signal.
+	taps := []Ref{resetIn}
+	prev := resetIn
+	for i := 0; i < 5; i++ {
+		prev = n.MustGate("DRO_DFF", prev)
+		taps = append(taps, prev)
+	}
+	block := orTree(n, taps...)
+	pass := n.MustGate("NOT", block)
+
+	// Grow.
+	for d := 0; d < 4; d++ {
+		or := n.MustGate("OR2", hot, growIn[opp(d)])
+		n.MarkOutput(n.MustGate("AND2", pass, or))
+	}
+	// Pair requests.
+	fWE := n.MustGate("AND2", growFrom[dW], growFrom[dE])
+	fNS := n.MustGate("AND2", growFrom[dN], growFrom[dS])
+	fNW := n.MustGate("AND2", growFrom[dN], growFrom[dW])
+	fNE := n.MustGate("AND2", growFrom[dN], growFrom[dE])
+	fire := [4]Ref{
+		dN: orTree(n, fNS, fNW, fNE),
+		dE: n.MustGate("OR2", fWE, fNE),
+		dS: fNS,
+		dW: n.MustGate("OR2", fWE, fNW),
+	}
+	cold := n.MustGate("NOT", hot)
+	for d := 0; d < 4; d++ {
+		through := n.MustGate("AND2", reqIn[opp(d)], cold)
+		out := n.MustGate("OR2", fire[d], through)
+		n.MarkOutput(n.MustGate("AND2", pass, out))
+	}
+	// Pair grants.
+	free := n.MustGate("AND2", hot, n.MustGate("NOT", granted))
+	notN := n.MustGate("NOT", reqIn[dN])
+	notW := n.MustGate("NOT", reqIn[dW])
+	notE := n.MustGate("NOT", reqIn[dE])
+	pick := [4]Ref{
+		dN: reqIn[dN],
+		dW: n.MustGate("AND2", reqIn[dW], notN),
+		dE: andTree(n, reqIn[dE], notN, notW),
+		dS: andTree(n, reqIn[dS], notN, notW, notE),
+	}
+	for d := 0; d < 4; d++ {
+		grant := n.MustGate("AND2", free, pick[d])
+		fwd := n.MustGate("AND2", grantIn[opp(d)], n.MustGate("NOT", want[opp(d)]))
+		out := n.MustGate("OR2", grant, fwd)
+		n.MarkOutput(n.MustGate("AND2", pass, out))
+	}
+	// Pair signals and the reset generator (deliberately NOT gated by
+	// block: pair propagation survives resets).
+	var oks [4]Ref
+	for d := 0; d < 4; d++ {
+		oks[d] = n.MustGate("OR2", grants(n, grantIn, want, d), n.MustGate("NOT", want[d]))
+	}
+	fired := orTree(n, want[0], want[1], want[2], want[3])
+	met := n.MustGate("AND2", andTree(n, oks[0], oks[1], oks[2], oks[3]), fired)
+	for d := 0; d < 4; d++ {
+		emit := n.MustGate("AND2", met, want[d])
+		through := n.MustGate("AND2", pairIn[opp(d)], cold)
+		n.MarkOutput(n.MustGate("OR2", emit, through))
+	}
+	anyPair := orTree(n, pairIn[0], pairIn[1], pairIn[2], pairIn[3])
+	n.MarkOutput(n.MustGate("AND2", hot, anyPair))
+	return n
+}
+
+// grants models the grant-latch view the pair subcircuit consumes inside
+// the composed module: a grant counts once it arrives on a wanted line.
+func grants(n *Netlist, grantIn, want [4]Ref, d int) Ref {
+	return n.MustGate("AND2", grantIn[d], want[d])
+}
+
+// TableIII characterizes the decoder subcircuits after path balancing:
+// the reproduction of the paper's synthesis table.
+func TableIII() []Report {
+	nets := []*Netlist{PairGrant(), PairSub(), GrowPairReq(), FullModule()}
+	reports := make([]Report, 0, len(nets))
+	for _, n := range nets {
+		n.Balance()
+		reports = append(reports, n.Characterize())
+	}
+	return reports
+}
+
+// ModuleFootprint returns the area (mm²) and power (µW) of one decoder
+// module: the full composed circuit after balancing.
+func ModuleFootprint() (areaMm2, powerUw float64) {
+	n := FullModule()
+	n.Balance()
+	r := n.Characterize()
+	return r.AreaUm2 / 1e6, r.PowerUw
+}
+
+// DecoderFootprint scales one module to a full distance-d decoder mesh
+// (one module per physical qubit, as §VIII does for the 289-qubit d = 9
+// system).
+func DecoderFootprint(d int) (areaMm2, powerMw float64, modules int) {
+	modules = (2*d - 1) * (2*d - 1)
+	a, p := ModuleFootprint()
+	return a * float64(modules), p * float64(modules) / 1000, modules
+}
+
+// MeshSideWithinBudget returns the largest square mesh side whose total
+// module power fits the given budget in watts — the §VIII dilution-
+// refrigerator co-location argument.
+func MeshSideWithinBudget(budgetW float64) int {
+	_, pUw := ModuleFootprint()
+	if pUw <= 0 {
+		return 0
+	}
+	modules := budgetW * 1e6 / pUw
+	return int(math.Sqrt(modules))
+}

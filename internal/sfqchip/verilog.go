@@ -1,0 +1,77 @@
+package sfqchip
+
+import (
+	"fmt"
+	"io"
+	"strings"
+)
+
+// WriteVerilog emits the netlist as a structural Verilog module — the
+// artifact an SFQ place-and-route flow would consume after the
+// path-balancing pass. Primary inputs are named in[i], outputs out[i],
+// internal nets n<gate-index>; cells are instantiated by library name.
+func (n *Netlist) WriteVerilog(w io.Writer, moduleName string) error {
+	if moduleName == "" {
+		moduleName = sanitizeIdent(n.name)
+	}
+	var b strings.Builder
+	fmt.Fprintf(&b, "// generated from %q (depth %d, %d gates, %d DFFs)\n",
+		n.name, n.LogicalDepth(), len(n.gates), n.dffs)
+	fmt.Fprintf(&b, "module %s (\n  input  wire clk,\n", moduleName)
+	for i := 0; i < n.numInputs; i++ {
+		fmt.Fprintf(&b, "  input  wire in%d,\n", i)
+	}
+	for i := range n.outputs {
+		sep := ","
+		if i == len(n.outputs)-1 {
+			sep = ""
+		}
+		fmt.Fprintf(&b, "  output wire out%d%s\n", i, sep)
+	}
+	b.WriteString(");\n")
+	for i := range n.gates {
+		fmt.Fprintf(&b, "  wire n%d;\n", i)
+	}
+	net := func(r Ref) string {
+		if r.isInput() {
+			return fmt.Sprintf("in%d", r.inputIndex())
+		}
+		return fmt.Sprintf("n%d", int(r))
+	}
+	for i, g := range n.gates {
+		fmt.Fprintf(&b, "  %s u%d (.clk(clk)", g.cell.Name, i)
+		for k, r := range g.ins {
+			fmt.Fprintf(&b, ", .%c(%s)", 'a'+k, net(r))
+		}
+		fmt.Fprintf(&b, ", .q(n%d));\n", i)
+	}
+	for i, r := range n.outputs {
+		fmt.Fprintf(&b, "  assign out%d = %s;\n", i, net(r))
+	}
+	b.WriteString("endmodule\n")
+	_, err := io.WriteString(w, b.String())
+	return err
+}
+
+// sanitizeIdent turns a human-readable netlist name into a Verilog
+// identifier.
+func sanitizeIdent(name string) string {
+	if name == "" {
+		return "netlist"
+	}
+	var b strings.Builder
+	for i, r := range name {
+		switch {
+		case r >= 'a' && r <= 'z', r >= 'A' && r <= 'Z', r == '_':
+			b.WriteRune(r)
+		case r >= '0' && r <= '9':
+			if i == 0 {
+				b.WriteByte('_')
+			}
+			b.WriteRune(r)
+		default:
+			b.WriteByte('_')
+		}
+	}
+	return b.String()
+}

@@ -1,0 +1,137 @@
+// Package sqv implements the Simple Quantum Volume accounting of Fig. 1
+// and §VIII "Effect on SQV": SQV = (number of computational qubits) ×
+// (gates per qubit before failure). For a raw NISQ machine every qubit
+// sustains 1/p gates; with approximate error correction a machine packs
+// floor(N / (d² + (d−1)²)) logical qubits whose collective gate budget
+// is 1/PL, with PL = c1·(p/pth)^(c2·d) from the Table V fits.
+package sqv
+
+import (
+	"fmt"
+	"math"
+)
+
+// Machine describes a physical device.
+type Machine struct {
+	PhysicalQubits int
+	ErrorRate      float64 // physical error rate p
+}
+
+// DecoderFit is the logical-error model of one decoder, PL =
+// C1·(p/Pth)^(C2·d).
+type DecoderFit struct {
+	Pth float64
+	C1  float64
+	C2  map[int]float64 // per-distance approximation factor (Table V)
+}
+
+// NISQPlusFit returns the paper's fit for the SFQ decoder: pth = 5%,
+// c1 = 0.03 and the Table V c2 values.
+func NISQPlusFit() DecoderFit {
+	return DecoderFit{
+		Pth: 0.05,
+		C1:  0.03,
+		C2:  map[int]float64{3: 0.650, 5: 0.429, 7: 0.306, 9: 0.323},
+	}
+}
+
+// LogicalErrorRate evaluates the model at distance d, interpolating c2
+// for distances outside the fitted table (nearest entry).
+func (f DecoderFit) LogicalErrorRate(p float64, d int) (float64, error) {
+	if p <= 0 || p >= f.Pth {
+		return 0, fmt.Errorf("sqv: p=%v outside (0, pth=%v)", p, f.Pth)
+	}
+	c2, ok := f.C2[d]
+	if !ok {
+		best, diff := 0, math.MaxInt
+		for k := range f.C2 {
+			if dd := abs(k - d); dd < diff {
+				best, diff = k, dd
+			}
+		}
+		c2 = f.C2[best]
+	}
+	return f.C1 * math.Pow(p/f.Pth, c2*float64(d)), nil
+}
+
+// Plan is one SQV operating point of a machine.
+type Plan struct {
+	Distance      int
+	LogicalQubits int
+	LogicalError  float64
+	GatesPerQubit float64
+	SQV           float64
+	BoostVsTarget float64 // SQV / the 10^5 NISQ target of Fig. 1
+}
+
+// NISQTargetSQV is the Fig. 1 reference: a 100-qubit NISQ machine
+// executing ~1000 gates per qubit.
+const NISQTargetSQV = 1e5
+
+// QubitsPerLogical returns the physical data-qubit cost of one logical
+// qubit at distance d.
+func QubitsPerLogical(d int) int { return d*d + (d-1)*(d-1) }
+
+// RawSQV is the machine's volume without error correction: every qubit
+// sustains 1/p gates.
+func (m Machine) RawSQV() float64 {
+	return float64(m.PhysicalQubits) / m.ErrorRate
+}
+
+// PlanAt evaluates the machine encoded at code distance d under the
+// decoder fit.
+func (m Machine) PlanAt(f DecoderFit, d int) (Plan, error) {
+	if d < 3 || d%2 == 0 {
+		return Plan{}, fmt.Errorf("sqv: invalid distance %d", d)
+	}
+	nLog := m.PhysicalQubits / QubitsPerLogical(d)
+	if nLog == 0 {
+		return Plan{}, fmt.Errorf("sqv: machine too small for distance %d", d)
+	}
+	pl, err := f.LogicalErrorRate(m.ErrorRate, d)
+	if err != nil {
+		return Plan{}, err
+	}
+	// The machine-wide gate budget is 1/PL (a logical fault anywhere
+	// ends the computation), spread across the logical qubits.
+	sqv := 1 / pl
+	return Plan{
+		Distance:      d,
+		LogicalQubits: nLog,
+		LogicalError:  pl,
+		GatesPerQubit: sqv / float64(nLog),
+		SQV:           sqv,
+		BoostVsTarget: sqv / NISQTargetSQV,
+	}, nil
+}
+
+// Best scans the distances the fit actually covers (extrapolating the
+// Table V c2 values beyond their fitted range is not meaningful) and
+// returns the hostable plan maximizing SQV.
+func (m Machine) Best(f DecoderFit) (Plan, error) {
+	var best Plan
+	found := false
+	for d := range f.C2 {
+		if m.PhysicalQubits/QubitsPerLogical(d) < 1 {
+			continue
+		}
+		p, err := m.PlanAt(f, d)
+		if err != nil {
+			return Plan{}, err
+		}
+		if !found || p.SQV > best.SQV {
+			best, found = p, true
+		}
+	}
+	if !found {
+		return Plan{}, fmt.Errorf("sqv: machine of %d qubits hosts no fitted distance", m.PhysicalQubits)
+	}
+	return best, nil
+}
+
+func abs(x int) int {
+	if x < 0 {
+		return -x
+	}
+	return x
+}

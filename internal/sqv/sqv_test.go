@@ -1,0 +1,118 @@
+package sqv
+
+import (
+	"math"
+	"testing"
+)
+
+func TestQubitsPerLogical(t *testing.T) {
+	if QubitsPerLogical(3) != 13 || QubitsPerLogical(5) != 41 || QubitsPerLogical(9) != 145 {
+		t.Error("logical qubit cost wrong")
+	}
+}
+
+func TestRawSQV(t *testing.T) {
+	m := Machine{PhysicalQubits: 1024, ErrorRate: 1e-5}
+	// Fig. 1: ~10^8 for the raw machine.
+	if got := m.RawSQV(); math.Abs(math.Log10(got)-8) > 0.1 {
+		t.Errorf("raw SQV = %g, want ~1e8", got)
+	}
+}
+
+func TestLogicalErrorRateValidation(t *testing.T) {
+	f := NISQPlusFit()
+	if _, err := f.LogicalErrorRate(0.06, 3); err == nil {
+		t.Error("p above threshold accepted")
+	}
+	if _, err := f.LogicalErrorRate(0, 3); err == nil {
+		t.Error("p=0 accepted")
+	}
+	// Unknown distance falls back to the nearest fitted c2.
+	pl11, err := f.LogicalErrorRate(1e-5, 11)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pl9, _ := f.LogicalErrorRate(1e-5, 9)
+	if pl11 >= pl9 {
+		t.Errorf("PL(d=11)=%g not below PL(d=9)=%g", pl11, pl9)
+	}
+}
+
+// The Fig. 1 headline numbers: a 1,024-qubit machine at p = 1e-5 packs
+// 78 logical qubits at d = 3 and 40 at d = 5 (paper uses 1024/25 with
+// margin — our packing is data-qubit based), with SQV boosts in the
+// thousands.
+func TestFig1Reproduction(t *testing.T) {
+	m := Machine{PhysicalQubits: 1024, ErrorRate: 1e-5}
+	f := NISQPlusFit()
+
+	p3, err := m.PlanAt(f, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p3.LogicalQubits != 78 {
+		t.Errorf("d=3 logical qubits = %d, paper says 78", p3.LogicalQubits)
+	}
+	// Paper: PL = 2.94e-9, SQV = 3.4e8, boost 3402. Same order required.
+	if math.Abs(math.Log10(p3.LogicalError)-math.Log10(2.94e-9)) > 0.5 {
+		t.Errorf("d=3 PL = %g, paper says 2.94e-9", p3.LogicalError)
+	}
+	if p3.BoostVsTarget < 1000 || p3.BoostVsTarget > 20000 {
+		t.Errorf("d=3 boost = %v, paper says 3402", p3.BoostVsTarget)
+	}
+
+	p5, err := m.PlanAt(f, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p5.LogicalQubits != 24 { // 1024/41: stricter packing than the paper's 40
+		t.Errorf("d=5 logical qubits = %d", p5.LogicalQubits)
+	}
+	if math.Abs(math.Log10(p5.LogicalError)-math.Log10(8.96e-10)) > 0.8 {
+		t.Errorf("d=5 PL = %g, paper says 8.96e-10", p5.LogicalError)
+	}
+	if p5.SQV <= p3.SQV {
+		t.Errorf("d=5 SQV %g not above d=3 %g", p5.SQV, p3.SQV)
+	}
+	// SQV = qubits x gates/qubit by construction.
+	if math.Abs(p5.SQV-float64(p5.LogicalQubits)*p5.GatesPerQubit) > p5.SQV*1e-9 {
+		t.Error("SQV identity violated")
+	}
+}
+
+func TestPlanValidation(t *testing.T) {
+	m := Machine{PhysicalQubits: 1024, ErrorRate: 1e-5}
+	f := NISQPlusFit()
+	if _, err := m.PlanAt(f, 4); err == nil {
+		t.Error("even distance accepted")
+	}
+	small := Machine{PhysicalQubits: 10, ErrorRate: 1e-5}
+	if _, err := small.PlanAt(f, 3); err == nil {
+		t.Error("machine too small accepted")
+	}
+}
+
+func TestBestPicksMaxSQV(t *testing.T) {
+	m := Machine{PhysicalQubits: 1024, ErrorRate: 1e-5}
+	f := NISQPlusFit()
+	best, err := m.Best(f)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for d := range f.C2 {
+		if m.PhysicalQubits/QubitsPerLogical(d) < 1 {
+			continue
+		}
+		p, err := m.PlanAt(f, d)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if p.SQV > best.SQV {
+			t.Errorf("Best missed d=%d with SQV %g > %g", d, p.SQV, best.SQV)
+		}
+	}
+	tiny := Machine{PhysicalQubits: 5, ErrorRate: 1e-5}
+	if _, err := tiny.Best(f); err == nil {
+		t.Error("tiny machine accepted")
+	}
+}

@@ -1,0 +1,165 @@
+package stabilizer
+
+import (
+	"testing"
+
+	"repro/internal/lattice"
+	"repro/internal/noise"
+	"repro/internal/pauli"
+)
+
+func TestCircuitShapes(t *testing.T) {
+	x := XStabilizer(9, []int{1, 2, 3, 4})
+	// reset + H + 4 CNOT + H + measure
+	if len(x.Ops) != 8 {
+		t.Errorf("X circuit has %d ops, want 8", len(x.Ops))
+	}
+	z := ZStabilizer(9, []int{1, 2})
+	// reset + 2 CNOT + measure
+	if len(z.Ops) != 4 {
+		t.Errorf("Z circuit has %d ops, want 4", len(z.Ops))
+	}
+	if x.Ancilla != 9 || z.Ancilla != 9 {
+		t.Error("ancilla not recorded")
+	}
+}
+
+func TestXStabilizerDetectsZParity(t *testing.T) {
+	data := []int{0, 1, 2, 3}
+	c := XStabilizer(4, data)
+	cases := []struct {
+		errs string
+		want int
+	}{
+		{"IIII", 0},
+		{"ZIII", 1},
+		{"ZZII", 0},
+		{"ZZZI", 1},
+		{"ZZZZ", 0},
+		{"XIII", 0}, // X errors are invisible to the X stabilizer
+		{"YIII", 1}, // Y = X·Z carries a Z component
+		{"YYII", 0},
+		{"XZII", 1},
+	}
+	for _, tc := range cases {
+		f := pauli.NewFrame(5)
+		for i, r := range tc.errs {
+			op, _ := pauli.ParseOp(r)
+			f.Set(i, op)
+		}
+		if got := c.Run(f, nil, nil); got != tc.want {
+			t.Errorf("X stabilizer on %s = %d, want %d", tc.errs, got, tc.want)
+		}
+	}
+}
+
+func TestZStabilizerDetectsXParity(t *testing.T) {
+	data := []int{0, 1, 2, 3}
+	c := ZStabilizer(4, data)
+	cases := []struct {
+		errs string
+		want int
+	}{
+		{"IIII", 0},
+		{"XIII", 1},
+		{"XXII", 0},
+		{"ZIII", 0},
+		{"YIII", 1},
+		{"XXXI", 1},
+	}
+	for _, tc := range cases {
+		f := pauli.NewFrame(5)
+		for i, r := range tc.errs {
+			op, _ := pauli.ParseOp(r)
+			f.Set(i, op)
+		}
+		if got := c.Run(f, nil, nil); got != tc.want {
+			t.Errorf("Z stabilizer on %s = %d, want %d", tc.errs, got, tc.want)
+		}
+	}
+}
+
+// Noiseless circuit extraction must agree exactly with the direct parity
+// computation of the matching graph and must not disturb the data frame.
+func TestExtractorMatchesDirectSyndrome(t *testing.T) {
+	rng := noise.NewRand(31)
+	dep, _ := noise.NewDepolarizing(0.15)
+	for _, d := range []int{3, 5, 7} {
+		l := lattice.MustNew(d)
+		targets := make([]int, 0, l.NumData())
+		for _, s := range l.DataSites() {
+			targets = append(targets, l.QubitIndex(s))
+		}
+		for _, e := range []lattice.ErrorType{lattice.ZErrors, lattice.XErrors} {
+			g := l.MatchingGraph(e)
+			ex := NewExtractor(g)
+			for trial := 0; trial < 50; trial++ {
+				f := pauli.NewFrame(l.NumQubits())
+				dep.Sample(rng, f, targets)
+				before := f.Clone()
+				got, err := ex.Extract(f, nil, nil)
+				if err != nil {
+					t.Fatal(err)
+				}
+				want := g.Syndrome(before)
+				for i := range want {
+					if got[i] != want[i] {
+						t.Fatalf("d=%d %v trial=%d check %d: circuit %v, direct %v", d, e, trial, i, got[i], want[i])
+					}
+				}
+				for _, q := range targets {
+					if f.Get(q) != before.Get(q) {
+						t.Fatalf("d=%d %v: extraction disturbed data qubit %d", d, e, q)
+					}
+				}
+			}
+		}
+	}
+}
+
+func TestExtractorFrameSizeCheck(t *testing.T) {
+	l := lattice.MustNew(3)
+	ex := NewExtractor(l.MatchingGraph(lattice.ZErrors))
+	if _, err := ex.Extract(pauli.NewFrame(3), nil, nil); err == nil {
+		t.Error("wrong-size frame accepted")
+	}
+}
+
+// With circuit-level noise enabled, repeated extraction must produce
+// some detection events and back-propagate errors onto data qubits.
+func TestGateNoiseInjects(t *testing.T) {
+	l := lattice.MustNew(5)
+	g := l.MatchingGraph(lattice.ZErrors)
+	ex := NewExtractor(g)
+	rng := noise.NewRand(41)
+	dep, _ := noise.NewDepolarizing(0.05)
+	f := pauli.NewFrame(l.NumQubits())
+	hits := 0
+	for trial := 0; trial < 50; trial++ {
+		syn, err := ex.Extract(f, dep, rng)
+		if err != nil {
+			t.Fatal(err)
+		}
+		hits += len(lattice.HotChecks(syn))
+	}
+	if hits == 0 {
+		t.Error("gate noise produced no detection events")
+	}
+}
+
+func TestRunPanicsWithoutMeasurement(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("no-measurement circuit did not panic")
+		}
+	}()
+	c := Circuit{Ops: []Op{{Kind: Hadamard, Q: 0}}}
+	c.Run(pauli.NewFrame(1), nil, nil)
+}
+
+func TestConjugateH(t *testing.T) {
+	if conjugateH(pauli.X) != pauli.Z || conjugateH(pauli.Z) != pauli.X ||
+		conjugateH(pauli.Y) != pauli.Y || conjugateH(pauli.I) != pauli.I {
+		t.Error("Hadamard conjugation wrong")
+	}
+}

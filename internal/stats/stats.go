@@ -1,0 +1,343 @@
+// Package stats provides the Monte-Carlo evaluation harness of §VII:
+// logical-error-rate curve generation with binomial confidence
+// intervals, pseudo-threshold and accuracy-threshold estimation, and the
+// PL ≈ c1·(p/pth)^(c2·d) model fits behind Table V.
+package stats
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"sync"
+
+	"repro/internal/decoder"
+	"repro/internal/lattice"
+	"repro/internal/noise"
+	"repro/internal/sfq"
+	"repro/internal/surface"
+)
+
+// Point is one measured (distance, physical rate) sample.
+type Point struct {
+	D      int     // code distance
+	P      float64 // physical error rate
+	PL     float64 // measured logical error rate per cycle
+	Errors int     // logical error count
+	Cycles int     // cycles simulated
+	Forced int     // harness force-completions
+	Lo, Hi float64 // 95% Wilson interval on PL
+}
+
+// WilsonInterval returns the Wilson score interval for k successes in n
+// trials at confidence coefficient z (1.96 for 95%).
+func WilsonInterval(k, n int, z float64) (lo, hi float64) {
+	if n == 0 {
+		return 0, 1
+	}
+	p := float64(k) / float64(n)
+	nf := float64(n)
+	denom := 1 + z*z/nf
+	center := (p + z*z/(2*nf)) / denom
+	half := z / denom * math.Sqrt(p*(1-p)/nf+z*z/(4*nf*nf))
+	lo, hi = center-half, center+half
+	if lo < 0 {
+		lo = 0
+	}
+	if hi > 1 {
+		hi = 1
+	}
+	return lo, hi
+}
+
+// CurveConfig drives a Monte-Carlo sweep over distances and physical
+// error rates.
+type CurveConfig struct {
+	// Distances to simulate (odd, >= 3).
+	Distances []int
+	// Rates are the physical error rates p to sweep.
+	Rates []float64
+	// Cycles per (d, p) point.
+	Cycles int
+	// NewChannel builds the error channel for a rate (e.g. dephasing).
+	NewChannel func(p float64) (noise.Channel, error)
+	// NewDecoderZ builds the phase-flip decoder for a distance. The
+	// factory is called once per point, so mesh decoders are never
+	// shared across goroutines.
+	NewDecoderZ func(d int) decoder.Decoder
+	// NewDecoderX optionally builds the bit-flip decoder (depolarizing
+	// sweeps); nil skips the X plane.
+	NewDecoderX func(d int) decoder.Decoder
+	// Seed seeds the sweep; every point derives a distinct stream.
+	Seed int64
+	// Workers bounds concurrent points; 0 means 4.
+	Workers int
+	// Observer, when non-nil, builds the surface-simulator observer for
+	// each point (used to collect mesh timing samples during sweeps).
+	// Observers for distinct points may run concurrently.
+	Observer func(d int, p float64) func(lattice.ErrorType, sfq.Stats)
+}
+
+// Curves runs the sweep and returns points sorted by (distance, rate).
+func Curves(cfg CurveConfig) ([]Point, error) {
+	if cfg.Cycles <= 0 {
+		return nil, fmt.Errorf("stats: Cycles must be positive")
+	}
+	if cfg.NewChannel == nil || cfg.NewDecoderZ == nil {
+		return nil, fmt.Errorf("stats: NewChannel and NewDecoderZ are required")
+	}
+	workers := cfg.Workers
+	if workers <= 0 {
+		workers = 4
+	}
+	type job struct {
+		di, pi int
+	}
+	jobs := make(chan job)
+	points := make([]Point, len(cfg.Distances)*len(cfg.Rates))
+	errs := make([]error, workers)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for j := range jobs {
+				pt, err := cfg.runPoint(cfg.Distances[j.di], cfg.Rates[j.pi],
+					cfg.Seed+int64(j.di*1000003+j.pi*7919))
+				if err != nil {
+					errs[w] = err
+					continue
+				}
+				points[j.di*len(cfg.Rates)+j.pi] = pt
+			}
+		}(w)
+	}
+	for di := range cfg.Distances {
+		for pi := range cfg.Rates {
+			jobs <- job{di, pi}
+		}
+	}
+	close(jobs)
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return nil, err
+		}
+	}
+	return points, nil
+}
+
+// runPoint simulates one (d, p) sample.
+func (cfg CurveConfig) runPoint(d int, p float64, seed int64) (Point, error) {
+	ch, err := cfg.NewChannel(p)
+	if err != nil {
+		return Point{}, err
+	}
+	sc := surface.Config{
+		Distance: d,
+		Channel:  ch,
+		DecoderZ: cfg.NewDecoderZ(d),
+		Seed:     seed,
+	}
+	if cfg.NewDecoderX != nil {
+		sc.DecoderX = cfg.NewDecoderX(d)
+	}
+	if cfg.Observer != nil {
+		sc.Observer = cfg.Observer(d, p)
+	}
+	sim, err := surface.New(sc)
+	if err != nil {
+		return Point{}, err
+	}
+	res, err := sim.Run(cfg.Cycles)
+	if err != nil {
+		return Point{}, err
+	}
+	pt := Point{D: d, P: p, PL: res.PL, Errors: res.LogicalErrors, Cycles: res.Cycles, Forced: res.Forced}
+	pt.Lo, pt.Hi = WilsonInterval(res.LogicalErrors, res.Cycles, 1.96)
+	return pt, nil
+}
+
+// PseudoThreshold estimates the physical rate where PL = p for one
+// distance's curve by log-log interpolation between the sample points
+// bracketing the crossing. It reports false when the curve never
+// crosses.
+func PseudoThreshold(curve []Point) (float64, bool) {
+	pts := append([]Point(nil), curve...)
+	sort.Slice(pts, func(i, j int) bool { return pts[i].P < pts[j].P })
+	for i := 0; i+1 < len(pts); i++ {
+		a, b := pts[i], pts[i+1]
+		if a.PL <= 0 || b.PL <= 0 {
+			if a.PL <= a.P && b.PL > b.P {
+				return b.P, true
+			}
+			continue
+		}
+		fa := math.Log(a.PL) - math.Log(a.P)
+		fb := math.Log(b.PL) - math.Log(b.P)
+		if fa <= 0 && fb > 0 {
+			t := fa / (fa - fb)
+			return math.Exp(math.Log(a.P) + t*(math.Log(b.P)-math.Log(a.P))), true
+		}
+	}
+	return 0, false
+}
+
+// AccuracyThreshold estimates the physical rate where increasing the
+// code distance stops suppressing errors: the average crossing point of
+// successive-distance curves. It reports false when no pair of curves
+// crosses inside the sampled window.
+func AccuracyThreshold(points []Point) (float64, bool) {
+	byD := map[int][]Point{}
+	var ds []int
+	for _, pt := range points {
+		if _, ok := byD[pt.D]; !ok {
+			ds = append(ds, pt.D)
+		}
+		byD[pt.D] = append(byD[pt.D], pt)
+	}
+	sort.Ints(ds)
+	var crossings []float64
+	for i := 0; i+1 < len(ds); i++ {
+		if x, ok := curveCrossing(byD[ds[i]], byD[ds[i+1]]); ok {
+			crossings = append(crossings, x)
+		}
+	}
+	if len(crossings) == 0 {
+		return 0, false
+	}
+	sum := 0.0
+	for _, x := range crossings {
+		sum += x
+	}
+	return sum / float64(len(crossings)), true
+}
+
+// curveCrossing finds where the higher-distance curve overtakes the
+// lower-distance one (log-log interpolated).
+func curveCrossing(lo, hi []Point) (float64, bool) {
+	a := append([]Point(nil), lo...)
+	b := append([]Point(nil), hi...)
+	sort.Slice(a, func(i, j int) bool { return a[i].P < a[j].P })
+	sort.Slice(b, func(i, j int) bool { return b[i].P < b[j].P })
+	n := len(a)
+	if len(b) < n {
+		n = len(b)
+	}
+	for i := 0; i+1 < n; i++ {
+		if a[i].P != b[i].P || a[i+1].P != b[i+1].P {
+			continue
+		}
+		if a[i].PL <= 0 || b[i].PL <= 0 || a[i+1].PL <= 0 || b[i+1].PL <= 0 {
+			continue
+		}
+		fa := math.Log(b[i].PL) - math.Log(a[i].PL)
+		fb := math.Log(b[i+1].PL) - math.Log(a[i+1].PL)
+		if fa <= 0 && fb > 0 {
+			t := fa / (fa - fb)
+			return math.Exp(math.Log(a[i].P) + t*(math.Log(a[i+1].P)-math.Log(a[i].P))), true
+		}
+	}
+	return 0, false
+}
+
+// LinearFit returns the least-squares slope and intercept of y on x.
+func LinearFit(xs, ys []float64) (slope, intercept float64, err error) {
+	if len(xs) != len(ys) || len(xs) < 2 {
+		return 0, 0, fmt.Errorf("stats: need >= 2 paired samples, have %d/%d", len(xs), len(ys))
+	}
+	n := float64(len(xs))
+	var sx, sy, sxx, sxy float64
+	for i := range xs {
+		sx += xs[i]
+		sy += ys[i]
+		sxx += xs[i] * xs[i]
+		sxy += xs[i] * ys[i]
+	}
+	det := n*sxx - sx*sx
+	if det == 0 {
+		return 0, 0, fmt.Errorf("stats: degenerate fit (constant x)")
+	}
+	slope = (n*sxy - sx*sy) / det
+	intercept = (sy - slope*sx) / n
+	return slope, intercept, nil
+}
+
+// FitC2 fits the Table V model PL ≈ c1·(p/pth)^(c2·d) for a single
+// distance's below-threshold points, returning c1 and c2.
+func FitC2(curve []Point, pth float64) (c1, c2 float64, err error) {
+	var xs, ys []float64
+	for _, pt := range curve {
+		if pt.P >= pth || pt.PL <= 0 {
+			continue
+		}
+		xs = append(xs, float64(pt.D)*math.Log(pt.P/pth))
+		ys = append(ys, math.Log(pt.PL))
+	}
+	slope, intercept, err := LinearFit(xs, ys)
+	if err != nil {
+		return 0, 0, fmt.Errorf("stats: FitC2: %w", err)
+	}
+	return math.Exp(intercept), slope, nil
+}
+
+// ByDistance splits a point set into per-distance curves.
+func ByDistance(points []Point) map[int][]Point {
+	m := map[int][]Point{}
+	for _, pt := range points {
+		m[pt.D] = append(m[pt.D], pt)
+	}
+	return m
+}
+
+// Summary holds moments of a sample set (Table IV's columns).
+type Summary struct {
+	N      int
+	Max    float64
+	Mean   float64
+	StdDev float64
+}
+
+// Summarize computes max, mean and standard deviation of the samples.
+func Summarize(samples []float64) Summary {
+	s := Summary{N: len(samples)}
+	if s.N == 0 {
+		return s
+	}
+	var sum float64
+	for _, v := range samples {
+		sum += v
+		if v > s.Max {
+			s.Max = v
+		}
+	}
+	s.Mean = sum / float64(s.N)
+	var ss float64
+	for _, v := range samples {
+		ss += (v - s.Mean) * (v - s.Mean)
+	}
+	s.StdDev = math.Sqrt(ss / float64(s.N))
+	return s
+}
+
+// Percentile returns the q-quantile (0 <= q <= 1) of the samples by
+// linear interpolation of the sorted order statistics.
+func Percentile(samples []float64, q float64) float64 {
+	if len(samples) == 0 {
+		return 0
+	}
+	s := append([]float64(nil), samples...)
+	sort.Float64s(s)
+	if q <= 0 {
+		return s[0]
+	}
+	if q >= 1 {
+		return s[len(s)-1]
+	}
+	pos := q * float64(len(s)-1)
+	lo := int(pos)
+	frac := pos - float64(lo)
+	if lo+1 >= len(s) {
+		return s[lo]
+	}
+	return s[lo]*(1-frac) + s[lo+1]*frac
+}

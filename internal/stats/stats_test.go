@@ -1,0 +1,317 @@
+package stats
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/decoder"
+	"repro/internal/decoder/greedy"
+	"repro/internal/lattice"
+	"repro/internal/noise"
+	"repro/internal/sfq"
+)
+
+func TestWilsonInterval(t *testing.T) {
+	lo, hi := WilsonInterval(0, 0, 1.96)
+	if lo != 0 || hi != 1 {
+		t.Errorf("empty interval = [%v,%v]", lo, hi)
+	}
+	lo, hi = WilsonInterval(50, 100, 1.96)
+	if lo >= 0.5 || hi <= 0.5 {
+		t.Errorf("interval [%v,%v] does not contain 0.5", lo, hi)
+	}
+	if hi-lo > 0.25 {
+		t.Errorf("interval [%v,%v] too wide for n=100", lo, hi)
+	}
+	lo, hi = WilsonInterval(0, 1000, 1.96)
+	if lo != 0 || hi > 0.01 {
+		t.Errorf("zero-count interval = [%v,%v]", lo, hi)
+	}
+	// Interval shrinks with n.
+	_, hi1 := WilsonInterval(10, 100, 1.96)
+	_, hi2 := WilsonInterval(100, 1000, 1.96)
+	if hi2-0.1 >= hi1-0.1 {
+		t.Error("interval did not shrink with n")
+	}
+}
+
+func TestLinearFit(t *testing.T) {
+	xs := []float64{0, 1, 2, 3}
+	ys := []float64{1, 3, 5, 7} // y = 2x + 1
+	m, b, err := LinearFit(xs, ys)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(m-2) > 1e-12 || math.Abs(b-1) > 1e-12 {
+		t.Errorf("fit = %v, %v", m, b)
+	}
+	if _, _, err := LinearFit([]float64{1}, []float64{1}); err == nil {
+		t.Error("single sample accepted")
+	}
+	if _, _, err := LinearFit([]float64{2, 2}, []float64{1, 5}); err == nil {
+		t.Error("constant x accepted")
+	}
+	if _, _, err := LinearFit([]float64{1, 2}, []float64{1}); err == nil {
+		t.Error("mismatched lengths accepted")
+	}
+}
+
+func TestFitC2RecoversSyntheticModel(t *testing.T) {
+	// Generate PL = c1 (p/pth)^(c2 d) exactly and recover parameters.
+	const c1, c2, pth = 0.03, 0.65, 0.05
+	var curve []Point
+	for _, p := range []float64{0.01, 0.02, 0.03, 0.04} {
+		pl := c1 * math.Pow(p/pth, c2*3)
+		curve = append(curve, Point{D: 3, P: p, PL: pl})
+	}
+	gotC1, gotC2, err := FitC2(curve, pth)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(gotC1-c1) > 1e-9 || math.Abs(gotC2-c2) > 1e-9 {
+		t.Errorf("fit c1=%v c2=%v, want %v %v", gotC1, gotC2, c1, c2)
+	}
+	// Points above threshold and zero-PL points are excluded.
+	curve = append(curve, Point{D: 3, P: 0.2, PL: 0.9}, Point{D: 3, P: 0.015, PL: 0})
+	gotC1b, gotC2b, err := FitC2(curve, pth)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(gotC1b-gotC1) > 1e-9 || math.Abs(gotC2b-gotC2) > 1e-9 {
+		t.Error("out-of-window points altered the fit")
+	}
+}
+
+func TestPseudoThreshold(t *testing.T) {
+	// PL = p²/0.05: crosses PL = p at p = 0.05.
+	var curve []Point
+	for _, p := range []float64{0.01, 0.02, 0.04, 0.06, 0.08} {
+		curve = append(curve, Point{D: 3, P: p, PL: p * p / 0.05})
+	}
+	pth, ok := PseudoThreshold(curve)
+	if !ok {
+		t.Fatal("no pseudo-threshold found")
+	}
+	if math.Abs(pth-0.05) > 0.005 {
+		t.Errorf("pseudo-threshold = %v, want ~0.05", pth)
+	}
+	// A curve that never crosses.
+	flat := []Point{{P: 0.01, PL: 0.5}, {P: 0.1, PL: 0.6}}
+	if _, ok := PseudoThreshold(flat); ok {
+		t.Error("crossing found in non-crossing curve")
+	}
+}
+
+func TestAccuracyThreshold(t *testing.T) {
+	// Synthetic curves PL_d(p) = (p/0.06)^d cross exactly at p = 0.06.
+	var pts []Point
+	for _, d := range []int{3, 5, 7} {
+		for _, p := range []float64{0.02, 0.04, 0.05, 0.07, 0.09} {
+			pts = append(pts, Point{D: d, P: p, PL: math.Pow(p/0.06, float64(d))})
+		}
+	}
+	th, ok := AccuracyThreshold(pts)
+	if !ok {
+		t.Fatal("no accuracy threshold found")
+	}
+	if math.Abs(th-0.06) > 0.005 {
+		t.Errorf("accuracy threshold = %v, want ~0.06", th)
+	}
+}
+
+func TestSummarize(t *testing.T) {
+	s := Summarize(nil)
+	if s.N != 0 || s.Max != 0 {
+		t.Error("empty summary wrong")
+	}
+	s = Summarize([]float64{1, 2, 3, 4})
+	if s.N != 4 || s.Max != 4 || math.Abs(s.Mean-2.5) > 1e-12 {
+		t.Errorf("summary = %+v", s)
+	}
+	if math.Abs(s.StdDev-math.Sqrt(1.25)) > 1e-12 {
+		t.Errorf("stddev = %v", s.StdDev)
+	}
+}
+
+func TestCurvesValidation(t *testing.T) {
+	if _, err := Curves(CurveConfig{}); err == nil {
+		t.Error("empty config accepted")
+	}
+	if _, err := Curves(CurveConfig{Cycles: 10}); err == nil {
+		t.Error("missing factories accepted")
+	}
+}
+
+// End-to-end smoke: a small sweep with the greedy decoder produces
+// monotone-ish curves and populated intervals, deterministically.
+func TestCurvesEndToEnd(t *testing.T) {
+	cfg := CurveConfig{
+		Distances: []int{3, 5},
+		Rates:     []float64{0.02, 0.1},
+		Cycles:    1500,
+		NewChannel: func(p float64) (noise.Channel, error) {
+			return noise.NewDephasing(p)
+		},
+		NewDecoderZ: func(d int) decoder.Decoder { return greedy.New() },
+		Seed:        3,
+		Workers:     2,
+	}
+	pts, err := Curves(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(pts) != 4 {
+		t.Fatalf("got %d points", len(pts))
+	}
+	byD := ByDistance(pts)
+	for d, curve := range byD {
+		if len(curve) != 2 {
+			t.Fatalf("d=%d has %d points", d, len(curve))
+		}
+		var lo, hi Point
+		for _, pt := range curve {
+			if pt.P == 0.02 {
+				lo = pt
+			} else {
+				hi = pt
+			}
+			if pt.Cycles != 1500 {
+				t.Errorf("point ran %d cycles", pt.Cycles)
+			}
+			if pt.Hi < pt.PL || pt.Lo > pt.PL {
+				t.Errorf("interval [%v,%v] excludes PL=%v", pt.Lo, pt.Hi, pt.PL)
+			}
+		}
+		if lo.PL > hi.PL {
+			t.Errorf("d=%d: PL(0.02)=%v > PL(0.1)=%v", d, lo.PL, hi.PL)
+		}
+	}
+	// Determinism.
+	pts2, err := Curves(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range pts {
+		if pts[i] != pts2[i] {
+			t.Fatalf("sweep not deterministic at %d: %+v vs %+v", i, pts[i], pts2[i])
+		}
+	}
+}
+
+// The observer hook is wired through to SFQ decodes.
+func TestCurvesObserver(t *testing.T) {
+	got := 0
+	cfg := CurveConfig{
+		Distances: []int{3},
+		Rates:     []float64{0.08},
+		Cycles:    100,
+		NewChannel: func(p float64) (noise.Channel, error) {
+			return noise.NewDephasing(p)
+		},
+		NewDecoderZ: func(d int) decoder.Decoder {
+			return sfq.New(lattice.MustNew(d).MatchingGraph(lattice.ZErrors), sfq.Final)
+		},
+		Seed:    9,
+		Workers: 1,
+		Observer: func(d int, p float64) func(lattice.ErrorType, sfq.Stats) {
+			return func(e lattice.ErrorType, st sfq.Stats) { got++ }
+		},
+	}
+	if _, err := Curves(cfg); err != nil {
+		t.Fatal(err)
+	}
+	if got != 100 {
+		t.Errorf("observer saw %d decodes, want 100", got)
+	}
+}
+
+func TestPercentile(t *testing.T) {
+	if Percentile(nil, 0.5) != 0 {
+		t.Error("empty percentile nonzero")
+	}
+	s := []float64{4, 1, 3, 2}
+	if got := Percentile(s, 0); got != 1 {
+		t.Errorf("p0 = %v", got)
+	}
+	if got := Percentile(s, 1); got != 4 {
+		t.Errorf("p100 = %v", got)
+	}
+	if got := Percentile(s, 0.5); math.Abs(got-2.5) > 1e-12 {
+		t.Errorf("p50 = %v", got)
+	}
+	// Input must not be reordered.
+	if s[0] != 4 {
+		t.Error("Percentile mutated input")
+	}
+}
+
+func TestCurvesPropagatesPointErrors(t *testing.T) {
+	cfg := CurveConfig{
+		Distances: []int{3},
+		Rates:     []float64{2.0}, // invalid rate -> channel error
+		Cycles:    10,
+		NewChannel: func(p float64) (noise.Channel, error) {
+			return noise.NewDephasing(p)
+		},
+		NewDecoderZ: func(d int) decoder.Decoder { return greedy.New() },
+		Workers:     1,
+	}
+	if _, err := Curves(cfg); err == nil {
+		t.Error("invalid rate did not surface")
+	}
+	cfg.Rates = []float64{0.05}
+	cfg.Distances = []int{4} // invalid distance -> surface error
+	if _, err := Curves(cfg); err == nil {
+		t.Error("invalid distance did not surface")
+	}
+}
+
+func TestCurvesWithDecoderX(t *testing.T) {
+	cfg := CurveConfig{
+		Distances: []int{3},
+		Rates:     []float64{0.05},
+		Cycles:    50,
+		NewChannel: func(p float64) (noise.Channel, error) {
+			return noise.NewDepolarizing(p)
+		},
+		NewDecoderZ: func(d int) decoder.Decoder { return greedy.New() },
+		NewDecoderX: func(d int) decoder.Decoder { return greedy.New() },
+		Seed:        1,
+		Workers:     1,
+	}
+	pts, err := Curves(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(pts) != 1 || pts[0].Cycles != 50 {
+		t.Fatalf("points = %+v", pts)
+	}
+}
+
+// Threshold finders must tolerate zero-PL points (log interpolation
+// falls back to the bracketing sample).
+func TestPseudoThresholdWithZeroPoints(t *testing.T) {
+	curve := []Point{
+		{D: 3, P: 0.01, PL: 0},
+		{D: 3, P: 0.03, PL: 0},
+		{D: 3, P: 0.06, PL: 0.08},
+	}
+	pth, ok := PseudoThreshold(curve)
+	if !ok || pth != 0.06 {
+		t.Errorf("pseudo-threshold = %v ok=%v, want 0.06", pth, ok)
+	}
+	// Zero-PL points inside curveCrossing are skipped without panic.
+	pts := []Point{
+		{D: 3, P: 0.01, PL: 0}, {D: 3, P: 0.05, PL: 0.02}, {D: 3, P: 0.08, PL: 0.2},
+		{D: 5, P: 0.01, PL: 0}, {D: 5, P: 0.05, PL: 0.01}, {D: 5, P: 0.08, PL: 0.4},
+	}
+	if th, ok := AccuracyThreshold(pts); !ok || th < 0.05 || th > 0.08 {
+		t.Errorf("accuracy threshold = %v ok=%v", th, ok)
+	}
+}
+
+func TestFitC2InsufficientData(t *testing.T) {
+	if _, _, err := FitC2([]Point{{D: 3, P: 0.01, PL: 0.001}}, 0.05); err == nil {
+		t.Error("single-point fit accepted")
+	}
+}

@@ -1,0 +1,217 @@
+// Package surface implements the lifetime (Monte-Carlo) simulation of
+// §VII: a logical qubit held in a distance-d planar surface code while
+// errors are injected every cycle, syndromes extracted, a decoder
+// consulted and corrections applied. The ratio of logical errors to
+// simulated cycles is the logical error rate PL, the primary performance
+// metric of the paper's Fig. 10 evaluation.
+package surface
+
+import (
+	"fmt"
+	"math/rand"
+
+	"repro/internal/decoder"
+	"repro/internal/lattice"
+	"repro/internal/noise"
+	"repro/internal/pauli"
+	"repro/internal/sfq"
+	"repro/internal/stabilizer"
+)
+
+// Config describes one lifetime experiment.
+type Config struct {
+	// Distance is the code distance (odd, >= 3).
+	Distance int
+	// Channel injects data-qubit errors once per cycle.
+	Channel noise.Channel
+	// DecoderZ corrects phase flips (decodes the X-check graph); nil
+	// disables Z decoding — only valid when the channel produces no Z
+	// errors.
+	DecoderZ decoder.Decoder
+	// DecoderX corrects bit flips; nil disables X decoding.
+	DecoderX decoder.Decoder
+	// Seed drives all randomness; runs are reproducible per seed.
+	Seed int64
+	// UseCircuits extracts syndromes by simulating the Fig. 3
+	// stabilizer circuits instead of computing check parities directly.
+	// Both paths agree exactly under data-only noise.
+	UseCircuits bool
+	// Observer, when non-nil, receives the mesh statistics of every SFQ
+	// decode invocation (ignored for software decoders).
+	Observer func(e lattice.ErrorType, st sfq.Stats)
+}
+
+// Result summarizes a lifetime run.
+type Result struct {
+	Cycles        int     // syndrome-measurement cycles simulated
+	LogicalErrors int     // cycles on which the logical state flipped
+	Forced        int     // hot checks force-completed to a boundary by the harness
+	PL            float64 // LogicalErrors / Cycles
+}
+
+// Simulator holds the mutable state of one lifetime experiment.
+type Simulator struct {
+	cfg Config
+	l   *lattice.Lattice
+	rng *rand.Rand
+
+	residual *pauli.Frame
+	data     []int // data-qubit indices
+
+	planes []*plane
+}
+
+// plane bundles everything needed to decode one error type.
+type plane struct {
+	etype lattice.ErrorType
+	graph *lattice.Graph
+	dec   decoder.Decoder
+	mesh  *sfq.Mesh // non-nil when dec is an SFQ mesh
+	ext   *stabilizer.Extractor
+	cut   []int // data qubits whose parity flags a logical flip
+	op    pauli.Op
+}
+
+// New validates the configuration and builds a simulator.
+func New(cfg Config) (*Simulator, error) {
+	l, err := lattice.New(cfg.Distance)
+	if err != nil {
+		return nil, err
+	}
+	if cfg.Channel == nil {
+		return nil, fmt.Errorf("surface: nil channel")
+	}
+	if cfg.DecoderZ == nil && cfg.DecoderX == nil {
+		return nil, fmt.Errorf("surface: no decoder configured")
+	}
+	s := &Simulator{
+		cfg:      cfg,
+		l:        l,
+		rng:      noise.NewRand(cfg.Seed),
+		residual: pauli.NewFrame(l.NumQubits()),
+	}
+	for _, site := range l.DataSites() {
+		s.data = append(s.data, l.QubitIndex(site))
+	}
+	add := func(e lattice.ErrorType, dec decoder.Decoder, op pauli.Op) {
+		if dec == nil {
+			return
+		}
+		g := l.MatchingGraph(e)
+		p := &plane{etype: e, graph: g, dec: dec, cut: l.LogicalCutSupport(e), op: op}
+		if mesh, ok := dec.(*sfq.Mesh); ok {
+			p.mesh = mesh
+		}
+		if cfg.UseCircuits {
+			p.ext = stabilizer.NewExtractor(g)
+		}
+		s.planes = append(s.planes, p)
+	}
+	add(lattice.ZErrors, cfg.DecoderZ, pauli.Z)
+	add(lattice.XErrors, cfg.DecoderX, pauli.X)
+	return s, nil
+}
+
+// Lattice exposes the simulator's lattice.
+func (s *Simulator) Lattice() *lattice.Lattice { return s.l }
+
+// Run simulates the given number of cycles and returns cumulative
+// counters for this call.
+func (s *Simulator) Run(cycles int) (Result, error) {
+	var res Result
+	for c := 0; c < cycles; c++ {
+		s.cfg.Channel.Sample(s.rng, s.residual, s.data)
+		flipped := false
+		for _, p := range s.planes {
+			f, err := s.decodePlane(p, &res)
+			if err != nil {
+				return res, err
+			}
+			flipped = flipped || f
+		}
+		if err := s.checkClean(); err != nil {
+			return res, err
+		}
+		if flipped {
+			res.LogicalErrors++
+		}
+		res.Cycles++
+	}
+	if res.Cycles > 0 {
+		res.PL = float64(res.LogicalErrors) / float64(res.Cycles)
+	}
+	return res, nil
+}
+
+// decodePlane extracts one plane's syndrome, applies the decoder's
+// correction (force-completing anything the decoder left unresolved) and
+// reports whether the plane's logical operator flipped.
+func (s *Simulator) decodePlane(p *plane, res *Result) (bool, error) {
+	var syn []bool
+	var err error
+	if p.ext != nil {
+		syn, err = p.ext.Extract(s.residual, nil, nil)
+		if err != nil {
+			return false, err
+		}
+	} else {
+		syn = p.graph.Syndrome(s.residual)
+	}
+	var corr decoder.Correction
+	if p.mesh != nil {
+		var st sfq.Stats
+		corr, st, err = p.mesh.DecodeWithStats(syn)
+		if err == nil && s.cfg.Observer != nil {
+			s.cfg.Observer(p.etype, st)
+		}
+	} else {
+		corr, err = p.dec.Decode(p.graph, syn)
+	}
+	if err != nil {
+		return false, fmt.Errorf("surface: %s on %v checks: %w", p.dec.Name(), p.etype, err)
+	}
+	for _, q := range corr.Qubits {
+		s.residual.Apply(q, p.op)
+	}
+	// Ablation variants (and any buggy decoder) may leave checks hot;
+	// the evaluation harness completes them with boundary chains so the
+	// residual is always stabilizer-trivial and PL stays well defined.
+	left := p.graph.Syndrome(s.residual)
+	for _, i := range lattice.HotChecks(left) {
+		for _, q := range p.graph.BoundaryPathQubits(i) {
+			s.residual.Apply(q, p.op)
+		}
+		res.Forced++
+	}
+	if par := parity(s.residual, p.cut, p.etype); par == 1 {
+		// Normalize the residual by the logical operator so each
+		// logical flip is counted once.
+		for _, q := range s.l.LogicalSupport(p.etype) {
+			s.residual.Apply(q, p.op)
+		}
+		return true, nil
+	}
+	return false, nil
+}
+
+// parity returns the residual's error parity over the cut.
+func parity(f *pauli.Frame, cut []int, e lattice.ErrorType) int {
+	if e == lattice.ZErrors {
+		return f.ParityZ(cut)
+	}
+	return f.ParityX(cut)
+}
+
+// checkClean verifies the invariant that after decoding (plus forced
+// completion and logical normalization) the residual frame is trivial on
+// every configured plane.
+func (s *Simulator) checkClean() error {
+	for _, p := range s.planes {
+		for i, hot := range p.graph.Syndrome(s.residual) {
+			if hot {
+				return fmt.Errorf("surface: residual leaves %v check %d hot after correction", p.etype, i)
+			}
+		}
+	}
+	return nil
+}

@@ -1,0 +1,152 @@
+// Package tradeoff implements the Fig. 11 comparison: the code distance
+// each decoder needs to run an algorithm of k T gates at a target
+// success probability, once the decoding backlog is charged against the
+// offline decoders. An online decoder (f ≤ 1) pays k·d syndrome rounds;
+// an offline decoder at ratio f > 1 amortizes f^g rounds of idle
+// accumulation at the g-th T gate, which drives its required distance
+// roughly 10× higher (§VIII, Fig. 11).
+package tradeoff
+
+import (
+	"fmt"
+	"math"
+)
+
+// DecoderSpec models one decoder for the comparison.
+type DecoderSpec struct {
+	Name string
+	// Pth, C1, C2: logical error model PL = C1·(p/Pth)^(C2·d).
+	Pth float64
+	C1  float64
+	C2  float64
+	// DecodeNs returns the per-round decode latency at distance d.
+	DecodeNs func(d int) float64
+	// Online decoders never accumulate backlog regardless of ratio
+	// (used for the hypothetical "MWPM without backlog" series).
+	ForceNoBacklog bool
+}
+
+// PaperDecoders returns the five Fig. 11 series: the SFQ decoder, MWPM,
+// the neural-network decoder, union-find, and the hypothetical
+// backlog-free MWPM. Latencies follow the paper's citations: the SFQ
+// mesh solves in at most ~20 ns (≈2.2 ns × d), neural-network inference
+// takes ~800 ns, union-find runs a bit over 2× the generation time, and
+// software MWPM scales with the lattice.
+func PaperDecoders() []DecoderSpec {
+	mwpmLatency := func(d int) float64 { return 300 * float64(d) }
+	return []DecoderSpec{
+		{
+			Name: "sfq",
+			Pth:  0.05, C1: 0.03, C2: 0.45,
+			DecodeNs: func(d int) float64 { return 2.2 * float64(d) },
+		},
+		{
+			Name: "mwpm",
+			Pth:  0.103, C1: 0.03, C2: 1,
+			DecodeNs: mwpmLatency,
+		},
+		{
+			Name: "nnet",
+			Pth:  0.1, C1: 0.03, C2: 1,
+			DecodeNs: func(d int) float64 { return 800 },
+		},
+		{
+			Name: "union-find",
+			Pth:  0.099, C1: 0.03, C2: 1,
+			DecodeNs: func(d int) float64 { return 850 },
+		},
+		{
+			Name: "mwpm-no-backlog",
+			Pth:  0.103, C1: 0.03, C2: 1,
+			DecodeNs:       mwpmLatency,
+			ForceNoBacklog: true,
+		},
+	}
+}
+
+// Config fixes the Fig. 11 scenario.
+type Config struct {
+	TGates          int     // k: T gates in the algorithm (paper: 100)
+	SyndromeCycleNs float64 // generation cycle (paper: 400 ns)
+	TargetFailure   float64 // acceptable total failure probability
+	MaxDistance     int     // search bound
+}
+
+// DefaultConfig is the paper's 100-T-gate scenario.
+func DefaultConfig() Config {
+	return Config{TGates: 100, SyndromeCycleNs: 400, TargetFailure: 0.5, MaxDistance: 2001}
+}
+
+// log10Rounds returns log10 of the syndrome rounds the algorithm
+// occupies: k·d without backlog; with backlog at ratio f > 1 the g-th
+// T gate additionally idles through ~f^g rounds, so the total is
+// k·d + Σ f^g = k·d + f(f^k−1)/(f−1).
+func log10Rounds(k, d int, f float64, noBacklog bool) float64 {
+	base := math.Log10(float64(k) * float64(d))
+	if noBacklog || f <= 1 {
+		return base
+	}
+	// log10 of the geometric series f + f² + … + f^k, computed in log
+	// space: dominated by f^k.
+	logFk := float64(k) * math.Log10(f)
+	logSeries := logFk + math.Log10(f/(f-1)) // tight upper bound
+	return logAdd10(base, logSeries)
+}
+
+// logAdd10 returns log10(10^a + 10^b) stably.
+func logAdd10(a, b float64) float64 {
+	if a < b {
+		a, b = b, a
+	}
+	return a + math.Log10(1+math.Pow(10, b-a))
+}
+
+// RequiredDistance returns the smallest odd code distance at which the
+// decoder completes the Config's algorithm within the failure budget:
+// rounds(d) × PL(p, d) ≤ TargetFailure. It reports ok=false when no
+// distance up to MaxDistance suffices.
+func RequiredDistance(spec DecoderSpec, p float64, cfg Config) (int, bool, error) {
+	if p <= 0 || p >= spec.Pth {
+		return 0, false, fmt.Errorf("tradeoff: p=%v outside (0, pth=%v) for %s", p, spec.Pth, spec.Name)
+	}
+	if cfg.TGates <= 0 || cfg.SyndromeCycleNs <= 0 || cfg.TargetFailure <= 0 {
+		return 0, false, fmt.Errorf("tradeoff: invalid config %+v", cfg)
+	}
+	for d := 3; d <= cfg.MaxDistance; d += 2 {
+		f := spec.DecodeNs(d) / cfg.SyndromeCycleNs
+		logPL := math.Log10(spec.C1) + spec.C2*float64(d)*math.Log10(p/spec.Pth)
+		logFail := log10Rounds(cfg.TGates, d, f, spec.ForceNoBacklog) + logPL
+		if logFail <= math.Log10(cfg.TargetFailure) {
+			return d, true, nil
+		}
+	}
+	return 0, false, nil
+}
+
+// Point is one Fig. 11 sample.
+type Point struct {
+	Decoder  string
+	P        float64
+	Distance int
+	Feasible bool
+}
+
+// Figure11 sweeps every decoder across the physical error rates and
+// returns the required-distance series.
+func Figure11(specs []DecoderSpec, rates []float64, cfg Config) ([]Point, error) {
+	var out []Point
+	for _, spec := range specs {
+		for _, p := range rates {
+			if p >= spec.Pth {
+				out = append(out, Point{Decoder: spec.Name, P: p, Feasible: false})
+				continue
+			}
+			d, ok, err := RequiredDistance(spec, p, cfg)
+			if err != nil {
+				return nil, err
+			}
+			out = append(out, Point{Decoder: spec.Name, P: p, Distance: d, Feasible: ok})
+		}
+	}
+	return out, nil
+}

@@ -1,0 +1,154 @@
+package tradeoff
+
+import (
+	"math"
+	"testing"
+)
+
+func specByName(t *testing.T, name string) DecoderSpec {
+	t.Helper()
+	for _, s := range PaperDecoders() {
+		if s.Name == name {
+			return s
+		}
+	}
+	t.Fatalf("no spec %q", name)
+	return DecoderSpec{}
+}
+
+func TestValidation(t *testing.T) {
+	sfq := specByName(t, "sfq")
+	cfg := DefaultConfig()
+	if _, _, err := RequiredDistance(sfq, 0.2, cfg); err == nil {
+		t.Error("p above threshold accepted")
+	}
+	bad := cfg
+	bad.TGates = 0
+	if _, _, err := RequiredDistance(sfq, 1e-3, bad); err == nil {
+		t.Error("zero T gates accepted")
+	}
+}
+
+func TestLogAdd10(t *testing.T) {
+	got := logAdd10(2, 2) // log10(200)
+	if math.Abs(got-math.Log10(200)) > 1e-12 {
+		t.Errorf("logAdd10(2,2) = %v", got)
+	}
+	got = logAdd10(10, 0) // 10^10 + 1 ~ 10^10
+	if math.Abs(got-10) > 1e-9 {
+		t.Errorf("logAdd10(10,0) = %v", got)
+	}
+	if logAdd10(0, 10) != logAdd10(10, 0) {
+		t.Error("logAdd10 not symmetric")
+	}
+}
+
+// The headline Fig. 11 claim: at useful error rates the SFQ decoder
+// needs ~10x smaller code distance than the offline decoders once the
+// backlog is charged, and the hypothetical backlog-free MWPM needs the
+// least of all.
+func TestFig11Ordering(t *testing.T) {
+	cfg := DefaultConfig()
+	sfq := specByName(t, "sfq")
+	nnet := specByName(t, "nnet")
+	uf := specByName(t, "union-find")
+	ideal := specByName(t, "mwpm-no-backlog")
+
+	for _, p := range []float64{1e-5, 1e-4, 1e-3} {
+		dSfq, ok, err := RequiredDistance(sfq, p, cfg)
+		if err != nil || !ok {
+			t.Fatalf("sfq p=%v: %v ok=%v", p, err, ok)
+		}
+		dNnet, ok, err := RequiredDistance(nnet, p, cfg)
+		if err != nil || !ok {
+			t.Fatalf("nnet p=%v: %v ok=%v", p, err, ok)
+		}
+		dUf, ok, err := RequiredDistance(uf, p, cfg)
+		if err != nil || !ok {
+			t.Fatalf("uf p=%v: %v ok=%v", p, err, ok)
+		}
+		dIdeal, ok, err := RequiredDistance(ideal, p, cfg)
+		if err != nil || !ok {
+			t.Fatalf("ideal p=%v: %v ok=%v", p, err, ok)
+		}
+		if dSfq >= dNnet || dSfq >= dUf {
+			t.Errorf("p=%v: sfq d=%d not below offline nnet=%d uf=%d", p, dSfq, dNnet, dUf)
+		}
+		if dIdeal > dSfq {
+			t.Errorf("p=%v: ideal MWPM d=%d above sfq %d", p, dIdeal, dSfq)
+		}
+		ratio := float64(dNnet) / float64(dSfq)
+		if ratio < 3 {
+			t.Errorf("p=%v: offline/online distance ratio %.1f, paper says ~10x", p, ratio)
+		}
+	}
+}
+
+// Required distance must not decrease as the error rate rises.
+func TestMonotoneInP(t *testing.T) {
+	cfg := DefaultConfig()
+	for _, spec := range PaperDecoders() {
+		prev := 0
+		for _, p := range []float64{1e-5, 1e-4, 1e-3, 1e-2} {
+			if p >= spec.Pth {
+				continue
+			}
+			d, ok, err := RequiredDistance(spec, p, cfg)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !ok {
+				continue
+			}
+			if d < prev {
+				t.Errorf("%s: required d dropped from %d to %d at p=%v", spec.Name, prev, d, p)
+			}
+			prev = d
+		}
+	}
+}
+
+func TestFigure11Sweep(t *testing.T) {
+	cfg := DefaultConfig()
+	rates := []float64{1e-5, 1e-4, 1e-3, 1e-2, 0.05}
+	pts, err := Figure11(PaperDecoders(), rates, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(pts) != len(rates)*len(PaperDecoders()) {
+		t.Fatalf("%d points", len(pts))
+	}
+	// Rates above a decoder's threshold are marked infeasible rather
+	// than erroring the sweep.
+	found := false
+	for _, pt := range pts {
+		if pt.Decoder == "sfq" && pt.P == 0.05 {
+			found = true
+			if pt.Feasible {
+				t.Error("sfq feasible at its own threshold")
+			}
+		}
+	}
+	if !found {
+		t.Error("threshold point missing")
+	}
+}
+
+// Backlog must be the thing driving the distance gap: the same MWPM
+// model with backlog disabled needs far less distance.
+func TestBacklogIsTheDriver(t *testing.T) {
+	cfg := DefaultConfig()
+	mwpm := specByName(t, "mwpm")
+	ideal := specByName(t, "mwpm-no-backlog")
+	d1, ok1, err1 := RequiredDistance(mwpm, 1e-4, cfg)
+	d2, ok2, err2 := RequiredDistance(ideal, 1e-4, cfg)
+	if err1 != nil || err2 != nil || !ok1 || !ok2 {
+		t.Fatalf("errors: %v %v ok %v %v", err1, err2, ok1, ok2)
+	}
+	if d1 <= d2 {
+		t.Errorf("backlogged MWPM d=%d not above ideal %d", d1, d2)
+	}
+	if float64(d1)/float64(d2) < 5 {
+		t.Errorf("backlog penalty only %.1fx", float64(d1)/float64(d2))
+	}
+}
