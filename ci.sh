@@ -1,0 +1,31 @@
+#!/bin/sh
+# ci.sh — the repository's continuous-integration gate.
+#
+#   ./ci.sh
+#
+# Runs, in order: go vet, go build, and the full test suite under the
+# race detector. The race run sets REPRO_MC_SHORT=1, which the
+# statistical tests in internal/stats and internal/mc honour by
+# shrinking their trial budgets (their acceptance thresholds scale with
+# sample size, so the checks stay valid — just cheaper, since the race
+# detector slows execution roughly tenfold).
+#
+# Unset REPRO_MC_SHORT (the plain `go test ./...` below) exercises the
+# full-size budgets.
+set -eu
+
+cd "$(dirname "$0")"
+
+echo "== go vet =="
+go vet ./...
+
+echo "== go build =="
+go build ./...
+
+echo "== go test =="
+go test ./...
+
+echo "== go test -race (short trials) =="
+REPRO_MC_SHORT=1 go test -race ./...
+
+echo "CI OK"

@@ -6,16 +6,24 @@
 // discussion (§VIII "Comparison to existing approximation techniques")
 // with a single reproducible table.
 //
+// All rows run concurrently on the sharded Monte-Carlo engine. Every
+// decoder at a given distance uses the same engine point ID, so the
+// per-trial error streams are identical across decoders — the
+// head-to-head property the table depends on — for any -workers value.
+//
 // Usage:
 //
 //	compare [-distances 3,5,7] [-p 0.03] [-cycles 20000] [-seed 1]
+//	        [-workers 0]
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"log"
 	"os"
+	"os/signal"
 	"strconv"
 	"strings"
 	"text/tabwriter"
@@ -27,8 +35,10 @@ import (
 	"repro/internal/decoder/neural"
 	"repro/internal/decoder/unionfind"
 	"repro/internal/lattice"
+	"repro/internal/mc"
 	"repro/internal/noise"
 	"repro/internal/sfq"
+	"repro/internal/stats"
 	"repro/internal/surface"
 )
 
@@ -37,6 +47,7 @@ func main() {
 	p := flag.Float64("p", 0.03, "physical dephasing rate")
 	cycles := flag.Int("cycles", 20000, "syndrome cycles per decoder")
 	seed := flag.Int64("seed", 1, "random seed (shared across decoders)")
+	workers := flag.Int("workers", 0, "concurrent trial shards (0 = GOMAXPROCS)")
 	flag.Parse()
 
 	var ds []int
@@ -48,58 +59,73 @@ func main() {
 		ds = append(ds, v)
 	}
 
+	type row struct {
+		d    int
+		name string
+		note string
+	}
+	var rows []row
+	var specs []mc.PointSpec
+	add := func(d int, name, note string, shardSize int, newDec func() (decoder.Decoder, error)) {
+		rows = append(rows, row{d, name, note})
+		build := func() (surface.Config, error) {
+			ch, err := noise.NewDephasing(*p)
+			if err != nil {
+				return surface.Config{}, err
+			}
+			dec, err := newDec()
+			if err != nil {
+				return surface.Config{}, err
+			}
+			return surface.Config{Distance: d, Channel: ch, DecoderZ: dec}, nil
+		}
+		// Same ID per distance: identical error streams for every decoder.
+		specs = append(specs, stats.LifetimeSpec(int64(d), *cycles, shardSize, build))
+	}
+	for _, d := range ds {
+		d := d
+		g := lattice.MustNew(d).MatchingGraph(lattice.ZErrors)
+		add(d, "sfq-"+sfq.Final.Name(), "online, ~ns latency", 0, func() (decoder.Decoder, error) {
+			return sfq.New(g, sfq.Final), nil
+		})
+		add(d, "greedy", "software reference of §V-B", 0, func() (decoder.Decoder, error) {
+			return greedy.New(), nil
+		})
+		add(d, "mwpm", "exact matching (offline)", 0, func() (decoder.Decoder, error) {
+			return mwpm.New(), nil
+		})
+		add(d, "union-find", "almost-linear (offline)", 0, func() (decoder.Decoder, error) {
+			return unionfind.New(), nil
+		})
+		if d == 3 {
+			// Single-shard points: building these decoders is expensive
+			// (coset tables, MLP training), so pay it once.
+			add(d, "ml-exact", "exact maximum likelihood", *cycles, func() (decoder.Decoder, error) {
+				return mld.New(g, *p)
+			})
+			add(d, "neural", "greedy + trained MLP stage", *cycles, func() (decoder.Decoder, error) {
+				return neural.New(g, neural.TrainConfig{P: *p, Samples: 80000, Seed: *seed})
+			})
+		}
+	}
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
+	defer stop()
+	results, err := mc.Run(ctx, mc.Config{RootSeed: *seed, Workers: *workers}, specs)
+	if err != nil {
+		log.Fatal(err)
+	}
+
 	fmt.Printf("decoder comparison — pure dephasing p=%g, %d cycles, identical error streams\n\n", *p, *cycles)
 	w := tabwriter.NewWriter(os.Stdout, 2, 4, 2, ' ', 0)
 	fmt.Fprintln(w, "d\tdecoder\tlogical errors\tPL\tnote")
-	for _, d := range ds {
-		g := lattice.MustNew(d).MatchingGraph(lattice.ZErrors)
-		decoders := []struct {
-			dec  decoder.Decoder
-			note string
-		}{
-			{sfq.New(g, sfq.Final), "online, ~ns latency"},
-			{greedy.New(), "software reference of §V-B"},
-			{mwpm.New(), "exact matching (offline)"},
-			{unionfind.New(), "almost-linear (offline)"},
+	for i, r := range rows {
+		res := results[i]
+		pl := 0.0
+		if res.Trials > 0 {
+			pl = float64(res.Failures) / float64(res.Trials)
 		}
-		if d == 3 {
-			ml, err := mld.New(g, *p)
-			if err != nil {
-				log.Fatal(err)
-			}
-			decoders = append(decoders, struct {
-				dec  decoder.Decoder
-				note string
-			}{ml, "exact maximum likelihood"})
-			nn, err := neural.New(g, neural.TrainConfig{P: *p, Samples: 80000, Seed: *seed})
-			if err != nil {
-				log.Fatal(err)
-			}
-			decoders = append(decoders, struct {
-				dec  decoder.Decoder
-				note string
-			}{nn, "greedy + trained MLP stage"})
-		}
-		for _, entry := range decoders {
-			ch, err := noise.NewDephasing(*p)
-			if err != nil {
-				log.Fatal(err)
-			}
-			sim, err := surface.New(surface.Config{
-				Distance: d,
-				Channel:  ch,
-				DecoderZ: entry.dec,
-				Seed:     *seed, // same seed: same error stream per distance
-			})
-			if err != nil {
-				log.Fatal(err)
-			}
-			res, err := sim.Run(*cycles)
-			if err != nil {
-				log.Fatal(err)
-			}
-			fmt.Fprintf(w, "%d\t%s\t%d\t%.5f\t%s\n", d, entry.dec.Name(), res.LogicalErrors, res.PL, entry.note)
-		}
+		fmt.Fprintf(w, "%d\t%s\t%d\t%.5f\t%s\n", r.d, r.name, res.Failures, pl, r.note)
 	}
 	w.Flush()
 	fmt.Println("\nthe SFQ mesh trades a constant-factor accuracy loss for four orders")

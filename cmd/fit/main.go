@@ -6,13 +6,20 @@
 // Usage:
 //
 //	fit [-cycles 40000] [-pth 0.05] [-distances 3,5,7,9] [-seed 1]
+//	    [-workers 0] [-relwidth 0] [-progress]
+//
+// The sweep runs on the sharded Monte-Carlo engine: results are
+// bit-identical for any -workers value, and -relwidth trades cycles
+// for a target confidence-interval width per point.
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"log"
 	"os"
+	"os/signal"
 	"strconv"
 	"strings"
 	"text/tabwriter"
@@ -20,6 +27,7 @@ import (
 	"repro/internal/decoder"
 	"repro/internal/lattice"
 	"repro/internal/noise"
+	"repro/internal/progress"
 	"repro/internal/sfq"
 	"repro/internal/stats"
 )
@@ -28,8 +36,10 @@ func main() {
 	cycles := flag.Int("cycles", 40000, "syndrome cycles per (d, p) point")
 	pth := flag.Float64("pth", 0.05, "accuracy threshold used by the model")
 	distances := flag.String("distances", "3,5,7,9", "code distances")
-	workers := flag.Int("workers", 4, "concurrent points")
+	workers := flag.Int("workers", 0, "concurrent trial shards (0 = GOMAXPROCS)")
 	seed := flag.Int64("seed", 1, "random seed")
+	relWidth := flag.Float64("relwidth", 0, "stop a point once its 95% CI is tighter than this fraction of PL (0 = run all cycles)")
+	showProgress := flag.Bool("progress", false, "live progress line on stderr")
 	flag.Parse()
 
 	var ds []int
@@ -42,7 +52,7 @@ func main() {
 	}
 	rates := []float64{0.015, 0.02, 0.025, 0.03, 0.035, 0.04}
 
-	points, err := stats.Curves(stats.CurveConfig{
+	cfg := stats.CurveConfig{
 		Distances:  ds,
 		Rates:      rates,
 		Cycles:     *cycles,
@@ -50,9 +60,21 @@ func main() {
 		NewDecoderZ: func(d int) decoder.Decoder {
 			return sfq.New(lattice.MustNew(d).MatchingGraph(lattice.ZErrors), sfq.Final)
 		},
-		Seed:    *seed,
-		Workers: *workers,
-	})
+		Seed:           *seed,
+		Workers:        *workers,
+		TargetRelWidth: *relWidth,
+	}
+	var bar *progress.Printer
+	if *showProgress {
+		bar = progress.New(os.Stderr, len(ds)*len(rates))
+		cfg.Progress = bar.Observe
+	}
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
+	defer stop()
+	points, err := stats.CurvesContext(ctx, cfg)
+	if bar != nil {
+		bar.Finish()
+	}
 	if err != nil {
 		log.Fatal(err)
 	}

@@ -3,24 +3,32 @@
 // qubit cost and lifetime logical error rate under the same channel and
 // decoder family (exact matching).
 //
+// Both layouts run on the sharded Monte-Carlo engine, so all points
+// execute in parallel and the table is bit-identical for any -workers
+// value.
+//
 // Usage:
 //
 //	rotated [-distances 3,5,7] [-p 0.03] [-cycles 20000] [-seed 1]
+//	        [-workers 0]
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"log"
 	"os"
+	"os/signal"
 	"strconv"
 	"strings"
 	"text/tabwriter"
 
+	"repro/internal/decoder"
 	"repro/internal/decoder/mwpm"
 	"repro/internal/noise"
 	"repro/internal/rotated"
-	"repro/internal/surface"
+	"repro/internal/stats"
 )
 
 func main() {
@@ -28,6 +36,7 @@ func main() {
 	p := flag.Float64("p", 0.03, "physical dephasing rate")
 	cycles := flag.Int("cycles", 20000, "syndrome cycles per point")
 	seed := flag.Int64("seed", 1, "random seed")
+	workers := flag.Int("workers", 0, "concurrent trial shards (0 = GOMAXPROCS)")
 	flag.Parse()
 
 	var ds []int
@@ -39,35 +48,34 @@ func main() {
 		ds = append(ds, v)
 	}
 
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
+	defer stop()
+	unrotated, err := stats.CurvesContext(ctx, stats.CurveConfig{
+		Distances:   ds,
+		Rates:       []float64{*p},
+		Cycles:      *cycles,
+		NewChannel:  func(p float64) (noise.Channel, error) { return noise.NewDephasing(p) },
+		NewDecoderZ: func(d int) decoder.Decoder { return mwpm.New() },
+		Seed:        *seed,
+		Workers:     *workers,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+
 	fmt.Printf("unrotated (paper) vs rotated layout — dephasing p=%g, exact matching, %d cycles\n\n", *p, *cycles)
 	w := tabwriter.NewWriter(os.Stdout, 2, 4, 2, ' ', 0)
 	fmt.Fprintln(w, "d\tlayout\tphysical qubits\tlogical errors\tPL")
-	for _, d := range ds {
-		ch, err := noise.NewDephasing(*p)
-		if err != nil {
-			log.Fatal(err)
-		}
-		sim, err := surface.New(surface.Config{
-			Distance: d,
-			Channel:  ch,
-			DecoderZ: mwpm.New(),
-			Seed:     *seed,
-		})
-		if err != nil {
-			log.Fatal(err)
-		}
-		res, err := sim.Run(*cycles)
-		if err != nil {
-			log.Fatal(err)
-		}
+	for i, d := range ds {
+		res := unrotated[i]
 		fmt.Fprintf(w, "%d\tunrotated\t%d\t%d\t%.5f\n",
-			d, (2*d-1)*(2*d-1), res.LogicalErrors, res.PL)
+			d, (2*d-1)*(2*d-1), res.Errors, res.PL)
 
 		rc, err := rotated.New(d)
 		if err != nil {
 			log.Fatal(err)
 		}
-		rres, err := rc.Lifetime(*p, *cycles, rotated.Exact, *seed)
+		rres, err := rc.LifetimeMC(ctx, *p, *cycles, rotated.Exact, *seed, *workers)
 		if err != nil {
 			log.Fatal(err)
 		}

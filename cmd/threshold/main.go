@@ -7,14 +7,22 @@
 // Usage:
 //
 //	threshold [-variant final] [-cycles 20000] [-distances 3,5,7,9]
-//	          [-rates 0.01,...,0.1] [-workers 4] [-seed 1]
+//	          [-rates 0.01,...,0.1] [-workers 0] [-seed 1]
+//	          [-relwidth 0] [-progress]
+//
+// Sweeps run on the sharded Monte-Carlo engine (internal/mc): points
+// and trial shards execute in parallel, results are bit-identical for
+// any -workers value, -relwidth enables adaptive early stopping on the
+// Wilson interval, and Ctrl-C aborts cleanly.
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"log"
 	"os"
+	"os/signal"
 	"strconv"
 	"strings"
 	"text/tabwriter"
@@ -23,6 +31,7 @@ import (
 	"repro/internal/lattice"
 	"repro/internal/noise"
 	"repro/internal/plot"
+	"repro/internal/progress"
 	"repro/internal/sfq"
 	"repro/internal/stats"
 )
@@ -56,10 +65,12 @@ func main() {
 	cycles := flag.Int("cycles", 20000, "syndrome cycles per (d, p) point")
 	distances := flag.String("distances", "3,5,7,9", "code distances")
 	rates := flag.String("rates", "0.01,0.02,0.03,0.04,0.05,0.06,0.07,0.08,0.09,0.10", "physical error rates")
-	workers := flag.Int("workers", 4, "concurrent points")
+	workers := flag.Int("workers", 0, "concurrent trial shards (0 = GOMAXPROCS)")
 	seed := flag.Int64("seed", 1, "random seed")
 	doPlot := flag.Bool("plot", false, "render the curves as an ASCII log-log chart")
 	channel := flag.String("channel", "dephasing", "error channel: dephasing or depolarizing")
+	relWidth := flag.Float64("relwidth", 0, "stop a point once its 95% CI is tighter than this fraction of PL (0 = run all cycles)")
+	showProgress := flag.Bool("progress", false, "live progress line on stderr")
 	flag.Parse()
 
 	variant, ok := sfq.VariantByName(*variantName)
@@ -83,8 +94,14 @@ func main() {
 		NewDecoderZ: func(d int) decoder.Decoder {
 			return sfq.New(lattice.MustNew(d).MatchingGraph(lattice.ZErrors), variant)
 		},
-		Seed:    *seed,
-		Workers: *workers,
+		Seed:           *seed,
+		Workers:        *workers,
+		TargetRelWidth: *relWidth,
+	}
+	var bar *progress.Printer
+	if *showProgress {
+		bar = progress.New(os.Stderr, len(ds)*len(ps))
+		cfg.Progress = bar.Observe
 	}
 	switch *channel {
 	case "dephasing":
@@ -96,17 +113,22 @@ func main() {
 	default:
 		log.Fatalf("unknown channel %q", *channel)
 	}
-	points, err := stats.Curves(cfg)
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
+	defer stop()
+	points, err := stats.CurvesContext(ctx, cfg)
+	if bar != nil {
+		bar.Finish()
+	}
 	if err != nil {
 		log.Fatal(err)
 	}
 
 	fmt.Printf("Fig. 10 — logical error rate, %s design, %s channel, %d cycles/point\n\n", variant.Name(), *channel, *cycles)
 	w := tabwriter.NewWriter(os.Stdout, 2, 4, 2, ' ', 0)
-	fmt.Fprintln(w, "d\tp\tPL\t95% CI\terrors\tforced")
+	fmt.Fprintln(w, "d\tp\tPL\t95% CI\terrors\tcycles\tforced")
 	for _, pt := range points {
-		fmt.Fprintf(w, "%d\t%.3f\t%.5f\t[%.5f, %.5f]\t%d\t%d\n",
-			pt.D, pt.P, pt.PL, pt.Lo, pt.Hi, pt.Errors, pt.Forced)
+		fmt.Fprintf(w, "%d\t%.3f\t%.5f\t[%.5f, %.5f]\t%d\t%d\t%d\n",
+			pt.D, pt.P, pt.PL, pt.Lo, pt.Hi, pt.Errors, pt.Cycles, pt.Forced)
 	}
 	w.Flush()
 

@@ -3,10 +3,15 @@
 // cycles-to-solution distributions), by running lifetime simulations
 // with the final SFQ design and recording every mesh invocation.
 //
+// The sweep runs on the sharded Monte-Carlo engine: all (d, p) points
+// and their trial shards execute in parallel, and mesh samples are
+// collected through the observer hook. Sample sets are sorted before
+// summarizing, so the table is reproducible for any -workers value.
+//
 // Usage:
 //
 //	timing [-cycles 4000] [-distances 3,5,7,9] [-rates 0.01,...]
-//	       [-hist] [-seed 1]
+//	       [-hist] [-seed 1] [-workers 0]
 package main
 
 import (
@@ -14,15 +19,17 @@ import (
 	"fmt"
 	"log"
 	"os"
+	"sort"
 	"strconv"
 	"strings"
+	"sync"
 	"text/tabwriter"
 
+	"repro/internal/decoder"
 	"repro/internal/lattice"
 	"repro/internal/noise"
 	"repro/internal/sfq"
 	"repro/internal/stats"
-	"repro/internal/surface"
 )
 
 func parseList(s string, f func(string) error) error {
@@ -34,12 +41,29 @@ func parseList(s string, f func(string) error) error {
 	return nil
 }
 
+// meshSamples collects observer samples for one code distance. Points
+// of the same distance at different rates report concurrently, so the
+// collector locks around every append.
+type meshSamples struct {
+	mu     sync.Mutex
+	times  []float64
+	counts map[int]int
+}
+
+func (ms *meshSamples) observe(st sfq.Stats) {
+	ms.mu.Lock()
+	ms.times = append(ms.times, st.TimeNs())
+	ms.counts[st.Cycles]++
+	ms.mu.Unlock()
+}
+
 func main() {
 	cycles := flag.Int("cycles", 4000, "syndrome cycles per (d, p) point")
 	distances := flag.String("distances", "3,5,7,9", "code distances")
 	rates := flag.String("rates", "0.01,0.02,0.03,0.04,0.05,0.06,0.07,0.08,0.09,0.10", "physical error rates")
 	hist := flag.Bool("hist", false, "also print the Fig. 10(c) cycle histograms")
 	seed := flag.Int64("seed", 1, "random seed")
+	workers := flag.Int("workers", 0, "concurrent trial shards (0 = GOMAXPROCS)")
 	flag.Parse()
 
 	var ds []int
@@ -59,6 +83,28 @@ func main() {
 		log.Fatal(err)
 	}
 
+	samples := map[int]*meshSamples{}
+	for _, d := range ds {
+		samples[d] = &meshSamples{counts: map[int]int{}}
+	}
+	if _, err := stats.Curves(stats.CurveConfig{
+		Distances:  ds,
+		Rates:      ps,
+		Cycles:     *cycles,
+		NewChannel: func(p float64) (noise.Channel, error) { return noise.NewDephasing(p) },
+		NewDecoderZ: func(d int) decoder.Decoder {
+			return sfq.New(lattice.MustNew(d).MatchingGraph(lattice.ZErrors), sfq.Final)
+		},
+		Seed:    *seed,
+		Workers: *workers,
+		Observer: func(d int, p float64) func(lattice.ErrorType, sfq.Stats) {
+			ms := samples[d]
+			return func(e lattice.ErrorType, st sfq.Stats) { ms.observe(st) }
+		},
+	}); err != nil {
+		log.Fatal(err)
+	}
+
 	fmt.Printf("Table IV — decoder execution time (ns), final design, %d cycles per (d,p)\n\n", *cycles)
 	w := tabwriter.NewWriter(os.Stdout, 2, 4, 2, ' ', 0)
 	fmt.Fprintln(w, "d\tmax\tp99.9\taverage\tstd dev\tdecodes\t(paper max/avg/std)")
@@ -68,34 +114,9 @@ func main() {
 		7: {14.2, 2.00, 1.99},
 		9: {19.2, 3.81, 3.11},
 	}
-	histograms := map[int]map[int]int{}
 	for _, d := range ds {
-		var times []float64
-		counts := map[int]int{}
-		for pi, p := range ps {
-			ch, err := noise.NewDephasing(p)
-			if err != nil {
-				log.Fatal(err)
-			}
-			mesh := sfq.New(lattice.MustNew(d).MatchingGraph(lattice.ZErrors), sfq.Final)
-			sim, err := surface.New(surface.Config{
-				Distance: d,
-				Channel:  ch,
-				DecoderZ: mesh,
-				Seed:     *seed + int64(d*100+pi),
-				Observer: func(e lattice.ErrorType, st sfq.Stats) {
-					times = append(times, st.TimeNs())
-					counts[st.Cycles]++
-				},
-			})
-			if err != nil {
-				log.Fatal(err)
-			}
-			if _, err := sim.Run(*cycles); err != nil {
-				log.Fatal(err)
-			}
-		}
-		histograms[d] = counts
+		times := samples[d].times
+		sort.Float64s(times) // shard completion order varies; the summary must not
 		s := stats.Summarize(times)
 		row := fmt.Sprintf("%d\t%.2f\t%.2f\t%.2f\t%.2f\t%d", d, s.Max, stats.Percentile(times, 0.999), s.Mean, s.StdDev, s.N)
 		if pp, ok := paper[d]; ok {
@@ -108,7 +129,7 @@ func main() {
 	if *hist {
 		fmt.Println("\nFig. 10(c) — cycles-to-solution distribution (first 21 bins)")
 		for _, d := range ds {
-			counts := histograms[d]
+			counts := samples[d].counts
 			total := 0
 			for _, c := range counts {
 				total += c

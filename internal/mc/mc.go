@@ -1,0 +1,343 @@
+// Package mc is the shared, sharded Monte-Carlo execution engine behind
+// every sweep in this repository (Fig. 10 threshold curves, Table IV/V,
+// the SQV machine simulation, and the space-time and rotated-layout
+// extensions).
+//
+// The engine runs a set of points, each a budget of independent trials.
+// Two levels of parallelism are exposed to one worker pool sized from
+// GOMAXPROCS: points run concurrently with each other, and the trials
+// inside a point are split into shards that also run concurrently, so a
+// single large point (d = 9, 10⁵ cycles) no longer serializes on one
+// goroutine.
+//
+// Reproducibility contract: every trial draws its randomness from a
+// counter-based stream that is a pure function of (RootSeed, PointSpec.ID,
+// trial index) — see Stream — and trials are aggregated by commutative
+// tallies. Results are therefore bit-identical regardless of Workers,
+// ShardSize, or scheduling order, which the cross-worker determinism
+// regression tests assert.
+//
+// Adaptive early stopping halts a point once its confidence interval
+// (the caller supplies the interval, e.g. stats.WilsonInterval) is
+// tighter than TargetRelWidth relative to the measured rate. Stopping
+// decisions are evaluated only at a deterministic checkpoint schedule
+// (MinTrials, 2·MinTrials, 4·MinTrials, …), so the trials-spent count
+// is itself reproducible.
+package mc
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"math/rand"
+	"runtime"
+	"sync"
+)
+
+// Outcome is the result of one trial.
+type Outcome struct {
+	// Failed marks the event being counted (e.g. a logical error this
+	// cycle). The engine tallies failures per point.
+	Failed bool
+	// Aux is an auxiliary counter summed across trials (e.g. forced
+	// completions, or cycles-to-failure for stopping-time experiments).
+	Aux int64
+}
+
+// Shard executes trials sequentially on private state (its own
+// simulator, decoder, frame). The engine creates shards with
+// PointSpec.NewShard and reuses them across batches of the same point;
+// a shard is never used from two goroutines at once.
+type Shard interface {
+	// Trial runs trial index t. rng is positioned at the start of the
+	// trial's private stream; the outcome must depend only on rng and t,
+	// never on which trials the shard ran before (reset any carried
+	// state first).
+	Trial(rng *rand.Rand, t int) (Outcome, error)
+}
+
+// ShardFunc adapts a stateless function to the Shard interface.
+type ShardFunc func(rng *rand.Rand, t int) (Outcome, error)
+
+// Trial implements Shard.
+func (f ShardFunc) Trial(rng *rand.Rand, t int) (Outcome, error) { return f(rng, t) }
+
+// PointSpec describes one point of a sweep.
+type PointSpec struct {
+	// ID keys the point's random streams (with RootSeed). Use DeriveID
+	// from the point's parameters so results are invariant under sweep
+	// reordering. Distinct points should have distinct IDs; equal IDs
+	// deliberately replay identical streams (decoder head-to-heads).
+	ID int64
+	// Trials is the maximum trial budget (> 0).
+	Trials int
+	// NewShard builds private per-shard state. It is called at most
+	// once per concurrently running shard of this point.
+	NewShard func() (Shard, error)
+	// ShardSize overrides the engine's shard sizing for this point
+	// (e.g. 1 shard for a point whose state is expensive to build).
+	ShardSize int
+}
+
+// Progress reports one point's cumulative tally after a checkpoint.
+type Progress struct {
+	Point    int   // index into the spec slice
+	ID       int64 // PointSpec.ID
+	Trials   int   // trials completed so far
+	Target   int   // trial budget
+	Failures int   // failures so far
+	Done     bool  // point finished (budget exhausted or CI tight enough)
+}
+
+// Config drives a Run.
+type Config struct {
+	// RootSeed seeds every stream of the run.
+	RootSeed int64
+	// Workers bounds concurrently executing shards across all points;
+	// 0 means GOMAXPROCS.
+	Workers int
+	// ShardSize fixes the trials per shard; 0 sizes shards to a few
+	// tasks per worker. Results never depend on this, only throughput.
+	ShardSize int
+	// TargetRelWidth, when > 0, stops a point early once its interval
+	// half-spread satisfies hi−lo ≤ TargetRelWidth·(failures/trials).
+	// Points with zero failures run their full budget.
+	TargetRelWidth float64
+	// Interval maps (failures, trials) to a confidence interval; it is
+	// required when TargetRelWidth > 0 (pass stats.WilsonInterval at
+	// the caller's z).
+	Interval func(k, n int) (lo, hi float64)
+	// MinTrials is the first early-stopping checkpoint (default 1000);
+	// later checkpoints double until the budget is reached.
+	MinTrials int
+	// Progress, when non-nil, receives a Progress after every
+	// checkpoint of every point. Calls are serialized by the engine.
+	Progress func(Progress)
+}
+
+// Result is one point's aggregate tally.
+type Result struct {
+	ID       int64
+	Trials   int   // trials actually spent (≤ budget under early stopping)
+	Failures int   // failed-trial count
+	Aux      int64 // summed Outcome.Aux
+}
+
+// cancelCheckEvery bounds how many trials a shard runs between
+// context-cancellation checks.
+const cancelCheckEvery = 256
+
+type engine struct {
+	cfg       Config
+	workers   int
+	minTrials int
+	tasks     chan func()
+	mu        sync.Mutex // serializes Progress callbacks
+}
+
+// Run executes the sweep and returns one Result per spec, in spec
+// order. On failure it returns the errors of every failed point joined
+// in point order (errors.Join), never a partial result set.
+func Run(ctx context.Context, cfg Config, specs []PointSpec) ([]Result, error) {
+	for i, sp := range specs {
+		if sp.Trials <= 0 {
+			return nil, fmt.Errorf("mc: point %d (id %d): Trials must be positive", i, sp.ID)
+		}
+		if sp.NewShard == nil {
+			return nil, fmt.Errorf("mc: point %d (id %d): NewShard is required", i, sp.ID)
+		}
+	}
+	if cfg.TargetRelWidth > 0 && cfg.Interval == nil {
+		return nil, fmt.Errorf("mc: TargetRelWidth needs an Interval function")
+	}
+	if len(specs) == 0 {
+		return nil, nil
+	}
+	e := &engine{cfg: cfg, workers: cfg.Workers, minTrials: cfg.MinTrials}
+	if e.workers <= 0 {
+		e.workers = runtime.GOMAXPROCS(0)
+	}
+	if e.minTrials <= 0 {
+		e.minTrials = 1000
+	}
+	e.tasks = make(chan func())
+	var workerWG sync.WaitGroup
+	for w := 0; w < e.workers; w++ {
+		workerWG.Add(1)
+		go func() {
+			defer workerWG.Done()
+			for task := range e.tasks {
+				task()
+			}
+		}()
+	}
+	results := make([]Result, len(specs))
+	errs := make([]error, len(specs))
+	var pointWG sync.WaitGroup
+	for i := range specs {
+		pointWG.Add(1)
+		go func(i int) {
+			defer pointWG.Done()
+			results[i], errs[i] = e.runPoint(ctx, i, specs[i])
+		}(i)
+	}
+	pointWG.Wait()
+	close(e.tasks)
+	workerWG.Wait()
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	if err := errors.Join(errs...); err != nil {
+		return nil, err
+	}
+	return results, nil
+}
+
+// runPoint drives one point through its checkpoint schedule.
+func (e *engine) runPoint(ctx context.Context, idx int, sp PointSpec) (Result, error) {
+	res := Result{ID: sp.ID}
+	idle := make(chan Shard, e.workers) // shard states reused across batches
+	for res.Trials < sp.Trials {
+		hi := sp.Trials
+		if e.cfg.TargetRelWidth > 0 {
+			// Deterministic checkpoints: minTrials, then doubling.
+			next := e.minTrials
+			for next <= res.Trials {
+				next *= 2
+			}
+			if next < hi {
+				hi = next
+			}
+		}
+		failures, aux, err := e.runBatch(ctx, sp, idle, res.Trials, hi)
+		if err != nil {
+			return res, fmt.Errorf("mc: point %d (id %d): %w", idx, sp.ID, err)
+		}
+		res.Trials = hi
+		res.Failures += failures
+		res.Aux += aux
+		done := res.Trials >= sp.Trials
+		if !done && e.cfg.TargetRelWidth > 0 && res.Failures > 0 {
+			lo, hiCI := e.cfg.Interval(res.Failures, res.Trials)
+			rate := float64(res.Failures) / float64(res.Trials)
+			done = hiCI-lo <= e.cfg.TargetRelWidth*rate
+		}
+		if e.cfg.Progress != nil {
+			e.mu.Lock()
+			e.cfg.Progress(Progress{
+				Point: idx, ID: sp.ID, Trials: res.Trials, Target: sp.Trials,
+				Failures: res.Failures, Done: done,
+			})
+			e.mu.Unlock()
+		}
+		if done {
+			break
+		}
+	}
+	return res, nil
+}
+
+type shardTally struct {
+	failures int
+	aux      int64
+	err      error
+}
+
+// runBatch fans trials [lo, hi) out over the worker pool and waits for
+// the whole batch. Shard errors are joined in shard order, so the
+// reported error set does not depend on scheduling.
+func (e *engine) runBatch(ctx context.Context, sp PointSpec, idle chan Shard, lo, hi int) (failures int, aux int64, err error) {
+	size := sp.ShardSize
+	if size <= 0 {
+		size = e.cfg.ShardSize
+	}
+	if size <= 0 {
+		// A few tasks per worker evens out stragglers while keeping
+		// shard-state reuse worthwhile.
+		size = (hi - lo + 4*e.workers - 1) / (4 * e.workers)
+		if size < 1 {
+			size = 1
+		}
+	}
+	n := (hi - lo + size - 1) / size
+	tallies := make([]shardTally, n)
+	var wg sync.WaitGroup
+	for s, canceled := 0, false; s < n && !canceled; s++ {
+		a := lo + s*size
+		b := a + size
+		if b > hi {
+			b = hi
+		}
+		s, a, b := s, a, b
+		wg.Add(1)
+		task := func() {
+			defer wg.Done()
+			tallies[s] = e.runShard(ctx, sp, idle, a, b)
+		}
+		select {
+		case e.tasks <- task:
+		case <-ctx.Done():
+			// Not submitted, so this slot is ours to write; stop
+			// submitting further shards.
+			wg.Done()
+			tallies[s].err = ctx.Err()
+			canceled = true
+		}
+	}
+	wg.Wait()
+	var errs []error
+	seen := map[string]bool{}
+	for _, t := range tallies {
+		failures += t.failures
+		aux += t.aux
+		// Identical messages collapse to one: when every shard fails the
+		// same way (e.g. NewShard rejects the point's config), the point
+		// reports the failure once, not once per shard.
+		if t.err != nil && !seen[t.err.Error()] {
+			seen[t.err.Error()] = true
+			errs = append(errs, t.err)
+		}
+	}
+	return failures, aux, errors.Join(errs...)
+}
+
+// runShard executes trials [lo, hi) on one shard state, resetting the
+// counter-based stream before every trial.
+func (e *engine) runShard(ctx context.Context, sp PointSpec, idle chan Shard, lo, hi int) (out shardTally) {
+	var sh Shard
+	select {
+	case sh = <-idle:
+	default:
+		var err error
+		sh, err = sp.NewShard()
+		if err != nil {
+			out.err = err
+			return
+		}
+	}
+	defer func() {
+		select {
+		case idle <- sh:
+		default:
+		}
+	}()
+	src := NewStream(e.cfg.RootSeed, sp.ID, int64(lo))
+	rng := rand.New(src)
+	for t := lo; t < hi; t++ {
+		if (t-lo)%cancelCheckEvery == 0 && ctx.Err() != nil {
+			out.err = ctx.Err()
+			return
+		}
+		src.Reset(e.cfg.RootSeed, sp.ID, int64(t))
+		o, err := sh.Trial(rng, t)
+		if err != nil {
+			out.err = fmt.Errorf("trial %d: %w", t, err)
+			return
+		}
+		if o.Failed {
+			out.failures++
+		}
+		out.aux += o.Aux
+	}
+	return out
+}

@@ -1,0 +1,78 @@
+package mc
+
+import "math/rand"
+
+// Stream is a splittable, counter-based pseudo-random source
+// (SplitMix64): its state is a pure function of (rootSeed, pointID,
+// trialIndex), so the random sequence a trial consumes is identical no
+// matter which worker, shard, or scheduling order executed it. That
+// property is the foundation of the engine's bit-reproducibility
+// contract.
+//
+// Stream implements rand.Source64; wrap it in rand.New to drive the
+// noise channels. The generator passes the package's chi-squared
+// uniformity and adjacent-stream correlation tests; it is not
+// cryptographic.
+type Stream struct {
+	state uint64
+}
+
+// golden is the SplitMix64 increment, ⌊2⁶⁴/φ⌋ (odd).
+const golden = 0x9e3779b97f4a7c15
+
+// mix64 is the SplitMix64 finalizer: a bijective avalanche mixer.
+func mix64(z uint64) uint64 {
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+	return z ^ (z >> 31)
+}
+
+// NewStream returns the stream for trial trialIndex of point pointID
+// under rootSeed.
+func NewStream(rootSeed, pointID, trialIndex int64) *Stream {
+	s := &Stream{}
+	s.Reset(rootSeed, pointID, trialIndex)
+	return s
+}
+
+// Reset rewinds the stream to the start of the (rootSeed, pointID,
+// trialIndex) sequence. Shards reuse one Stream across trials by
+// resetting between them.
+func (s *Stream) Reset(rootSeed, pointID, trialIndex int64) {
+	h := mix64(uint64(rootSeed))
+	h = mix64(h ^ mix64(uint64(pointID)+golden))
+	h = mix64(h ^ mix64(uint64(trialIndex)+0xbf58476d1ce4e5b9))
+	s.state = h
+}
+
+// Uint64 implements rand.Source64.
+func (s *Stream) Uint64() uint64 {
+	s.state += golden
+	return mix64(s.state)
+}
+
+// Int63 implements rand.Source.
+func (s *Stream) Int63() int64 { return int64(s.Uint64() >> 1) }
+
+// Seed implements rand.Source. Prefer Reset, which keys the full
+// (root, point, trial) triple.
+func (s *Stream) Seed(seed int64) { s.state = mix64(uint64(seed)) }
+
+// NewRand wraps the trial stream in a *rand.Rand ready for the noise
+// channels.
+func NewRand(rootSeed, pointID, trialIndex int64) *rand.Rand {
+	return rand.New(NewStream(rootSeed, pointID, trialIndex))
+}
+
+// DeriveID hashes the values identifying a point (code distance, the
+// bits of its error rate, …) into a stable point ID. Keying streams by
+// DeriveID rather than slice position makes a point's result a pure
+// function of its parameters — invariant under reordering, insertion
+// or removal of other points in the sweep.
+func DeriveID(vals ...uint64) int64 {
+	h := uint64(golden)
+	for _, v := range vals {
+		h = mix64(h ^ mix64(v+golden))
+	}
+	return int64(h)
+}

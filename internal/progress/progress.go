@@ -1,0 +1,62 @@
+// Package progress renders a single-line live indicator for long
+// Monte-Carlo sweeps, fed by the engine's per-checkpoint callbacks.
+// The cmd harnesses wire it to stderr so tables on stdout stay clean.
+package progress
+
+import (
+	"fmt"
+	"io"
+	"sync"
+
+	"repro/internal/mc"
+)
+
+// Printer accumulates engine progress and repaints one status line.
+type Printer struct {
+	mu     sync.Mutex
+	out    io.Writer
+	points int
+	done   int
+	trials map[int]int // per-point trials completed
+	total  int64
+}
+
+// New returns a printer for a sweep of the given point count writing
+// to out (conventionally os.Stderr).
+func New(out io.Writer, points int) *Printer {
+	return &Printer{out: out, points: points, trials: map[int]int{}}
+}
+
+// Observe consumes one engine progress report; pass it as the sweep's
+// Progress callback. The engine already serializes callbacks, but
+// Observe locks anyway so multiple engines may share a printer.
+func (p *Printer) Observe(pr mc.Progress) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	p.total += int64(pr.Trials - p.trials[pr.Point])
+	p.trials[pr.Point] = pr.Trials
+	if pr.Done {
+		p.done++
+	}
+	fmt.Fprintf(p.out, "\r%d/%d points, %s trials", p.done, p.points, siCount(p.total))
+}
+
+// Finish terminates the status line so subsequent output starts clean.
+func (p *Printer) Finish() {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	fmt.Fprintf(p.out, "\r%d/%d points, %s trials\n", p.done, p.points, siCount(p.total))
+}
+
+// siCount renders a count with an SI suffix (12.3k, 4.56M).
+func siCount(n int64) string {
+	switch {
+	case n >= 1e9:
+		return fmt.Sprintf("%.2fG", float64(n)/1e9)
+	case n >= 1e6:
+		return fmt.Sprintf("%.2fM", float64(n)/1e6)
+	case n >= 1e3:
+		return fmt.Sprintf("%.1fk", float64(n)/1e3)
+	}
+	return fmt.Sprintf("%d", n)
+}

@@ -13,10 +13,14 @@
 package rotated
 
 import (
+	"context"
 	"fmt"
+	"math"
+	"math/rand"
 	"sort"
 
 	"repro/internal/match"
+	"repro/internal/mc"
 	"repro/internal/noise"
 	"repro/internal/pauli"
 )
@@ -330,37 +334,105 @@ func (c *Code) Lifetime(p float64, cycles int, m Method, seed int64) (Result, er
 	}
 	var out Result
 	for cyc := 0; cyc < cycles; cyc++ {
-		ch.Sample(rng, res, targets)
-		syn, err := c.Syndrome(res)
+		flipped, err := c.runCycle(ch, rng, res, targets, m)
 		if err != nil {
-			return out, err
+			return out, fmt.Errorf("%w at cycle %d", err, cyc)
 		}
-		corr, err := c.Decode(syn, m)
-		if err != nil {
-			return out, err
-		}
-		for _, q := range corr {
-			res.Apply(q, pauli.Z)
-		}
-		left, err := c.Syndrome(res)
-		if err != nil {
-			return out, err
-		}
-		for i, hot := range left {
-			if hot {
-				return out, fmt.Errorf("rotated: check %d hot after correction at cycle %d", i, cyc)
-			}
-		}
-		if res.ParityZ(c.cut) == 1 {
+		if flipped {
 			out.LogicalErrors++
-			for _, q := range c.logicalZ {
-				res.Apply(q, pauli.Z)
-			}
 		}
 		out.Cycles++
 	}
 	if out.Cycles > 0 {
 		out.PL = float64(out.LogicalErrors) / float64(out.Cycles)
+	}
+	return out, nil
+}
+
+// runCycle injects one round of errors, decodes and corrects, verifies
+// the syndrome cleared, and reports whether the logical state flipped
+// (normalizing the residual by the logical operator when it did).
+func (c *Code) runCycle(ch noise.Dephasing, rng *rand.Rand, res *pauli.Frame, targets []int, m Method) (bool, error) {
+	ch.Sample(rng, res, targets)
+	syn, err := c.Syndrome(res)
+	if err != nil {
+		return false, err
+	}
+	corr, err := c.Decode(syn, m)
+	if err != nil {
+		return false, err
+	}
+	for _, q := range corr {
+		res.Apply(q, pauli.Z)
+	}
+	left, err := c.Syndrome(res)
+	if err != nil {
+		return false, err
+	}
+	for i, hot := range left {
+		if hot {
+			return false, fmt.Errorf("rotated: check %d hot after correction", i)
+		}
+	}
+	if res.ParityZ(c.cut) == 1 {
+		for _, q := range c.logicalZ {
+			res.Apply(q, pauli.Z)
+		}
+		return true, nil
+	}
+	return false, nil
+}
+
+// rotatedShard runs single-cycle lifetime trials on a private frame.
+type rotatedShard struct {
+	c       *Code
+	ch      noise.Dephasing
+	m       Method
+	res     *pauli.Frame
+	targets []int
+}
+
+// Trial implements mc.Shard.
+func (sh *rotatedShard) Trial(rng *rand.Rand, _ int) (mc.Outcome, error) {
+	sh.res.Clear()
+	flipped, err := sh.c.runCycle(sh.ch, rng, sh.res, sh.targets, sh.m)
+	if err != nil {
+		return mc.Outcome{}, err
+	}
+	return mc.Outcome{Failed: flipped}, nil
+}
+
+// LifetimeMC runs the dephasing memory experiment on the sharded
+// Monte-Carlo engine: each cycle is an independent trial whose
+// randomness is a pure function of (seed, d, p, method, cycle index),
+// so the result is bit-identical for any worker count.
+func (c *Code) LifetimeMC(ctx context.Context, p float64, cycles int, m Method, seed int64, workers int) (Result, error) {
+	ch, err := noise.NewDephasing(p)
+	if err != nil {
+		return Result{}, err
+	}
+	spec := mc.PointSpec{
+		ID:     mc.DeriveID(uint64(c.d), math.Float64bits(p), uint64(m)),
+		Trials: cycles,
+		NewShard: func() (mc.Shard, error) {
+			targets := make([]int, c.NumData())
+			for i := range targets {
+				targets[i] = i
+			}
+			return &rotatedShard{
+				c: c, ch: ch, m: m,
+				res: pauli.NewFrame(c.NumData()), targets: targets,
+			}, nil
+		},
+	}
+	tallies, err := mc.Run(ctx, mc.Config{RootSeed: seed, Workers: workers}, []mc.PointSpec{spec})
+	if err != nil {
+		return Result{}, err
+	}
+	t := tallies[0]
+	out := Result{Cycles: t.Trials, LogicalErrors: t.Failures}
+	if t.Trials > 0 {
+		out.PL = float64(t.Failures) / float64(t.Trials)
 	}
 	return out, nil
 }

@@ -13,12 +13,15 @@
 package spacetime
 
 import (
+	"context"
 	"fmt"
+	"math"
 	"math/rand"
 	"sort"
 
 	"repro/internal/lattice"
 	"repro/internal/match"
+	"repro/internal/mc"
 	"repro/internal/noise"
 	"repro/internal/pauli"
 )
@@ -229,6 +232,14 @@ func NewSimulator(cfg Config) (*Simulator, error) {
 	return s, nil
 }
 
+// SetRand swaps the simulator's randomness source. Engine shards call
+// this before every trial with the trial's private stream.
+func (s *Simulator) SetRand(rng *rand.Rand) { s.rng = rng }
+
+// Reset clears the residual error frame, so the next block starts from
+// the code space independent of earlier blocks.
+func (s *Simulator) Reset() { s.res.Clear() }
+
 // Run simulates the given number of blocks.
 func (s *Simulator) Run(blocks int) (Result, error) {
 	var out Result
@@ -247,6 +258,70 @@ func (s *Simulator) Run(blocks int) (Result, error) {
 		out.PL = float64(out.LogicalErrors) / float64(out.Blocks)
 	}
 	return out, nil
+}
+
+// blockShard adapts a private simulator to the Monte-Carlo engine: one
+// trial is one block from a clean frame.
+type blockShard struct {
+	sim *Simulator
+}
+
+// Trial implements mc.Shard.
+func (sh *blockShard) Trial(rng *rand.Rand, _ int) (mc.Outcome, error) {
+	sh.sim.Reset()
+	sh.sim.SetRand(rng)
+	flipped, err := sh.sim.runBlock()
+	if err != nil {
+		return mc.Outcome{}, err
+	}
+	return mc.Outcome{Failed: flipped}, nil
+}
+
+// pointID keys a config's random streams by its physical parameters,
+// so a point's result is invariant under sweep reordering.
+func (cfg Config) pointID() int64 {
+	return mc.DeriveID(uint64(cfg.Distance), math.Float64bits(cfg.P),
+		math.Float64bits(cfg.Q), uint64(cfg.Rounds), uint64(cfg.Method))
+}
+
+// Sweep runs one phenomenological lifetime experiment per config on
+// the sharded Monte-Carlo engine: blocks of every point run in
+// parallel, and every block's randomness is a pure function of
+// (rootSeed, config parameters, block index), so results are
+// bit-identical regardless of workers. Config.Seed fields are ignored;
+// rootSeed drives all streams. Results are returned in config order.
+func Sweep(ctx context.Context, cfgs []Config, blocks int, rootSeed int64, workers int) ([]Result, error) {
+	specs := make([]mc.PointSpec, len(cfgs))
+	for i, cfg := range cfgs {
+		cfg := cfg
+		specs[i] = mc.PointSpec{
+			ID:     cfg.pointID(),
+			Trials: blocks,
+			NewShard: func() (mc.Shard, error) {
+				sim, err := NewSimulator(cfg)
+				if err != nil {
+					return nil, err
+				}
+				return &blockShard{sim: sim}, nil
+			},
+		}
+	}
+	tallies, err := mc.Run(ctx, mc.Config{RootSeed: rootSeed, Workers: workers}, specs)
+	if err != nil {
+		return nil, err
+	}
+	results := make([]Result, len(tallies))
+	for i, t := range tallies {
+		results[i] = Result{
+			Blocks:        t.Trials,
+			Rounds:        t.Trials * cfgs[i].Rounds,
+			LogicalErrors: t.Failures,
+		}
+		if t.Trials > 0 {
+			results[i].PL = float64(t.Failures) / float64(t.Trials)
+		}
+	}
+	return results, nil
 }
 
 // runBlock executes R noisy rounds plus a perfect closing round, decodes

@@ -1,0 +1,35 @@
+package spacetime
+
+import (
+	"context"
+	"testing"
+)
+
+// Sweep results are bit-identical for any worker count and invariant
+// under reordering of the config list.
+func TestSweepWorkerInvariance(t *testing.T) {
+	cfgs := []Config{
+		{Distance: 3, P: 0.02, Q: 0.01, Rounds: 3, Method: Greedy},
+		{Distance: 3, P: 0.05, Q: 0.02, Rounds: 3, Method: Greedy},
+	}
+	run := func(workers int, cs []Config) []Result {
+		res, err := Sweep(context.Background(), cs, 300, 17, workers)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res
+	}
+	ref := run(1, cfgs)
+	for _, w := range []int{2, 8} {
+		got := run(w, cfgs)
+		for i := range ref {
+			if got[i] != ref[i] {
+				t.Errorf("workers=%d: point %d = %+v, want %+v", w, i, got[i], ref[i])
+			}
+		}
+	}
+	swapped := run(4, []Config{cfgs[1], cfgs[0]})
+	if swapped[0] != ref[1] || swapped[1] != ref[0] {
+		t.Errorf("reordered sweep changed results: %+v vs %+v", swapped, ref)
+	}
+}

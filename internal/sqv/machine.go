@@ -1,9 +1,13 @@
 package sqv
 
 import (
+	"context"
 	"fmt"
+	"math"
+	"math/rand"
 
 	"repro/internal/decoder"
+	"repro/internal/mc"
 	"repro/internal/noise"
 	"repro/internal/surface"
 )
@@ -14,7 +18,8 @@ import (
 // machine-wide gate budget is the expectation of that stopping time,
 // which the analytic model predicts as 1/(K·PL).
 type MachineSim struct {
-	sims []*surface.Simulator
+	cfg  SimConfig
+	sims []*surface.Simulator // resident tiles for the sequential API
 }
 
 // SimConfig configures the empirical machine.
@@ -24,17 +29,16 @@ type SimConfig struct {
 	P             float64 // physical dephasing rate
 	NewDecoderZ   func(d int) decoder.Decoder
 	Seed          int64
+	// Workers bounds the Monte-Carlo engine parallelism of
+	// MeanCyclesToFailure; 0 means GOMAXPROCS.
+	Workers int
 }
 
-// NewMachineSim builds the tile simulators.
-func NewMachineSim(cfg SimConfig) (*MachineSim, error) {
-	if cfg.LogicalQubits < 1 {
-		return nil, fmt.Errorf("sqv: need at least one logical qubit, got %d", cfg.LogicalQubits)
-	}
-	if cfg.NewDecoderZ == nil {
-		return nil, fmt.Errorf("sqv: NewDecoderZ is required")
-	}
-	m := &MachineSim{}
+// buildTiles constructs the K tile simulators. Seeds only matter for
+// the sequential CyclesToFailure path; engine shards inject per-trial
+// streams.
+func (cfg SimConfig) buildTiles() ([]*surface.Simulator, error) {
+	var sims []*surface.Simulator
 	for k := 0; k < cfg.LogicalQubits; k++ {
 		ch, err := noise.NewDephasing(cfg.P)
 		if err != nil {
@@ -49,17 +53,39 @@ func NewMachineSim(cfg SimConfig) (*MachineSim, error) {
 		if err != nil {
 			return nil, err
 		}
-		m.sims = append(m.sims, sim)
+		sims = append(sims, sim)
 	}
-	return m, nil
+	return sims, nil
+}
+
+// NewMachineSim builds the tile simulators.
+func NewMachineSim(cfg SimConfig) (*MachineSim, error) {
+	if cfg.LogicalQubits < 1 {
+		return nil, fmt.Errorf("sqv: need at least one logical qubit, got %d", cfg.LogicalQubits)
+	}
+	if cfg.NewDecoderZ == nil {
+		return nil, fmt.Errorf("sqv: NewDecoderZ is required")
+	}
+	sims, err := cfg.buildTiles()
+	if err != nil {
+		return nil, err
+	}
+	return &MachineSim{cfg: cfg, sims: sims}, nil
 }
 
 // CyclesToFailure advances every tile one syndrome cycle at a time
 // until some tile flips its logical state, and returns the cycle count
 // (capped at maxCycles, in which case ok is false).
 func (m *MachineSim) CyclesToFailure(maxCycles int) (cycles int, ok bool, err error) {
+	c, failed, err := runToFailure(m.sims, maxCycles)
+	return c, failed, err
+}
+
+// runToFailure is the shared stopping-time loop: advance the tiles
+// round-robin one cycle each until any tile fails or maxCycles pass.
+func runToFailure(sims []*surface.Simulator, maxCycles int) (cycles int, failed bool, err error) {
 	for cycles = 1; cycles <= maxCycles; cycles++ {
-		for _, sim := range m.sims {
+		for _, sim := range sims {
 			res, err := sim.Run(1)
 			if err != nil {
 				return cycles, false, err
@@ -72,20 +98,59 @@ func (m *MachineSim) CyclesToFailure(maxCycles int) (cycles int, ok bool, err er
 	return maxCycles, false, nil
 }
 
-// MeanCyclesToFailure repeats the stopping-time experiment and averages.
-// Tiles keep their residual state across trials, which is fine: each
-// trial starts from a stabilizer-trivial frame.
+// machineShard holds one private copy of the K-tile machine for the
+// Monte-Carlo engine. Each trial replays the stopping-time experiment
+// from clean frames on the trial's stream.
+type machineShard struct {
+	sims      []*surface.Simulator
+	maxCycles int
+}
+
+// Trial implements mc.Shard: Aux carries the cycles-to-failure count
+// and Failed marks trials that actually failed within the cap.
+func (sh *machineShard) Trial(rng *rand.Rand, _ int) (mc.Outcome, error) {
+	for _, sim := range sh.sims {
+		sim.Reset()
+		sim.SetRand(rng) // tiles consume the trial stream round-robin
+	}
+	cycles, failed, err := runToFailure(sh.sims, sh.maxCycles)
+	if err != nil {
+		return mc.Outcome{}, err
+	}
+	return mc.Outcome{Failed: failed, Aux: int64(cycles)}, nil
+}
+
+// MeanCyclesToFailure repeats the stopping-time experiment and
+// averages. Trials run sharded on the Monte-Carlo engine: each trial's
+// randomness is a pure function of (Seed, machine parameters, trial
+// index), so the mean is bit-identical for any worker count.
 func (m *MachineSim) MeanCyclesToFailure(trials, maxCycles int) (float64, error) {
+	return m.MeanCyclesToFailureContext(context.Background(), trials, maxCycles)
+}
+
+// MeanCyclesToFailureContext is MeanCyclesToFailure with cancellation.
+func (m *MachineSim) MeanCyclesToFailureContext(ctx context.Context, trials, maxCycles int) (float64, error) {
 	if trials < 1 {
 		return 0, fmt.Errorf("sqv: need at least one trial")
 	}
-	total := 0.0
-	for t := 0; t < trials; t++ {
-		c, _, err := m.CyclesToFailure(maxCycles)
-		if err != nil {
-			return 0, err
-		}
-		total += float64(c)
+	spec := mc.PointSpec{
+		ID: mc.DeriveID(uint64(m.cfg.Distance), uint64(m.cfg.LogicalQubits),
+			math.Float64bits(m.cfg.P)),
+		Trials: trials,
+		NewShard: func() (mc.Shard, error) {
+			sims, err := m.cfg.buildTiles()
+			if err != nil {
+				return nil, err
+			}
+			return &machineShard{sims: sims, maxCycles: maxCycles}, nil
+		},
 	}
-	return total / float64(trials), nil
+	results, err := mc.Run(ctx, mc.Config{
+		RootSeed: m.cfg.Seed,
+		Workers:  m.cfg.Workers,
+	}, []mc.PointSpec{spec})
+	if err != nil {
+		return 0, err
+	}
+	return float64(results[0].Aux) / float64(trials), nil
 }

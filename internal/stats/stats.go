@@ -5,13 +5,16 @@
 package stats
 
 import (
+	"context"
 	"fmt"
 	"math"
+	"math/rand"
 	"sort"
 	"sync"
 
 	"repro/internal/decoder"
 	"repro/internal/lattice"
+	"repro/internal/mc"
 	"repro/internal/noise"
 	"repro/internal/sfq"
 	"repro/internal/surface"
@@ -67,94 +70,159 @@ type CurveConfig struct {
 	// NewDecoderX optionally builds the bit-flip decoder (depolarizing
 	// sweeps); nil skips the X plane.
 	NewDecoderX func(d int) decoder.Decoder
-	// Seed seeds the sweep; every point derives a distinct stream.
+	// Seed is the sweep's root seed; every (point, cycle) pair derives
+	// its own counter-based stream from it, so results are bit-identical
+	// regardless of Workers, ShardSize, or the order of Distances/Rates.
 	Seed int64
-	// Workers bounds concurrent points; 0 means 4.
+	// Workers bounds concurrently executing trial shards across the
+	// whole sweep; 0 means GOMAXPROCS.
 	Workers int
+	// ShardSize fixes the cycles per shard; 0 lets the engine size
+	// shards automatically. Results never depend on it.
+	ShardSize int
+	// TargetRelWidth, when > 0, stops a point early once its 95% Wilson
+	// interval is tighter than this fraction of the measured PL. The
+	// Cycles field of the returned points reports trials actually spent.
+	TargetRelWidth float64
+	// MinTrials is the first early-stopping checkpoint (default 1000).
+	MinTrials int
+	// Progress, when non-nil, receives per-point progress after every
+	// engine checkpoint (serialized; safe to print from).
+	Progress func(mc.Progress)
 	// Observer, when non-nil, builds the surface-simulator observer for
 	// each point (used to collect mesh timing samples during sweeps).
-	// Observers for distinct points may run concurrently.
+	// The harness serializes calls within a point, but observers for
+	// distinct points may run concurrently.
 	Observer func(d int, p float64) func(lattice.ErrorType, sfq.Stats)
 }
 
-// Curves runs the sweep and returns points sorted by (distance, rate).
+// Curves runs the sweep and returns points ordered by the
+// (Distances, Rates) grid.
 func Curves(cfg CurveConfig) ([]Point, error) {
+	return CurvesContext(context.Background(), cfg)
+}
+
+// CurvesContext runs the sweep on the sharded Monte-Carlo engine
+// (internal/mc), honoring ctx cancellation. Every syndrome cycle of a
+// point is an independent trial whose randomness is a pure function of
+// (Seed, d, p, cycle index).
+func CurvesContext(ctx context.Context, cfg CurveConfig) ([]Point, error) {
 	if cfg.Cycles <= 0 {
 		return nil, fmt.Errorf("stats: Cycles must be positive")
 	}
 	if cfg.NewChannel == nil || cfg.NewDecoderZ == nil {
 		return nil, fmt.Errorf("stats: NewChannel and NewDecoderZ are required")
 	}
-	workers := cfg.Workers
-	if workers <= 0 {
-		workers = 4
-	}
-	type job struct {
-		di, pi int
-	}
-	jobs := make(chan job)
-	points := make([]Point, len(cfg.Distances)*len(cfg.Rates))
-	errs := make([]error, workers)
-	var wg sync.WaitGroup
-	for w := 0; w < workers; w++ {
-		wg.Add(1)
-		go func(w int) {
-			defer wg.Done()
-			for j := range jobs {
-				pt, err := cfg.runPoint(cfg.Distances[j.di], cfg.Rates[j.pi],
-					cfg.Seed+int64(j.di*1000003+j.pi*7919))
-				if err != nil {
-					errs[w] = err
-					continue
+	specs := make([]mc.PointSpec, 0, len(cfg.Distances)*len(cfg.Rates))
+	for _, d := range cfg.Distances {
+		for _, p := range cfg.Rates {
+			d, p := d, p
+			var obs func(lattice.ErrorType, sfq.Stats)
+			if cfg.Observer != nil {
+				inner := cfg.Observer(d, p)
+				var mu sync.Mutex // shards of one point decode concurrently
+				obs = func(e lattice.ErrorType, st sfq.Stats) {
+					mu.Lock()
+					inner(e, st)
+					mu.Unlock()
 				}
-				points[j.di*len(cfg.Rates)+j.pi] = pt
 			}
-		}(w)
-	}
-	for di := range cfg.Distances {
-		for pi := range cfg.Rates {
-			jobs <- job{di, pi}
+			build := func() (surface.Config, error) {
+				ch, err := cfg.NewChannel(p)
+				if err != nil {
+					return surface.Config{}, err
+				}
+				sc := surface.Config{
+					Distance: d,
+					Channel:  ch,
+					DecoderZ: cfg.NewDecoderZ(d),
+					Observer: obs,
+				}
+				if cfg.NewDecoderX != nil {
+					sc.DecoderX = cfg.NewDecoderX(d)
+				}
+				return sc, nil
+			}
+			specs = append(specs, LifetimeSpec(PointID(d, p), cfg.Cycles, cfg.ShardSize, build))
 		}
 	}
-	close(jobs)
-	wg.Wait()
-	for _, err := range errs {
-		if err != nil {
-			return nil, err
+	results, err := mc.Run(ctx, mc.Config{
+		RootSeed:       cfg.Seed,
+		Workers:        cfg.Workers,
+		ShardSize:      cfg.ShardSize,
+		TargetRelWidth: cfg.TargetRelWidth,
+		MinTrials:      cfg.MinTrials,
+		Interval: func(k, n int) (float64, float64) {
+			return WilsonInterval(k, n, 1.96)
+		},
+		Progress: cfg.Progress,
+	}, specs)
+	if err != nil {
+		return nil, err
+	}
+	points := make([]Point, 0, len(results))
+	i := 0
+	for _, d := range cfg.Distances {
+		for _, p := range cfg.Rates {
+			r := results[i]
+			i++
+			pt := Point{D: d, P: p, Errors: r.Failures, Cycles: r.Trials, Forced: int(r.Aux)}
+			if r.Trials > 0 {
+				pt.PL = float64(r.Failures) / float64(r.Trials)
+			}
+			pt.Lo, pt.Hi = WilsonInterval(r.Failures, r.Trials, 1.96)
+			points = append(points, pt)
 		}
 	}
 	return points, nil
 }
 
-// runPoint simulates one (d, p) sample.
-func (cfg CurveConfig) runPoint(d int, p float64, seed int64) (Point, error) {
-	ch, err := cfg.NewChannel(p)
+// PointID derives the engine stream key for a (distance, rate) point.
+// Keying by the parameters (not grid position) makes each point's
+// result invariant under reordering of the sweep.
+func PointID(d int, p float64) int64 {
+	return mc.DeriveID(uint64(d), math.Float64bits(p))
+}
+
+// LifetimeSpec builds the engine point spec for one surface-code
+// lifetime experiment: each trial is one syndrome cycle starting from a
+// clean frame (statistically equivalent to the sequential lifetime run,
+// whose post-correction residual is always stabilizer-trivial). The
+// outcome's Aux carries the harness force-completion count.
+func LifetimeSpec(id int64, trials, shardSize int, build func() (surface.Config, error)) mc.PointSpec {
+	return mc.PointSpec{
+		ID:        id,
+		Trials:    trials,
+		ShardSize: shardSize,
+		NewShard: func() (mc.Shard, error) {
+			sc, err := build()
+			if err != nil {
+				return nil, err
+			}
+			sim, err := surface.New(sc)
+			if err != nil {
+				return nil, err
+			}
+			return &lifetimeShard{sim: sim}, nil
+		},
+	}
+}
+
+// lifetimeShard runs single-cycle lifetime trials on a private
+// simulator.
+type lifetimeShard struct {
+	sim *surface.Simulator
+}
+
+// Trial implements mc.Shard.
+func (sh *lifetimeShard) Trial(rng *rand.Rand, _ int) (mc.Outcome, error) {
+	sh.sim.Reset()
+	sh.sim.SetRand(rng)
+	res, err := sh.sim.Run(1)
 	if err != nil {
-		return Point{}, err
+		return mc.Outcome{}, err
 	}
-	sc := surface.Config{
-		Distance: d,
-		Channel:  ch,
-		DecoderZ: cfg.NewDecoderZ(d),
-		Seed:     seed,
-	}
-	if cfg.NewDecoderX != nil {
-		sc.DecoderX = cfg.NewDecoderX(d)
-	}
-	if cfg.Observer != nil {
-		sc.Observer = cfg.Observer(d, p)
-	}
-	sim, err := surface.New(sc)
-	if err != nil {
-		return Point{}, err
-	}
-	res, err := sim.Run(cfg.Cycles)
-	if err != nil {
-		return Point{}, err
-	}
-	pt := Point{D: d, P: p, PL: res.PL, Errors: res.LogicalErrors, Cycles: res.Cycles, Forced: res.Forced}
-	pt.Lo, pt.Hi = WilsonInterval(res.LogicalErrors, res.Cycles, 1.96)
-	return pt, nil
+	return mc.Outcome{Failed: res.LogicalErrors > 0, Aux: int64(res.Forced)}, nil
 }
 
 // PseudoThreshold estimates the physical rate where PL = p for one

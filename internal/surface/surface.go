@@ -32,6 +32,11 @@ type Config struct {
 	DecoderX decoder.Decoder
 	// Seed drives all randomness; runs are reproducible per seed.
 	Seed int64
+	// Rand, when non-nil, supplies the randomness source directly and
+	// takes precedence over Seed. Monte-Carlo shards inject per-trial
+	// counter-based streams here (see internal/mc) so concurrent
+	// simulators never share generator state.
+	Rand *rand.Rand
 	// UseCircuits extracts syndromes by simulating the Fig. 3
 	// stabilizer circuits instead of computing check parities directly.
 	// Both paths agree exactly under data-only noise.
@@ -84,10 +89,14 @@ func New(cfg Config) (*Simulator, error) {
 	if cfg.DecoderZ == nil && cfg.DecoderX == nil {
 		return nil, fmt.Errorf("surface: no decoder configured")
 	}
+	rng := cfg.Rand
+	if rng == nil {
+		rng = noise.NewRand(cfg.Seed)
+	}
 	s := &Simulator{
 		cfg:      cfg,
 		l:        l,
-		rng:      noise.NewRand(cfg.Seed),
+		rng:      rng,
 		residual: pauli.NewFrame(l.NumQubits()),
 	}
 	for _, site := range l.DataSites() {
@@ -112,8 +121,25 @@ func New(cfg Config) (*Simulator, error) {
 	return s, nil
 }
 
+// NewWithRand builds a simulator driven by the injected random stream,
+// overriding any Seed in the configuration. Sharded Monte-Carlo
+// harnesses use it so each shard owns its generator state.
+func NewWithRand(cfg Config, rng *rand.Rand) (*Simulator, error) {
+	cfg.Rand = rng
+	return New(cfg)
+}
+
 // Lattice exposes the simulator's lattice.
 func (s *Simulator) Lattice() *lattice.Lattice { return s.l }
+
+// SetRand swaps the simulator's randomness source. Engine shards call
+// this before every trial with the trial's private stream.
+func (s *Simulator) SetRand(rng *rand.Rand) { s.rng = rng }
+
+// Reset clears the residual error frame, returning the simulator to
+// the code space so the next Run is independent of earlier cycles.
+// Counters already returned by Run are unaffected.
+func (s *Simulator) Reset() { s.residual.Clear() }
 
 // Run simulates the given number of cycles and returns cumulative
 // counters for this call.
