@@ -8,10 +8,12 @@ package repro_test
 import (
 	"fmt"
 	"math"
+	"runtime"
 	"testing"
 
 	"repro/internal/backlog"
 	"repro/internal/core"
+	"repro/internal/decodepool"
 	"repro/internal/decoder"
 	"repro/internal/decoder/greedy"
 	"repro/internal/decoder/mld"
@@ -430,4 +432,77 @@ func BenchmarkErasureDecoding(b *testing.B) {
 			b.Fatal(err)
 		}
 	}
+}
+
+// hotPathSyndromes draws the fixed seeded syndrome set the decode
+// hot-path benchmarks and cmd/bench share (dephasing at p = 5%).
+func hotPathSyndromes(b *testing.B, l *lattice.Lattice, g *lattice.Graph, count int, seed int64) [][]bool {
+	b.Helper()
+	rng := noise.NewRand(seed)
+	ch, err := noise.NewDephasing(0.05)
+	if err != nil {
+		b.Fatal(err)
+	}
+	var targets []int
+	for _, s := range l.DataSites() {
+		targets = append(targets, l.QubitIndex(s))
+	}
+	syndromes := make([][]bool, count)
+	for i := range syndromes {
+		f := pauli.NewFrame(l.NumQubits())
+		ch.Sample(rng, f, targets)
+		syndromes[i] = g.Syndrome(f)
+	}
+	return syndromes
+}
+
+// BenchmarkDecodeHotPath compares the legacy allocating Decode path with
+// the pooled DecodeInto path for every matching decoder at d ∈ {5,9,13},
+// on fixed seeded syndromes. ns/decode and allocs/decode are attached as
+// metrics; cmd/bench regenerates the same matrix into BENCH_pr2.json.
+func BenchmarkDecodeHotPath(b *testing.B) {
+	for _, d := range []int{5, 9, 13} {
+		l := lattice.MustNew(d)
+		g := l.MatchingGraph(lattice.ZErrors)
+		syndromes := hotPathSyndromes(b, l, g, 64, int64(100+d))
+		for _, dec := range []decodepool.IntoDecoder{greedy.New(), mwpm.New(), unionfind.New()} {
+			b.Run(fmt.Sprintf("%s/d=%d/legacy", dec.Name(), d), func(b *testing.B) {
+				benchDecode(b, func(i int) error {
+					_, err := dec.Decode(g, syndromes[i%len(syndromes)])
+					return err
+				})
+			})
+			b.Run(fmt.Sprintf("%s/d=%d/pooled", dec.Name(), d), func(b *testing.B) {
+				s := decodepool.NewScratch()
+				for _, syn := range syndromes { // warm the scratch and cache
+					if _, err := dec.DecodeInto(g, syn, s); err != nil {
+						b.Fatal(err)
+					}
+				}
+				benchDecode(b, func(i int) error {
+					_, err := dec.DecodeInto(g, syndromes[i%len(syndromes)], s)
+					return err
+				})
+			})
+		}
+	}
+}
+
+// benchDecode times one decode closure and reports ns/decode and
+// allocs/decode (heap allocation count from runtime.MemStats).
+func benchDecode(b *testing.B, decode func(i int) error) {
+	var ms0, ms1 runtime.MemStats
+	runtime.GC()
+	runtime.ReadMemStats(&ms0)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := decode(i); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.StopTimer()
+	runtime.ReadMemStats(&ms1)
+	b.ReportMetric(float64(b.Elapsed().Nanoseconds())/float64(b.N), "ns/decode")
+	b.ReportMetric(float64(ms1.Mallocs-ms0.Mallocs)/float64(b.N), "allocs/decode")
 }

@@ -3,12 +3,14 @@
 #
 #   ./ci.sh
 #
-# Runs, in order: go vet, go build, and the full test suite under the
-# race detector. The race run sets REPRO_MC_SHORT=1, which the
-# statistical tests in internal/stats and internal/mc honour by
-# shrinking their trial budgets (their acceptance thresholds scale with
-# sample size, so the checks stay valid — just cheaper, since the race
-# detector slows execution roughly tenfold).
+# Runs, in order: go vet, go build, the full test suite, the test suite
+# under the race detector, a short native-fuzz smoke over the blossom
+# matcher and the decode dispatch, and the decode-hot-path benchmark
+# (which also regenerates BENCH_pr2.json). The race run sets
+# REPRO_MC_SHORT=1, which the statistical tests in internal/stats and
+# internal/mc honour by shrinking their trial budgets (their acceptance
+# thresholds scale with sample size, so the checks stay valid — just
+# cheaper, since the race detector slows execution roughly tenfold).
 #
 # Unset REPRO_MC_SHORT (the plain `go test ./...` below) exercises the
 # full-size budgets.
@@ -27,5 +29,13 @@ go test ./...
 
 echo "== go test -race (short trials) =="
 REPRO_MC_SHORT=1 go test -race ./...
+
+echo "== fuzz smoke =="
+go test -run='^$' -fuzz=FuzzBlossom -fuzztime=5s ./internal/match
+go test -run='^$' -fuzz=FuzzDecode -fuzztime=5s ./internal/decoder
+
+echo "== decode hot-path benchmarks =="
+go test -run='^$' -bench BenchmarkDecodeHotPath -benchtime 100x -benchmem .
+go run ./cmd/bench -iters 2000 -out BENCH_pr2.json
 
 echo "CI OK"

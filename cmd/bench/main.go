@@ -1,0 +1,141 @@
+// Command bench measures the decode hot path outside the testing
+// framework and writes the results as JSON, so benchmark regressions are
+// tracked as repository artifacts (BENCH_pr2.json). For every matching
+// decoder and d ∈ {5, 9, 13} it times the legacy allocating Decode path
+// and the pooled zero-allocation DecodeInto path on identical seeded
+// syndromes, reporting ns/decode and allocation counts from
+// runtime.MemStats deltas.
+//
+// Usage:
+//
+//	bench [-iters 2000] [-out BENCH_pr2.json]
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"runtime"
+	"time"
+
+	"repro/internal/decodepool"
+	"repro/internal/decoder/greedy"
+	"repro/internal/decoder/mwpm"
+	"repro/internal/decoder/unionfind"
+	"repro/internal/lattice"
+	"repro/internal/noise"
+	"repro/internal/pauli"
+)
+
+// Row is one benchmark measurement.
+type Row struct {
+	Decoder         string  `json:"decoder"`
+	Distance        int     `json:"d"`
+	Path            string  `json:"path"` // "legacy" or "pooled"
+	Iters           int     `json:"iters"`
+	NsPerDecode     float64 `json:"ns_per_decode"`
+	AllocsPerDecode float64 `json:"allocs_per_decode"`
+	BytesPerDecode  float64 `json:"bytes_per_decode"`
+}
+
+func main() {
+	iters := flag.Int("iters", 2000, "timed decodes per (decoder, d, path) cell")
+	out := flag.String("out", "BENCH_pr2.json", "output JSON path")
+	flag.Parse()
+
+	var rows []Row
+	for _, d := range []int{5, 9, 13} {
+		l := lattice.MustNew(d)
+		g := l.MatchingGraph(lattice.ZErrors)
+		syndromes, err := sampleSyndromes(l, g, 64, int64(100+d))
+		if err != nil {
+			log.Fatal(err)
+		}
+		for _, dec := range []decodepool.IntoDecoder{greedy.New(), mwpm.New(), unionfind.New()} {
+			legacy, err := measure(*iters, syndromes, func(syn []bool) error {
+				_, err := dec.Decode(g, syn)
+				return err
+			})
+			if err != nil {
+				log.Fatalf("%s d=%d legacy: %v", dec.Name(), d, err)
+			}
+			legacy.Decoder, legacy.Distance, legacy.Path = dec.Name(), d, "legacy"
+			rows = append(rows, legacy)
+
+			s := decodepool.NewScratch()
+			pooled, err := measure(*iters, syndromes, func(syn []bool) error {
+				_, err := dec.DecodeInto(g, syn, s)
+				return err
+			})
+			if err != nil {
+				log.Fatalf("%s d=%d pooled: %v", dec.Name(), d, err)
+			}
+			pooled.Decoder, pooled.Distance, pooled.Path = dec.Name(), d, "pooled"
+			rows = append(rows, pooled)
+
+			fmt.Printf("%-11s d=%-3d legacy %9.0f ns/decode %7.1f allocs | pooled %9.0f ns/decode %7.1f allocs | %.2fx\n",
+				dec.Name(), d, legacy.NsPerDecode, legacy.AllocsPerDecode,
+				pooled.NsPerDecode, pooled.AllocsPerDecode,
+				legacy.NsPerDecode/pooled.NsPerDecode)
+		}
+	}
+
+	data, err := json.MarshalIndent(rows, "", "  ")
+	if err != nil {
+		log.Fatal(err)
+	}
+	if err := os.WriteFile(*out, append(data, '\n'), 0o644); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("wrote %s (%d rows)\n", *out, len(rows))
+}
+
+// sampleSyndromes draws the benchmark's fixed syndrome set (dephasing at
+// p = 5%, same seeds as BenchmarkDecodeHotPath).
+func sampleSyndromes(l *lattice.Lattice, g *lattice.Graph, count int, seed int64) ([][]bool, error) {
+	rng := noise.NewRand(seed)
+	ch, err := noise.NewDephasing(0.05)
+	if err != nil {
+		return nil, err
+	}
+	var targets []int
+	for _, s := range l.DataSites() {
+		targets = append(targets, l.QubitIndex(s))
+	}
+	syndromes := make([][]bool, count)
+	for i := range syndromes {
+		f := pauli.NewFrame(l.NumQubits())
+		ch.Sample(rng, f, targets)
+		syndromes[i] = g.Syndrome(f)
+	}
+	return syndromes, nil
+}
+
+// measure times iters decodes over the syndrome set after a full
+// warm-up pass, and reads allocation counts from MemStats deltas.
+func measure(iters int, syndromes [][]bool, decode func(syn []bool) error) (Row, error) {
+	for _, syn := range syndromes {
+		if err := decode(syn); err != nil {
+			return Row{}, err
+		}
+	}
+	var ms0, ms1 runtime.MemStats
+	runtime.GC()
+	runtime.ReadMemStats(&ms0)
+	start := time.Now()
+	for i := 0; i < iters; i++ {
+		if err := decode(syndromes[i%len(syndromes)]); err != nil {
+			return Row{}, err
+		}
+	}
+	elapsed := time.Since(start)
+	runtime.ReadMemStats(&ms1)
+	return Row{
+		Iters:           iters,
+		NsPerDecode:     float64(elapsed.Nanoseconds()) / float64(iters),
+		AllocsPerDecode: float64(ms1.Mallocs-ms0.Mallocs) / float64(iters),
+		BytesPerDecode:  float64(ms1.TotalAlloc-ms0.TotalAlloc) / float64(iters),
+	}, nil
+}

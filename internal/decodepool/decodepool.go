@@ -1,0 +1,262 @@
+// Package decodepool implements the zero-allocation decode hot path:
+// memoized matching-graph geometry shared read-only across workers, and
+// per-worker scratch arenas that decoders reuse across calls.
+//
+// The paper's central constraint is that decoding must finish inside one
+// syndrome round (§III), so per-decode latency — not just logical
+// accuracy — is a product of this repository. Profiling the Monte-Carlo
+// sweeps shows most decode wall-clock goes to two avoidable costs:
+// re-deriving matching-graph geometry (distances, error-chain paths,
+// decoding edges) on every call, and allocating fresh slices for hot
+// lists, matcher state and correction buffers. This package removes
+// both:
+//
+//   - Geometry tables (all-pairs Dist, BoundaryDist, flattened path-qubit
+//     chains and the union-find decoding-edge list) are computed once per
+//     (distance, error type) and served from a process-wide cache. The
+//     tables are immutable after construction, so any number of worker
+//     goroutines share them without synchronization beyond the cache
+//     lookup.
+//
+//   - Scratch owns every mutable buffer a decoder needs. One Scratch
+//     belongs to one worker (a Monte-Carlo shard, one simulator); it is
+//     explicitly owned — never pooled through sync.Pool — so buffers
+//     stay warm in cache and the steady state performs zero heap
+//     allocations per decode.
+//
+// Decoders opt in by implementing IntoDecoder; Decode dispatches to the
+// pooled path when available and falls back to the allocating
+// decoder.Decoder path otherwise. Both paths are bit-identical — the
+// differential conformance suite in internal/decoder asserts it.
+//
+// Scratch ownership rules: the Correction returned by DecodeInto aliases
+// the Scratch's correction buffer and is valid only until the next
+// DecodeInto call with the same Scratch. Callers that need the qubit
+// list beyond that must copy it.
+package decodepool
+
+import (
+	"sync"
+
+	"repro/internal/decoder"
+	"repro/internal/lattice"
+)
+
+// IntoDecoder is the zero-allocation extension of decoder.Decoder: a
+// decoder that can run its hot path entirely inside caller-owned
+// scratch. Implementations must return exactly the Correction the plain
+// Decode would (same qubits, same order), with Qubits aliasing the
+// scratch's buffer.
+type IntoDecoder interface {
+	decoder.Decoder
+	DecodeInto(g *lattice.Graph, syn []bool, s *Scratch) (decoder.Correction, error)
+}
+
+// Decode routes through the pooled zero-allocation path when dec
+// implements IntoDecoder and s is non-nil, and falls back to the
+// allocating Decode otherwise. The returned Correction follows the
+// ownership rules of whichever path ran.
+func Decode(dec decoder.Decoder, g *lattice.Graph, syn []bool, s *Scratch) (decoder.Correction, error) {
+	if id, ok := dec.(IntoDecoder); ok && s != nil {
+		return id.DecodeInto(g, syn, s)
+	}
+	return dec.Decode(g, syn)
+}
+
+// Geometry holds the immutable decode tables of one matching graph:
+// all-pairs check distances, boundary distances, the minimum-length
+// error chains realizing them (flattened), and the union-find decoding
+// edge list with boundary pendant vertices materialized. All methods
+// are safe for concurrent use.
+type Geometry struct {
+	D int               // code distance
+	E lattice.ErrorType // error type this graph decodes
+	M int               // number of checks
+
+	// Union-find view: NV vertices (checks 0..M-1 then boundary
+	// pendants), Edges in lattice.Graph.DecodingEdges order, and
+	// Endpoints with the same boundary-vertex numbering the legacy
+	// decoder derives on every call.
+	NV        int
+	Edges     []lattice.Edge
+	Endpoints [][2]int32
+
+	dist      []int32 // dist[i*M+j]
+	bdist     []int32 // bdist[i]
+	pathOff   []int32 // prefix offsets into pathData, i*M+j
+	pathData  []int32
+	bpathOff  []int32 // prefix offsets into bpathData
+	bpathData []int32
+}
+
+// Dist returns the matching-graph distance between checks i and j.
+func (geo *Geometry) Dist(i, j int) int { return int(geo.dist[i*geo.M+j]) }
+
+// BoundaryDist returns check i's distance to its nearest code boundary.
+func (geo *Geometry) BoundaryDist(i int) int { return int(geo.bdist[i]) }
+
+// AppendPathQubits appends the data-qubit chain connecting checks i and
+// j (identical to lattice.Graph.PathQubits) to dst and returns it.
+func (geo *Geometry) AppendPathQubits(dst []int, i, j int) []int {
+	k := int32(i)*int32(geo.M) + int32(j)
+	for _, q := range geo.pathData[geo.pathOff[k]:geo.pathOff[k+1]] {
+		dst = append(dst, int(q))
+	}
+	return dst
+}
+
+// AppendBoundaryPathQubits appends check i's shortest boundary chain
+// (identical to lattice.Graph.BoundaryPathQubits) to dst and returns it.
+func (geo *Geometry) AppendBoundaryPathQubits(dst []int, i int) []int {
+	for _, q := range geo.bpathData[geo.bpathOff[i]:geo.bpathOff[i+1]] {
+		dst = append(dst, int(q))
+	}
+	return dst
+}
+
+// geoKey identifies one geometry table. Graphs of equal distance and
+// error type are structurally identical (checks index identically), so
+// the cache is keyed by parameters, not by graph pointer — every worker
+// rebuilding its own lattice still shares one table.
+type geoKey struct {
+	d int
+	e lattice.ErrorType
+}
+
+var (
+	geoMu    sync.RWMutex
+	geoCache = map[geoKey]*Geometry{}
+)
+
+// For returns the memoized geometry of g, building it on first use.
+// Concurrent warm-up is safe: racing builders construct private tables
+// and the first one stored wins, so callers always observe one shared,
+// fully built Geometry. The fast path takes a read lock and performs no
+// allocation.
+func For(g *lattice.Graph) *Geometry {
+	k := geoKey{d: g.Lattice().Distance(), e: g.ErrorType()}
+	geoMu.RLock()
+	geo := geoCache[k]
+	geoMu.RUnlock()
+	if geo != nil {
+		return geo
+	}
+	built := build(g)
+	geoMu.Lock()
+	if exist, ok := geoCache[k]; ok {
+		built = exist
+	} else {
+		geoCache[k] = built
+	}
+	geoMu.Unlock()
+	return built
+}
+
+// build derives every table from the graph's own geometry methods, so
+// the cached values are definitionally identical to what the legacy
+// per-call path computes.
+func build(g *lattice.Graph) *Geometry {
+	m := g.NumChecks()
+	geo := &Geometry{
+		D: g.Lattice().Distance(),
+		E: g.ErrorType(),
+		M: m,
+
+		dist:     make([]int32, m*m),
+		bdist:    make([]int32, m),
+		pathOff:  make([]int32, m*m+1),
+		bpathOff: make([]int32, m+1),
+	}
+	for i := 0; i < m; i++ {
+		geo.bdist[i] = int32(g.BoundaryDist(i))
+		for j := 0; j < m; j++ {
+			geo.dist[i*m+j] = int32(g.Dist(i, j))
+			for _, q := range g.PathQubits(i, j) {
+				geo.pathData = append(geo.pathData, int32(q))
+			}
+			geo.pathOff[i*m+j+1] = int32(len(geo.pathData))
+		}
+		for _, q := range g.BoundaryPathQubits(i) {
+			geo.bpathData = append(geo.bpathData, int32(q))
+		}
+		geo.bpathOff[i+1] = int32(len(geo.bpathData))
+	}
+	// Union-find view, with the same boundary-vertex numbering the
+	// legacy decoder assigns (one fresh vertex per boundary endpoint, in
+	// edge order).
+	geo.Edges = g.DecodingEdges()
+	geo.Endpoints = make([][2]int32, len(geo.Edges))
+	nv := m
+	for k, e := range geo.Edges {
+		a, b := e.C1, e.C2
+		if a == lattice.Boundary {
+			a = nv
+			nv++
+		}
+		if b == lattice.Boundary {
+			b = nv
+			nv++
+		}
+		geo.Endpoints[k] = [2]int32{int32(a), int32(b)}
+	}
+	geo.NV = nv
+	return geo
+}
+
+// Scratch is one worker's reusable decode state. It is not safe for
+// concurrent use: give each goroutine (each Monte-Carlo shard, each
+// simulator) its own. The zero value is NOT ready; use NewScratch.
+//
+// Buffers grow to the high-water mark of the instances decoded through
+// them and are then reused, so steady-state decoding allocates nothing.
+type Scratch struct {
+	hot    []int // hot-check list of the current call
+	qubits []int // correction output buffer
+
+	states map[string]any // per-decoder private state, keyed by decoder
+}
+
+// NewScratch returns an empty scratch arena.
+func NewScratch() *Scratch {
+	return &Scratch{states: make(map[string]any)}
+}
+
+// HotChecks fills the scratch's hot-list buffer with the indices of the
+// true entries of syn and returns it. The slice is valid until the next
+// HotChecks call on this scratch.
+func (s *Scratch) HotChecks(syn []bool) []int {
+	hot := s.hot[:0]
+	for i, h := range syn {
+		if h {
+			hot = append(hot, i)
+		}
+	}
+	s.hot = hot
+	return hot
+}
+
+// TakeQubits hands out the correction buffer, emptied. The caller
+// appends correction qubits and passes the result to PutQubits.
+func (s *Scratch) TakeQubits() []int { return s.qubits[:0] }
+
+// PutQubits records the (possibly re-grown) correction buffer and wraps
+// it in a Correction. The Correction aliases the scratch and is valid
+// until the next decode through it.
+func (s *Scratch) PutQubits(q []int) decoder.Correction {
+	s.qubits = q
+	return decoder.Correction{Qubits: q}
+}
+
+// State returns the per-decoder private state stored under key,
+// building it with mk on first use. Decoder packages use it to keep
+// typed, reusable internals (matcher arrays, union-find structures,
+// sort buffers) inside a caller-owned Scratch without this package
+// depending on them.
+func (s *Scratch) State(key string, mk func() any) any {
+	st, ok := s.states[key]
+	if !ok {
+		st = mk()
+		s.states[key] = st
+	}
+	return st
+}

@@ -1,0 +1,8 @@
+//go:build race
+
+package decodepool
+
+// RaceEnabled reports whether the race detector is compiled in. The
+// allocation-regression tests skip under -race because the runtime's
+// instrumentation inflates allocation counts.
+const RaceEnabled = true

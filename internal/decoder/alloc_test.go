@@ -1,0 +1,86 @@
+package decoder_test
+
+import (
+	"testing"
+
+	"repro/internal/decodepool"
+	"repro/internal/decoder/greedy"
+	"repro/internal/decoder/mld"
+	"repro/internal/decoder/mwpm"
+	"repro/internal/decoder/unionfind"
+	"repro/internal/lattice"
+	"repro/internal/noise"
+)
+
+// The pooled decode path must reach a zero-allocation steady state: once
+// the geometry cache is warm and the scratch has grown to the workload's
+// high-water mark, DecodeInto performs no heap allocations. This is the
+// regression test behind the PR's allocs/decode numbers; the race
+// runtime instruments allocations, so it is skipped under -race.
+func TestDecodeIntoZeroAllocSteadyState(t *testing.T) {
+	if decodepool.RaceEnabled {
+		t.Skip("allocation accounting is not meaningful under -race")
+	}
+	l := lattice.MustNew(9)
+	g := l.MatchingGraph(lattice.ZErrors)
+	rng := noise.NewRand(41)
+	syns := make([][]bool, 32)
+	for i := range syns {
+		syns[i] = randomSyndrome(rng, l, g, 0.05)
+	}
+	for _, dec := range []decodepool.IntoDecoder{greedy.New(), mwpm.New(), unionfind.New()} {
+		s := decodepool.NewScratch()
+		// Warm up: build geometry, grow every scratch buffer to the
+		// workload's high-water mark.
+		for _, syn := range syns {
+			if _, err := dec.DecodeInto(g, syn, s); err != nil {
+				t.Fatalf("%s: warm-up: %v", dec.Name(), err)
+			}
+		}
+		i := 0
+		avg := testing.AllocsPerRun(len(syns)*4, func() {
+			if _, err := dec.DecodeInto(g, syns[i%len(syns)], s); err != nil {
+				t.Fatalf("%s: %v", dec.Name(), err)
+			}
+			i++
+		})
+		if avg != 0 {
+			t.Errorf("%s d=9: %v allocs per decode in steady state, want 0", dec.Name(), avg)
+		}
+	}
+}
+
+// The exact ML decoder is bounded to tiny codes, so its steady state is
+// checked at d=3.
+func TestMLDDecodeIntoZeroAllocSteadyState(t *testing.T) {
+	if decodepool.RaceEnabled {
+		t.Skip("allocation accounting is not meaningful under -race")
+	}
+	l := lattice.MustNew(3)
+	g := l.MatchingGraph(lattice.ZErrors)
+	ml, err := mld.New(g, 0.05)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := noise.NewRand(43)
+	syns := make([][]bool, 32)
+	for i := range syns {
+		syns[i] = randomSyndrome(rng, l, g, 0.05)
+	}
+	s := decodepool.NewScratch()
+	for _, syn := range syns {
+		if _, err := ml.DecodeInto(g, syn, s); err != nil {
+			t.Fatal(err)
+		}
+	}
+	i := 0
+	avg := testing.AllocsPerRun(len(syns)*4, func() {
+		if _, err := ml.DecodeInto(g, syns[i%len(syns)], s); err != nil {
+			t.Fatal(err)
+		}
+		i++
+	})
+	if avg != 0 {
+		t.Errorf("ml-exact d=3: %v allocs per decode in steady state, want 0", avg)
+	}
+}

@@ -1,0 +1,197 @@
+package decoder_test
+
+import (
+	"testing"
+
+	"repro/internal/decodepool"
+	"repro/internal/decoder"
+	"repro/internal/decoder/greedy"
+	"repro/internal/decoder/mld"
+	"repro/internal/decoder/mwpm"
+	"repro/internal/decoder/unionfind"
+	"repro/internal/lattice"
+	"repro/internal/noise"
+	"repro/internal/pauli"
+)
+
+// conformanceSyndromes enumerates every weight-0, weight-1 and weight-2
+// error pattern of the lattice plus seeded random syndromes, giving the
+// differential suite deterministic, exhaustive low-weight coverage and
+// some high-weight stress.
+func conformanceSyndromes(t *testing.T, l *lattice.Lattice, g *lattice.Graph) [][]bool {
+	t.Helper()
+	op := pauli.Z
+	if g.ErrorType() == lattice.XErrors {
+		op = pauli.X
+	}
+	sites := l.DataSites()
+	var syns [][]bool
+	syns = append(syns, make([]bool, g.NumChecks())) // weight 0
+	for a := 0; a < len(sites); a++ {
+		f := pauli.NewFrame(l.NumQubits())
+		f.Set(l.QubitIndex(sites[a]), op)
+		syns = append(syns, g.Syndrome(f))
+		for b := a + 1; b < len(sites); b++ {
+			f2 := pauli.NewFrame(l.NumQubits())
+			f2.Set(l.QubitIndex(sites[a]), op)
+			f2.Set(l.QubitIndex(sites[b]), op)
+			syns = append(syns, g.Syndrome(f2))
+		}
+	}
+	rng := noise.NewRand(int64(31 + l.Distance()))
+	for trial := 0; trial < 50; trial++ {
+		syns = append(syns, randomSyndrome(rng, l, g, 0.08))
+	}
+	return syns
+}
+
+// Every decoder must clear every conformance syndrome, and the pooled
+// DecodeInto path must return exactly the qubit sequence the legacy
+// Decode path returns — on a fresh scratch and on one reused across all
+// cases.
+func TestConformancePooledMatchesLegacy(t *testing.T) {
+	for _, d := range []int{3, 5} {
+		l := lattice.MustNew(d)
+		for _, e := range []lattice.ErrorType{lattice.ZErrors, lattice.XErrors} {
+			g := l.MatchingGraph(e)
+			decoders := []decodepool.IntoDecoder{greedy.New(), mwpm.New(), unionfind.New()}
+			if l.NumData() <= mld.MaxDataQubits {
+				ml, err := mld.New(g, 0.01)
+				if err != nil {
+					t.Fatal(err)
+				}
+				decoders = append(decoders, ml)
+			}
+			syns := conformanceSyndromes(t, l, g)
+			reused := decodepool.NewScratch()
+			for _, dec := range decoders {
+				for si, syn := range syns {
+					legacy, err := dec.Decode(g, syn)
+					if err != nil {
+						t.Fatalf("%s d=%d %v syn %d: legacy: %v", dec.Name(), d, e, si, err)
+					}
+					if err := decoder.Validate(g, syn, legacy); err != nil {
+						t.Fatalf("%s d=%d %v syn %d: legacy correction invalid: %v", dec.Name(), d, e, si, err)
+					}
+					pooled, err := dec.DecodeInto(g, syn, reused)
+					if err != nil {
+						t.Fatalf("%s d=%d %v syn %d: pooled: %v", dec.Name(), d, e, si, err)
+					}
+					if !sameQubits(legacy.Qubits, pooled.Qubits) {
+						t.Fatalf("%s d=%d %v syn %d: pooled %v != legacy %v",
+							dec.Name(), d, e, si, pooled.Qubits, legacy.Qubits)
+					}
+					if si%17 == 0 {
+						// Fresh scratch must agree too: reuse cannot be
+						// load-bearing.
+						fresh, err := dec.DecodeInto(g, syn, decodepool.NewScratch())
+						if err != nil {
+							t.Fatalf("%s d=%d %v syn %d: fresh scratch: %v", dec.Name(), d, e, si, err)
+						}
+						if !sameQubits(legacy.Qubits, fresh.Qubits) {
+							t.Fatalf("%s d=%d %v syn %d: fresh-scratch pooled %v != legacy %v",
+								dec.Name(), d, e, si, fresh.Qubits, legacy.Qubits)
+						}
+					}
+				}
+			}
+		}
+	}
+}
+
+// The generic dispatcher must route through DecodeInto when given a
+// scratch and fall back to the legacy path without one, with identical
+// results either way.
+func TestConformanceDispatch(t *testing.T) {
+	l := lattice.MustNew(5)
+	g := l.MatchingGraph(lattice.ZErrors)
+	rng := noise.NewRand(37)
+	s := decodepool.NewScratch()
+	dec := mwpm.New()
+	for trial := 0; trial < 20; trial++ {
+		syn := randomSyndrome(rng, l, g, 0.08)
+		pooled, err := decodepool.Decode(dec, g, syn, s)
+		if err != nil {
+			t.Fatal(err)
+		}
+		legacy, err := decodepool.Decode(dec, g, syn, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !sameQubits(pooled.Qubits, legacy.Qubits) {
+			t.Fatalf("trial %d: dispatch mismatch %v vs %v", trial, pooled.Qubits, legacy.Qubits)
+		}
+	}
+}
+
+// MWPM is exact: its matching weight must equal the true minimum error
+// weight. At d=3 the oracle is the exact ML decoder's minimum-weight
+// coset representative (at p=0.01 the lighter coset always dominates);
+// at d=5 it is brute force over all pairings.
+func TestConformanceMWPMWeightOptimal(t *testing.T) {
+	mw := mwpm.New()
+
+	// d=3: every conformance syndrome against the MLD representative.
+	l3 := lattice.MustNew(3)
+	for _, e := range []lattice.ErrorType{lattice.ZErrors, lattice.XErrors} {
+		g := l3.MatchingGraph(e)
+		ml, err := mld.New(g, 0.01)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for si, syn := range conformanceSyndromes(t, l3, g) {
+			m := mw.Match(g, syn)
+			c, err := ml.Decode(g, syn)
+			if err != nil {
+				t.Fatalf("syn %d: mld: %v", si, err)
+			}
+			if got, want := m.Weight(g), len(c.Qubits); got != want {
+				t.Fatalf("d=3 %v syn %d: mwpm weight %d, ml minimum %d", e, si, got, want)
+			}
+		}
+	}
+
+	// d=5: small syndromes against brute-force optimal pairing.
+	l5 := lattice.MustNew(5)
+	g := l5.MatchingGraph(lattice.ZErrors)
+	var bestWeight func(hot []int) int
+	bestWeight = func(hot []int) int {
+		if len(hot) == 0 {
+			return 0
+		}
+		h, rest := hot[0], hot[1:]
+		best := g.BoundaryDist(h) + bestWeight(rest)
+		for i, other := range rest {
+			sub := make([]int, 0, len(rest)-1)
+			sub = append(sub, rest[:i]...)
+			sub = append(sub, rest[i+1:]...)
+			if w := g.Dist(h, other) + bestWeight(sub); w < best {
+				best = w
+			}
+		}
+		return best
+	}
+	for si, syn := range conformanceSyndromes(t, l5, g) {
+		hot := lattice.HotChecks(syn)
+		if len(hot) > 8 {
+			continue
+		}
+		if got, want := mw.Match(g, syn).Weight(g), bestWeight(hot); got != want {
+			t.Fatalf("d=5 syn %d: mwpm weight %d, brute-force optimum %d (hot=%v)", si, got, want, hot)
+		}
+	}
+}
+
+// sameQubits compares correction contents; the pooled path may return a
+// non-nil empty slice where the legacy path returns nil.
+func sameQubits(a, b []int) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}

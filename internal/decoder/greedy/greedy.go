@@ -15,6 +15,7 @@ package greedy
 import (
 	"sort"
 
+	"repro/internal/decodepool"
 	"repro/internal/decoder"
 	"repro/internal/lattice"
 )
@@ -94,4 +95,119 @@ func (d *Decoder) Decode(g *lattice.Graph, syn []bool) (decoder.Correction, erro
 	return d.Match(g, syn).Correction(g), nil
 }
 
-var _ decoder.Decoder = (*Decoder)(nil)
+// gedge is the scratch-resident candidate edge; j == -1 marks a
+// boundary edge.
+type gedge struct{ w, i, j int32 }
+
+// intoState is the greedy decoder's private scratch: the candidate edge
+// list in generation order, the counting-sort permutation and buckets,
+// the matched flags, and the accepted matching.
+type intoState struct {
+	edges   []gedge
+	idx     []int32
+	counts  []int32
+	matched []bool
+	pairs   [][2]int32
+	bnd     []int32
+}
+
+// DecodeInto implements decodepool.IntoDecoder. It reproduces Decode's
+// matching exactly but replaces the comparison sort with a stable
+// two-bucket-per-weight counting sort: the sort key is 2·w + rank
+// (rank 1 for boundary edges), and within a bucket the generation order
+// — ascending (i, j) for pair edges, ascending i for boundary edges —
+// already equals the legacy comparator's tie-break order. Steady state
+// allocates nothing; the returned Correction aliases s.
+func (d *Decoder) DecodeInto(g *lattice.Graph, syn []bool, s *decodepool.Scratch) (decoder.Correction, error) {
+	geo := decodepool.For(g)
+	hot := s.HotChecks(syn)
+	if len(hot) == 0 {
+		return decoder.Correction{}, nil
+	}
+	st := s.State("greedy", func() any { return new(intoState) }).(*intoState)
+	edges := st.edges[:0]
+	maxW := int32(0)
+	for a := 0; a < len(hot); a++ {
+		for b := a + 1; b < len(hot); b++ {
+			w := int32(geo.Dist(hot[a], hot[b]))
+			if w > maxW {
+				maxW = w
+			}
+			edges = append(edges, gedge{w, int32(hot[a]), int32(hot[b])})
+		}
+		w := int32(geo.BoundaryDist(hot[a]))
+		if w > maxW {
+			maxW = w
+		}
+		edges = append(edges, gedge{w, int32(hot[a]), -1})
+	}
+	st.edges = edges
+
+	nkeys := int(2*maxW) + 2
+	if cap(st.counts) < nkeys {
+		st.counts = make([]int32, nkeys)
+	}
+	counts := st.counts[:nkeys]
+	clear(counts)
+	key := func(e gedge) int32 {
+		k := 2 * e.w
+		if e.j < 0 {
+			k++
+		}
+		return k
+	}
+	for _, e := range edges {
+		counts[key(e)]++
+	}
+	var sum int32
+	for k := range counts {
+		counts[k], sum = sum, sum+counts[k]
+	}
+	if cap(st.idx) < len(edges) {
+		st.idx = make([]int32, len(edges))
+	}
+	idx := st.idx[:len(edges)]
+	for k, e := range edges {
+		ky := key(e)
+		idx[counts[ky]] = int32(k)
+		counts[ky]++
+	}
+
+	m := g.NumChecks()
+	if cap(st.matched) < m {
+		st.matched = make([]bool, m)
+	}
+	matched := st.matched[:m]
+	clear(matched)
+	st.pairs, st.bnd = st.pairs[:0], st.bnd[:0]
+	for _, k := range idx {
+		e := edges[k]
+		if matched[e.i] {
+			continue
+		}
+		if e.j < 0 {
+			matched[e.i] = true
+			st.bnd = append(st.bnd, e.i)
+			continue
+		}
+		if matched[e.j] {
+			continue
+		}
+		matched[e.i], matched[e.j] = true, true
+		st.pairs = append(st.pairs, [2]int32{e.i, e.j})
+	}
+
+	q := s.TakeQubits()
+	for _, p := range st.pairs {
+		q = geo.AppendPathQubits(q, int(p[0]), int(p[1]))
+	}
+	for _, i := range st.bnd {
+		q = geo.AppendBoundaryPathQubits(q, int(i))
+	}
+	return s.PutQubits(q), nil
+}
+
+var (
+	_ decoder.Decoder        = (*Decoder)(nil)
+	_ decodepool.IntoDecoder = (*Decoder)(nil)
+)

@@ -12,6 +12,7 @@ import (
 	"fmt"
 	"math"
 
+	"repro/internal/decodepool"
 	"repro/internal/decoder"
 	"repro/internal/lattice"
 	"repro/internal/pauli"
@@ -131,15 +132,48 @@ func (d *Decoder) CosetProbs(syn []bool) (p0, p1 float64, err error) {
 // Decode implements decoder.Decoder: it returns a minimum-weight
 // representative of the likeliest logical coset.
 func (d *Decoder) Decode(g *lattice.Graph, syn []bool) (decoder.Correction, error) {
+	pattern, err := d.pattern(g, syn)
+	if err != nil {
+		return decoder.Correction{}, err
+	}
+	var c decoder.Correction
+	for i, q := range d.qubits {
+		if pattern&(1<<uint(i)) != 0 {
+			c.Qubits = append(c.Qubits, q)
+		}
+	}
+	return c, nil
+}
+
+// DecodeInto implements decodepool.IntoDecoder: the same table lookup
+// as Decode, with the correction emitted into the caller's scratch
+// buffer. The returned Correction aliases s.
+func (d *Decoder) DecodeInto(g *lattice.Graph, syn []bool, s *decodepool.Scratch) (decoder.Correction, error) {
+	pattern, err := d.pattern(g, syn)
+	if err != nil {
+		return decoder.Correction{}, err
+	}
+	q := s.TakeQubits()
+	for i, qb := range d.qubits {
+		if pattern&(1<<uint(i)) != 0 {
+			q = append(q, qb)
+		}
+	}
+	return s.PutQubits(q), nil
+}
+
+// pattern resolves the syndrome to the stored minimum-weight
+// representative of the likeliest logical coset.
+func (d *Decoder) pattern(g *lattice.Graph, syn []bool) (uint32, error) {
 	// Structural compatibility: any graph of the same distance and
 	// error type indexes checks identically.
 	if g.ErrorType() != d.g.ErrorType() || g.Lattice().Distance() != d.g.Lattice().Distance() {
-		return decoder.Correction{}, fmt.Errorf("mld: decoder bound to a %v distance-%d graph",
+		return 0, fmt.Errorf("mld: decoder bound to a %v distance-%d graph",
 			d.g.ErrorType(), d.g.Lattice().Distance())
 	}
 	idx, err := d.index(syn)
 	if err != nil {
-		return decoder.Correction{}, err
+		return 0, err
 	}
 	logical := 0
 	if d.prob[idx][1] > d.prob[idx][0] {
@@ -151,16 +185,9 @@ func (d *Decoder) Decode(g *lattice.Graph, syn []bool) (decoder.Correction, erro
 		logical ^= 1
 	}
 	if d.reps[idx][logical] < 0 {
-		return decoder.Correction{}, fmt.Errorf("mld: no pattern produces this syndrome")
+		return 0, fmt.Errorf("mld: no pattern produces this syndrome")
 	}
-	pattern := d.rep[idx][logical]
-	var c decoder.Correction
-	for i, q := range d.qubits {
-		if pattern&(1<<uint(i)) != 0 {
-			c.Qubits = append(c.Qubits, q)
-		}
-	}
-	return c, nil
+	return d.rep[idx][logical], nil
 }
 
 // index packs a syndrome vector into the table key.
@@ -177,4 +204,7 @@ func (d *Decoder) index(syn []bool) (uint64, error) {
 	return idx, nil
 }
 
-var _ decoder.Decoder = (*Decoder)(nil)
+var (
+	_ decoder.Decoder        = (*Decoder)(nil)
+	_ decodepool.IntoDecoder = (*Decoder)(nil)
+)

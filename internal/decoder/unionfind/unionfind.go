@@ -14,6 +14,7 @@ package unionfind
 import (
 	"fmt"
 
+	"repro/internal/decodepool"
 	"repro/internal/decoder"
 	"repro/internal/lattice"
 )
@@ -224,7 +225,236 @@ func (u *Decoder) peel(g *lattice.Graph, syn []bool, nv, m int, edges []lattice.
 	return c, nil
 }
 
-var _ decoder.Decoder = (*Decoder)(nil)
+// intoState is the union-find decoder's private scratch: flat
+// union-find arrays, per-edge growth state, and the CSR adjacency plus
+// traversal buffers of the peeling stage.
+type intoState struct {
+	// Union-find over the decoding-graph vertices.
+	parent, size  []int32
+	odd, boundary []bool
+
+	// Growth stage.
+	growth []int32
+	grown  []bool
+
+	// Peeling stage: CSR adjacency over grown edges, then BFS + leaf
+	// peel buffers.
+	adjOff     []int32
+	adjData    []int32
+	defect     []bool
+	visited    []bool
+	parentEdge []int32
+	order      []int32
+}
+
+func (st *intoState) reset(nv, ne int) {
+	if cap(st.parent) < nv {
+		st.parent = make([]int32, nv)
+		st.size = make([]int32, nv)
+		st.odd = make([]bool, nv)
+		st.boundary = make([]bool, nv)
+		st.defect = make([]bool, nv)
+		st.visited = make([]bool, nv)
+		st.parentEdge = make([]int32, nv)
+		st.adjOff = make([]int32, nv+1)
+		st.order = make([]int32, 0, nv)
+	}
+	st.parent = st.parent[:nv]
+	st.size = st.size[:nv]
+	st.odd = st.odd[:nv]
+	st.boundary = st.boundary[:nv]
+	st.defect = st.defect[:nv]
+	st.visited = st.visited[:nv]
+	st.parentEdge = st.parentEdge[:nv]
+	st.adjOff = st.adjOff[:nv+1]
+	for i := range st.parent {
+		st.parent[i] = int32(i)
+		st.size[i] = 1
+	}
+	clear(st.odd)
+	clear(st.boundary)
+	clear(st.defect)
+	clear(st.visited)
+	if cap(st.growth) < ne {
+		st.growth = make([]int32, ne)
+		st.grown = make([]bool, ne)
+		st.adjData = make([]int32, 2*ne)
+	}
+	st.growth = st.growth[:ne]
+	st.grown = st.grown[:ne]
+	clear(st.growth)
+	clear(st.grown)
+}
+
+func (st *intoState) find(x int32) int32 {
+	for st.parent[x] != x {
+		st.parent[x] = st.parent[st.parent[x]]
+		x = st.parent[x]
+	}
+	return x
+}
+
+func (st *intoState) union(a, b int32) {
+	ra, rb := st.find(a), st.find(b)
+	if ra == rb {
+		return
+	}
+	if st.size[ra] < st.size[rb] {
+		ra, rb = rb, ra
+	}
+	st.parent[rb] = ra
+	st.size[ra] += st.size[rb]
+	st.odd[ra] = st.odd[ra] != st.odd[rb]
+	st.boundary[ra] = st.boundary[ra] || st.boundary[rb]
+}
+
+func (st *intoState) active(r int32) bool { return st.odd[r] && !st.boundary[r] }
+
+// DecodeInto implements decodepool.IntoDecoder: the same cluster-growth
+// and peeling as Decode, on the cached decoding-edge tables and flat
+// scratch arrays instead of per-call allocations. Steady state
+// allocates nothing; the returned Correction aliases s.
+func (u *Decoder) DecodeInto(g *lattice.Graph, syn []bool, s *decodepool.Scratch) (decoder.Correction, error) {
+	geo := decodepool.For(g)
+	m := geo.M
+	nv := geo.NV
+	ne := len(geo.Edges)
+	st := s.State("unionfind", func() any { return new(intoState) }).(*intoState)
+	st.reset(nv, ne)
+	for v := m; v < nv; v++ {
+		st.boundary[v] = true
+	}
+	anyActive := false
+	for i, hot := range syn {
+		if hot {
+			st.odd[i] = true
+			anyActive = true
+		}
+	}
+
+	// Growth, identical to Decode: each un-grown edge accumulates
+	// support from its endpoints' active clusters; support >= 2 merges.
+	u.Rounds = 0
+	for anyActive {
+		u.Rounds++
+		for k := range geo.Edges {
+			if st.grown[k] {
+				continue
+			}
+			a, b := geo.Endpoints[k][0], geo.Endpoints[k][1]
+			if st.active(st.find(a)) {
+				st.growth[k]++
+			}
+			if st.active(st.find(b)) {
+				st.growth[k]++
+			}
+		}
+		for k := range geo.Edges {
+			if !st.grown[k] && st.growth[k] >= 2 {
+				st.grown[k] = true
+				st.union(geo.Endpoints[k][0], geo.Endpoints[k][1])
+			}
+		}
+		anyActive = false
+		for i, hot := range syn {
+			if hot && st.active(st.find(int32(i))) {
+				anyActive = true
+				break
+			}
+		}
+		if u.Rounds > 4*g.Lattice().Size() {
+			return decoder.Correction{}, fmt.Errorf("unionfind: growth did not converge after %d rounds", u.Rounds)
+		}
+	}
+
+	// Peeling on a CSR adjacency of the grown edges. Filling slots in
+	// ascending edge order reproduces the legacy append order, so the
+	// spanning forests — and the emitted correction — are identical.
+	hasDefect := false
+	for i, hot := range syn {
+		if hot {
+			st.defect[i] = true
+			hasDefect = true
+		}
+	}
+	if !hasDefect {
+		return decoder.Correction{}, nil
+	}
+	adjOff := st.adjOff
+	clear(adjOff)
+	for k := range geo.Edges {
+		if st.grown[k] {
+			adjOff[geo.Endpoints[k][0]+1]++
+			adjOff[geo.Endpoints[k][1]+1]++
+		}
+	}
+	for v := 0; v < nv; v++ {
+		adjOff[v+1] += adjOff[v]
+	}
+	fill := st.parentEdge // reuse as temporary cursor before BFS overwrites it
+	copy(fill, adjOff[:nv])
+	for k := range geo.Edges {
+		if st.grown[k] {
+			a, b := geo.Endpoints[k][0], geo.Endpoints[k][1]
+			st.adjData[fill[a]] = int32(k)
+			fill[a]++
+			st.adjData[fill[b]] = int32(k)
+			fill[b]++
+		}
+	}
+
+	q := s.TakeQubits()
+	// Roots preferring boundary vertices, so peeled defects can always
+	// drain into the boundary (same order as Decode's root list).
+	for root := int32(0); root < int32(nv); root++ {
+		r := root + int32(m)
+		if r >= int32(nv) {
+			r -= int32(nv)
+		}
+		if st.visited[r] {
+			continue
+		}
+		// BFS spanning tree of the cluster containing r.
+		order := st.order[:0]
+		order = append(order, r)
+		st.visited[r] = true
+		st.parentEdge[r] = -1
+		for i := 0; i < len(order); i++ {
+			v := order[i]
+			for _, k := range st.adjData[adjOff[v]:adjOff[v+1]] {
+				w := geo.Endpoints[k][0] + geo.Endpoints[k][1] - v
+				if !st.visited[w] {
+					st.visited[w] = true
+					st.parentEdge[w] = k
+					order = append(order, w)
+				}
+			}
+		}
+		st.order = order
+		// Peel leaves first (reverse BFS order).
+		for i := len(order) - 1; i > 0; i-- {
+			v := order[i]
+			if !st.defect[v] {
+				continue
+			}
+			k := st.parentEdge[v]
+			q = append(q, geo.Edges[k].Q)
+			st.defect[v] = false
+			p := geo.Endpoints[k][0] + geo.Endpoints[k][1] - v
+			st.defect[p] = !st.defect[p]
+		}
+		if st.defect[r] && int(r) < m {
+			return decoder.Correction{}, fmt.Errorf("unionfind: unresolved defect at check %d", r)
+		}
+		st.defect[r] = false
+	}
+	return s.PutQubits(q), nil
+}
+
+var (
+	_ decoder.Decoder        = (*Decoder)(nil)
+	_ decodepool.IntoDecoder = (*Decoder)(nil)
+)
 
 // DecodeErasure performs linear-time maximum-likelihood decoding of the
 // quantum erasure channel (Delfosse & Zémor): the erased data qubits

@@ -20,14 +20,23 @@ type Graph struct {
 	etype  ErrorType
 	checks []Site
 	index  map[Site]int
+
+	// Flattened per-check stabilizer supports, precomputed so the
+	// syndrome hot loop (SyndromeInto) performs no allocation: check i's
+	// data-qubit neighbours are supData[supOff[i]:supOff[i+1]].
+	supOff  []int
+	supData []int
 }
 
 // MatchingGraph builds the matching graph for the given error type.
 func (l *Lattice) MatchingGraph(e ErrorType) *Graph {
 	g := &Graph{l: l, etype: e, index: make(map[Site]int)}
 	g.checks = l.AncillaSites(e)
+	g.supOff = make([]int, len(g.checks)+1)
 	for i, s := range g.checks {
 		g.index[s] = i
+		g.supData = append(g.supData, l.StabilizerSupport(s)...)
+		g.supOff[i+1] = len(g.supData)
 	}
 	return g
 }
@@ -131,12 +140,23 @@ func (g *Graph) BoundaryPathQubits(i int) []int {
 // frame over the whole device: element i is true iff check i measures
 // odd parity of the error component it detects.
 func (g *Graph) Syndrome(f *pauli.Frame) []bool {
+	return g.SyndromeInto(f, make([]bool, len(g.checks)))
+}
+
+// SyndromeInto is Syndrome writing into a caller-owned buffer, reused
+// across cycles by the zero-allocation decode hot path. The buffer is
+// resized (reallocating only when its capacity is insufficient) and
+// returned.
+func (g *Graph) SyndromeInto(f *pauli.Frame, syn []bool) []bool {
 	if f.Len() != g.l.NumQubits() {
 		panic(fmt.Sprintf("lattice: frame covers %d qubits, lattice has %d", f.Len(), g.l.NumQubits()))
 	}
-	syn := make([]bool, len(g.checks))
-	for i, s := range g.checks {
-		sup := g.l.StabilizerSupport(s)
+	if cap(syn) < len(g.checks) {
+		syn = make([]bool, len(g.checks))
+	}
+	syn = syn[:len(g.checks)]
+	for i := range g.checks {
+		sup := g.supData[g.supOff[i]:g.supOff[i+1]]
 		if g.etype == ZErrors {
 			syn[i] = f.ParityZ(sup) == 1
 		} else {

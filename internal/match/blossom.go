@@ -8,6 +8,13 @@
 // scratch on the standard dual-variable formulation: labels on vertices
 // and blossoms, alternating trees grown from free vertices, blossom
 // shrinking at odd cycles, and dual adjustments when the trees get stuck.
+//
+// Two entry points are provided. The package-level functions
+// (MaxWeightMatching, MinWeightPerfectMatching) allocate fresh working
+// state per call and are convenient for one-off instances. The Matcher
+// type owns reusable working state so steady-state decode loops solve
+// instance after instance without allocating; the zero-allocation MWPM
+// decode path (internal/decodepool) keeps one Matcher per scratch.
 package match
 
 // Infinite is the sentinel slack used during dual adjustment.
@@ -15,26 +22,125 @@ const infinite = int64(1) << 60
 
 // graph carries the working state of one matching computation.
 // Vertices are 1-indexed; indices above n denote shrunken blossoms.
+// The arrays are sized for `slots` vertex slots and reused across
+// instances by Matcher; init re-establishes the exact state a freshly
+// allocated graph would have, so reuse never changes results.
 type graph struct {
-	n  int // number of real vertices
-	nx int // current number of vertex slots in use (incl. blossoms)
+	n     int // number of real vertices
+	nx    int // current number of vertex slots in use (incl. blossoms)
+	slots int // allocated vertex slots (2·n+1 for the largest n seen)
 
-	w     [][]int64 // w[u][v]: edge weight between real-or-blossom slots
-	eu    [][]int   // eu[u][v]: real endpoint on u's side of edge (u,v)
-	ev    [][]int   // ev[u][v]: real endpoint on v's side
-	lab   []int64   // dual labels
-	match []int     // match[u]: real endpoint matched to u (0 = free)
-	slack []int     // slack[x]: real vertex with the tightest edge into x
-	st    []int     // st[x]: the top-level blossom containing x
-	pa    []int     // pa[x]: parent edge endpoint in the alternating tree
-	side  []int8    // side[x]: -1 unvisited, 0 outer, 1 inner
-	vis   []int     // visit stamps for LCA search
+	// The pairwise tables are flat with stride `slots` (w[u*slots+v]):
+	// one contiguous array per table keeps the eDelta hot loop free of
+	// the pointer chase a [][]T layout would pay on every access.
+	w     []int64 // edge weight between real-or-blossom slots
+	eu    []int   // real endpoint on u's side of edge (u,v)
+	ev    []int   // real endpoint on v's side
+	lab   []int64 // dual labels
+	match []int   // match[u]: real endpoint matched to u (0 = free)
+	slack []int   // slack[x]: real vertex with the tightest edge into x
+	st    []int   // st[x]: the top-level blossom containing x
+	pa    []int   // pa[x]: parent edge endpoint in the alternating tree
+	side  []int8  // side[x]: -1 unvisited, 0 outer, 1 inner
+	vis   []int   // visit stamps for LCA search
 	visT  int
 
-	flowerFrom [][]int // flowerFrom[b][x]: sub-blossom of b containing real x
+	flowerFrom []int   // flowerFrom[b*slots+x]: sub-blossom of b containing real x
 	flower     [][]int // blossom cycles
 
-	q []int // BFS queue of real vertices
+	q  []int // BFS queue of real vertices
+	qh int   // queue head: q[qh:] is pending (popping must not reslice q)
+}
+
+// Matcher owns reusable blossom working state. The zero value is ready
+// to use; a Matcher must not be used from two goroutines at once. After
+// the first solve at a given size, subsequent solves at the same or
+// smaller size perform no heap allocation.
+type Matcher struct {
+	g    graph
+	mate []int
+	flip []int64 // min-weight wrapper's flipped-weight buffer
+}
+
+// NewMatcher returns an empty reusable matcher.
+func NewMatcher() *Matcher { return &Matcher{} }
+
+// MaxWeight computes a maximum-weight matching of the complete graph on
+// n vertices with the given flat symmetric weight matrix: w[u*n+v] is
+// the weight between vertices u and v (0-indexed; weights must be
+// non-negative, and zero-weight pairs are treated as absent edges). It
+// returns mate, where mate[u] is u's partner or -1, and the total
+// matched weight. The returned slice is owned by the Matcher and valid
+// only until the next solve.
+func (m *Matcher) MaxWeight(n int, w []int64) (mate []int, total int64) {
+	if cap(m.mate) < n {
+		m.mate = make([]int, n)
+	}
+	mate = m.mate[:n]
+	if n == 0 {
+		return mate, 0
+	}
+	g := &m.g
+	g.init(n, w)
+	for g.phase() {
+	}
+	for u := 1; u <= n; u++ {
+		if g.match[u] != 0 {
+			mate[u-1] = g.match[u] - 1
+			if g.match[u] < u {
+				total += g.w[u*g.slots+g.match[u]] / 2
+			}
+		} else {
+			mate[u-1] = -1
+		}
+	}
+	return mate, total
+}
+
+// MinWeightPerfect computes a minimum-weight perfect matching of the
+// complete graph on an even number of vertices with the given flat
+// symmetric weight matrix (see MaxWeight). It returns mate and the
+// total weight; the returned slice is owned by the Matcher and valid
+// only until the next solve.
+func (m *Matcher) MinWeightPerfect(n int, w []int64) (mate []int, total int64) {
+	if n%2 != 0 {
+		panic("match: perfect matching requires an even vertex count")
+	}
+	if n == 0 {
+		return m.mate[:0], 0
+	}
+	var wMax int64
+	for u := 0; u < n; u++ {
+		for v := u + 1; v < n; v++ {
+			if x := w[u*n+v]; x > wMax {
+				wMax = x
+			}
+		}
+	}
+	if cap(m.flip) < n*n {
+		m.flip = make([]int64, n*n)
+	}
+	flip := m.flip[:n*n]
+	// Flip weights so that minimum becomes maximum; the +1 keeps every
+	// edge strictly positive, which makes the maximum-weight matching
+	// perfect on a complete graph.
+	for u := 0; u < n; u++ {
+		flip[u*n+u] = 0
+		for v := u + 1; v < n; v++ {
+			f := wMax - w[u*n+v] + 1
+			flip[u*n+v], flip[v*n+u] = f, f
+		}
+	}
+	mate, _ = m.MaxWeight(n, flip)
+	for u, v := range mate {
+		if v < 0 {
+			panic("match: perfect matching not found on complete graph")
+		}
+		if v > u {
+			total += w[u*n+v]
+		}
+	}
+	return mate, total
 }
 
 // MaxWeightMatching computes a maximum-weight matching of the complete
@@ -46,21 +152,7 @@ func MaxWeightMatching(n int, weight func(u, v int) int64) (mate []int, total in
 	if n == 0 {
 		return nil, 0
 	}
-	g := newGraph(n, weight)
-	for g.phase() {
-	}
-	mate = make([]int, n)
-	for u := 1; u <= n; u++ {
-		if g.match[u] != 0 {
-			mate[u-1] = g.match[u] - 1
-			if g.match[u] < u {
-				total += g.w[u][g.match[u]] / 2
-			}
-		} else {
-			mate[u-1] = -1
-		}
-	}
-	return mate, total
+	return NewMatcher().MaxWeight(n, flatten(n, weight))
 }
 
 // MinWeightPerfectMatching computes a minimum-weight perfect matching of
@@ -73,45 +165,33 @@ func MinWeightPerfectMatching(n int, weight func(u, v int) int64) (mate []int, t
 	if n == 0 {
 		return nil, 0
 	}
-	var wMax int64
-	for u := 0; u < n; u++ {
-		for v := u + 1; v < n; v++ {
-			if w := weight(u, v); w > wMax {
-				wMax = w
-			}
-		}
-	}
-	// Flip weights so that minimum becomes maximum; the +1 keeps every
-	// edge strictly positive, which makes the maximum-weight matching
-	// perfect on a complete graph.
-	mate, flipped := MaxWeightMatching(n, func(u, v int) int64 {
-		return wMax - weight(u, v) + 1
-	})
-	for u, v := range mate {
-		if v < 0 {
-			panic("match: perfect matching not found on complete graph")
-		}
-		if v > u {
-			total += weight(u, v)
-		}
-	}
-	_ = flipped
-	return mate, total
+	return NewMatcher().MinWeightPerfect(n, flatten(n, weight))
 }
 
-func newGraph(n int, weight func(u, v int) int64) *graph {
-	slots := 2*n + 1
-	g := &graph{n: n, nx: n}
-	g.w = make([][]int64, slots)
-	g.eu = make([][]int, slots)
-	g.ev = make([][]int, slots)
-	g.flowerFrom = make([][]int, slots)
-	for i := range g.w {
-		g.w[i] = make([]int64, slots)
-		g.eu[i] = make([]int, slots)
-		g.ev[i] = make([]int, slots)
-		g.flowerFrom[i] = make([]int, n+1)
+// flatten materializes a weight function as the flat symmetric matrix
+// the Matcher consumes.
+func flatten(n int, weight func(u, v int) int64) []int64 {
+	w := make([]int64, n*n)
+	for u := 0; u < n; u++ {
+		for v := u + 1; v < n; v++ {
+			x := weight(u, v)
+			w[u*n+v], w[v*n+u] = x, x
+		}
 	}
+	return w
+}
+
+// grow ensures the graph owns at least `slots` vertex slots, allocating
+// fresh arrays when the previous instance was smaller.
+func (g *graph) grow(slots int) {
+	if slots <= g.slots {
+		return
+	}
+	g.slots = slots
+	g.w = make([]int64, slots*slots)
+	g.eu = make([]int, slots*slots)
+	g.ev = make([]int, slots*slots)
+	g.flowerFrom = make([]int, slots*slots)
 	g.lab = make([]int64, slots)
 	g.match = make([]int, slots)
 	g.slack = make([]int, slots)
@@ -120,18 +200,48 @@ func newGraph(n int, weight func(u, v int) int64) *graph {
 	g.side = make([]int8, slots)
 	g.vis = make([]int, slots)
 	g.flower = make([][]int, slots)
+}
+
+// init re-establishes the exact state of a freshly allocated graph for
+// an n-vertex instance with flat weights w (w[u*n+v], 0-indexed).
+func (g *graph) init(n int, w []int64) {
+	slots := 2*n + 1
+	g.grow(slots)
+	g.n, g.nx = n, n
+	g.visT = 0
+	// The stride stays g.slots (the high-water size). The pairwise
+	// tables need no bulk clearing: the real-vertex region is fully
+	// rewritten below, and blossom slots re-initialize their own rows
+	// and columns in addBlossom before any read. The one exception is
+	// flowerFrom's real rows — only their diagonal is written here, but
+	// addBlossom tests arbitrary real cells against zero, so stale
+	// entries from a previous (larger) instance must be wiped.
+	s := g.slots
+	for i := 0; i < slots; i++ {
+		g.flower[i] = g.flower[i][:0]
+	}
+	clear(g.lab[:slots])
+	clear(g.match[:slots])
+	clear(g.slack[:slots])
+	clear(g.st[:slots])
+	clear(g.pa[:slots])
+	clear(g.side[:slots])
+	clear(g.vis[:slots])
+	g.q, g.qh = g.q[:0], 0
 
 	var wMax int64
 	for u := 1; u <= n; u++ {
 		g.st[u] = u
-		g.flowerFrom[u][u] = u
+		clear(g.flowerFrom[u*s+1 : u*s+n+1])
+		g.flowerFrom[u*s+u] = u
+		g.w[u*s+u] = 0
 		for v := 1; v <= n; v++ {
-			g.eu[u][v], g.ev[u][v] = u, v
+			g.eu[u*s+v], g.ev[u*s+v] = u, v
 			if u != v {
 				// Doubled weights keep every dual adjustment integral.
-				g.w[u][v] = 2 * weight(u-1, v-1)
-				if g.w[u][v] > wMax {
-					wMax = g.w[u][v]
+				g.w[u*s+v] = 2 * w[(u-1)*n+(v-1)]
+				if g.w[u*s+v] > wMax {
+					wMax = g.w[u*s+v]
 				}
 			}
 		}
@@ -139,25 +249,47 @@ func newGraph(n int, weight func(u, v int) int64) *graph {
 	for u := 1; u <= n; u++ {
 		g.lab[u] = wMax / 2
 	}
-	return g
 }
 
 // eDelta is the dual slack of the edge between real vertices u and v as
 // recorded in slot pair (u,v).
 func (g *graph) eDelta(u, v int) int64 {
-	return g.lab[g.eu[u][v]] + g.lab[g.ev[u][v]] - g.w[g.eu[u][v]][g.ev[u][v]]
+	k := u*g.slots + v
+	return g.lab[g.eu[k]] + g.lab[g.ev[k]] - g.w[g.eu[k]*g.slots+g.ev[k]]
 }
 
 func (g *graph) updateSlack(u, x int) {
-	if g.slack[x] == 0 || g.eDelta(u, x) < g.eDelta(g.slack[x], x) {
+	sx := g.slack[x]
+	if sx == 0 {
+		g.slack[x] = u
+		return
+	}
+	if x <= g.n {
+		// Real slot: eu/ev are the identity (only init writes real-real
+		// cells), so both deltas reduce to lab-w with lab[x] cancelling.
+		if g.lab[u]-g.w[u*g.slots+x] < g.lab[sx]-g.w[sx*g.slots+x] {
+			g.slack[x] = u
+		}
+		return
+	}
+	if g.eDelta(u, x) < g.eDelta(sx, x) {
 		g.slack[x] = u
 	}
+}
+
+// slackDelta is eDelta(slack[x], x) with the real-slot shortcut.
+func (g *graph) slackDelta(x int) int64 {
+	sx := g.slack[x]
+	if x <= g.n {
+		return g.lab[sx] + g.lab[x] - g.w[sx*g.slots+x]
+	}
+	return g.eDelta(sx, x)
 }
 
 func (g *graph) setSlack(x int) {
 	g.slack[x] = 0
 	for u := 1; u <= g.n; u++ {
-		if g.w[u][x] > 0 && g.st[u] != x && g.side[g.st[u]] == 0 {
+		if g.w[u*g.slots+x] > 0 && g.st[u] != x && g.side[g.st[u]] == 0 {
 			g.updateSlack(u, x)
 		}
 	}
@@ -195,31 +327,39 @@ func (g *graph) getPr(b, xr int) int {
 	if pr%2 == 1 {
 		// Reverse the cycle (keeping the base fixed) to make pr even.
 		fl := g.flower[b]
-		for i, j := 1, len(fl)-1; i < j; i, j = i+1, j-1 {
-			fl[i], fl[j] = fl[j], fl[i]
-		}
+		reverse(fl[1:])
 		return len(fl) - pr
 	}
 	return pr
 }
 
+// reverse flips a slice segment in place.
+func reverse(s []int) {
+	for i, j := 0, len(s)-1; i < j; i, j = i+1, j-1 {
+		s[i], s[j] = s[j], s[i]
+	}
+}
+
 // setMatch matches slot u across the edge recorded at (u,v), recursing
 // into blossoms.
 func (g *graph) setMatch(u, v int) {
-	g.match[u] = g.ev[u][v]
+	k := u*g.slots + v
+	g.match[u] = g.ev[k]
 	if u <= g.n {
 		return
 	}
-	xr := g.flowerFrom[u][g.eu[u][v]]
+	xr := g.flowerFrom[u*g.slots+g.eu[k]]
 	pr := g.getPr(u, xr)
 	for i := 0; i < pr; i++ {
 		g.setMatch(g.flower[u][i], g.flower[u][i^1])
 	}
 	g.setMatch(xr, v)
-	// Rotate so the newly matched sub-blossom becomes the base.
+	// Rotate in place so the newly matched sub-blossom becomes the base:
+	// the cycle fl[pr:] + fl[:pr] via three reversals.
 	fl := g.flower[u]
-	rotated := append(append([]int{}, fl[pr:]...), fl[:pr]...)
-	g.flower[u] = rotated
+	reverse(fl[:pr])
+	reverse(fl[pr:])
+	reverse(fl)
 }
 
 func (g *graph) augment(u, v int) {
@@ -274,10 +414,7 @@ func (g *graph) addBlossom(u, lca, v int) {
 	}
 	// Reverse everything after the base so the two arms are ordered
 	// consistently around the cycle.
-	fl := g.flower[b]
-	for i, j := 1, len(fl)-1; i < j; i, j = i+1, j-1 {
-		fl[i], fl[j] = fl[j], fl[i]
-	}
+	reverse(g.flower[b][1:])
 	for x := v; x != lca; {
 		g.flower[b] = append(g.flower[b], x)
 		y := g.st[g.match[x]]
@@ -286,22 +423,23 @@ func (g *graph) addBlossom(u, lca, v int) {
 		x = g.st[g.pa[y]]
 	}
 	g.setSt(b, b)
+	s := g.slots
 	for x := 1; x <= g.nx; x++ {
-		g.w[b][x], g.w[x][b] = 0, 0
+		g.w[b*s+x], g.w[x*s+b] = 0, 0
 	}
 	for x := 1; x <= g.n; x++ {
-		g.flowerFrom[b][x] = 0
+		g.flowerFrom[b*s+x] = 0
 	}
 	for _, xs := range g.flower[b] {
 		for x := 1; x <= g.nx; x++ {
-			if g.w[b][x] == 0 || g.eDelta(xs, x) < g.eDelta(b, x) {
-				g.eu[b][x], g.ev[b][x], g.w[b][x] = g.eu[xs][x], g.ev[xs][x], g.w[xs][x]
-				g.eu[x][b], g.ev[x][b], g.w[x][b] = g.eu[x][xs], g.ev[x][xs], g.w[x][xs]
+			if g.w[b*s+x] == 0 || g.eDelta(xs, x) < g.eDelta(b, x) {
+				g.eu[b*s+x], g.ev[b*s+x], g.w[b*s+x] = g.eu[xs*s+x], g.ev[xs*s+x], g.w[xs*s+x]
+				g.eu[x*s+b], g.ev[x*s+b], g.w[x*s+b] = g.eu[x*s+xs], g.ev[x*s+xs], g.w[x*s+xs]
 			}
 		}
 		for x := 1; x <= g.n; x++ {
-			if g.flowerFrom[xs][x] != 0 {
-				g.flowerFrom[b][x] = xs
+			if g.flowerFrom[xs*s+x] != 0 {
+				g.flowerFrom[b*s+x] = xs
 			}
 		}
 	}
@@ -312,12 +450,12 @@ func (g *graph) expandBlossom(b int) {
 	for _, i := range g.flower[b] {
 		g.setSt(i, i)
 	}
-	xr := g.flowerFrom[b][g.eu[b][g.pa[b]]]
+	xr := g.flowerFrom[b*g.slots+g.eu[b*g.slots+g.pa[b]]]
 	pr := g.getPr(b, xr)
 	for i := 0; i < pr; i += 2 {
 		xs := g.flower[b][i]
 		xns := g.flower[b][i+1]
-		g.pa[xs] = g.eu[xns][xs]
+		g.pa[xs] = g.eu[xns*g.slots+xs]
 		g.side[xs], g.side[xns] = 1, 0
 		g.slack[xs] = 0
 		g.setSlack(xns)
@@ -364,7 +502,7 @@ func (g *graph) phase() bool {
 		g.side[x] = -1
 		g.slack[x] = 0
 	}
-	g.q = g.q[:0]
+	g.q, g.qh = g.q[:0], 0
 	for x := 1; x <= g.nx; x++ {
 		if g.st[x] == x && g.match[x] == 0 {
 			g.pa[x] = 0
@@ -376,15 +514,20 @@ func (g *graph) phase() bool {
 		return false
 	}
 	for {
-		for len(g.q) > 0 {
-			u := g.q[0]
-			g.q = g.q[1:]
+		for g.qh < len(g.q) {
+			u := g.q[g.qh]
+			g.qh++
 			if g.side[g.st[u]] == 1 {
 				continue
 			}
+			// Real-real cells keep eu=u, ev=v forever (only init writes
+			// them), so eDelta reduces to lab[u]+lab[v]-w here — the
+			// indirection-free form keeps this O(n³) core scan cheap.
+			row := g.w[u*g.slots : u*g.slots+g.n+1]
+			labU := g.lab[u]
 			for v := 1; v <= g.n; v++ {
-				if g.w[u][v] > 0 && g.st[u] != g.st[v] {
-					if g.eDelta(u, v) == 0 {
+				if row[v] > 0 && g.st[u] != g.st[v] {
+					if labU+g.lab[v]-row[v] == 0 {
 						if g.onFoundEdge(u, v) {
 							return true
 						}
@@ -406,11 +549,11 @@ func (g *graph) phase() bool {
 			if g.st[x] == x && g.slack[x] != 0 {
 				switch g.side[x] {
 				case -1:
-					if del := g.eDelta(g.slack[x], x); del < d {
+					if del := g.slackDelta(x); del < d {
 						d = del
 					}
 				case 0:
-					if del := g.eDelta(g.slack[x], x) / 2; del < d {
+					if del := g.slackDelta(x) / 2; del < d {
 						d = del
 					}
 				}
@@ -437,9 +580,9 @@ func (g *graph) phase() bool {
 				}
 			}
 		}
-		g.q = g.q[:0]
+		g.q, g.qh = g.q[:0], 0
 		for x := 1; x <= g.nx; x++ {
-			if g.st[x] == x && g.slack[x] != 0 && g.st[g.slack[x]] != x && g.eDelta(g.slack[x], x) == 0 {
+			if g.st[x] == x && g.slack[x] != 0 && g.st[g.slack[x]] != x && g.slackDelta(x) == 0 {
 				if g.onFoundEdge(g.slack[x], x) {
 					return true
 				}

@@ -47,7 +47,10 @@ type Outcome struct {
 // Shard executes trials sequentially on private state (its own
 // simulator, decoder, frame). The engine creates shards with
 // PointSpec.NewShard and reuses them across batches of the same point;
-// a shard is never used from two goroutines at once.
+// a shard is never used from two goroutines at once. Single ownership
+// is also what makes the zero-allocation decode path safe: a shard's
+// simulator carries one decodepool.Scratch, warm after the first few
+// trials, and no other shard ever touches it.
 type Shard interface {
 	// Trial runs trial index t. rng is positioned at the start of the
 	// trial's private stream; the outcome must depend only on rng and t,

@@ -279,3 +279,50 @@ func TestLifetimeFailureIndicatorsUncorrelated(t *testing.T) {
 			r, limit, mean, n)
 	}
 }
+
+// Determinism guard for the zero-allocation decode path (PR 2): the
+// cross-worker bit-identity of PR 1 must survive decoders that route
+// through decodepool scratches. Every worker owns a private scratch, so
+// pooling must be invisible to the sweep output; mwpm and union-find are
+// the decoders with the most reusable internal state.
+func TestCurvesWorkerInvariancePooledDecoders(t *testing.T) {
+	cycles := shortOr(400, 150)
+	newDecs := map[string]func(d int) decoder.Decoder{
+		"mwpm":       func(int) decoder.Decoder { return mwpm.New() },
+		"union-find": func(int) decoder.Decoder { return unionfind.New() },
+	}
+	for name, newDec := range newDecs {
+		var ref []Point
+		for _, workers := range []int{1, 8} {
+			cfg := CurveConfig{
+				Distances:   []int{3, 5},
+				Rates:       []float64{0.04, 0.09},
+				Cycles:      cycles,
+				NewChannel:  func(p float64) (noise.Channel, error) { return noise.NewDephasing(p) },
+				NewDecoderZ: newDec,
+				Seed:        11,
+				Workers:     workers,
+			}
+			got, err := Curves(cfg)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if ref == nil {
+				ref = got
+				anyErrors := false
+				for _, pt := range ref {
+					anyErrors = anyErrors || pt.Errors > 0
+				}
+				if !anyErrors {
+					t.Fatalf("%s: reference sweep saw no logical errors; check is vacuous", name)
+				}
+				continue
+			}
+			for i := range ref {
+				if got[i] != ref[i] {
+					t.Errorf("%s workers=8: point %d = %+v, want %+v", name, i, got[i], ref[i])
+				}
+			}
+		}
+	}
+}

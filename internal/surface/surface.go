@@ -10,6 +10,7 @@ import (
 	"fmt"
 	"math/rand"
 
+	"repro/internal/decodepool"
 	"repro/internal/decoder"
 	"repro/internal/lattice"
 	"repro/internal/noise"
@@ -64,6 +65,11 @@ type Simulator struct {
 	data     []int // data-qubit indices
 
 	planes []*plane
+
+	// scratch is this simulator's private decode arena. One simulator is
+	// one worker (one Monte-Carlo shard), so a single scratch makes the
+	// whole decode loop allocation-free in steady state.
+	scratch *decodepool.Scratch
 }
 
 // plane bundles everything needed to decode one error type.
@@ -75,6 +81,9 @@ type plane struct {
 	ext   *stabilizer.Extractor
 	cut   []int // data qubits whose parity flags a logical flip
 	op    pauli.Op
+
+	syn  []bool // reusable syndrome buffer
+	left []bool // reusable post-correction syndrome buffer
 }
 
 // New validates the configuration and builds a simulator.
@@ -98,6 +107,7 @@ func New(cfg Config) (*Simulator, error) {
 		l:        l,
 		rng:      rng,
 		residual: pauli.NewFrame(l.NumQubits()),
+		scratch:  decodepool.NewScratch(),
 	}
 	for _, site := range l.DataSites() {
 		s.data = append(s.data, l.QubitIndex(site))
@@ -107,7 +117,11 @@ func New(cfg Config) (*Simulator, error) {
 			return
 		}
 		g := l.MatchingGraph(e)
-		p := &plane{etype: e, graph: g, dec: dec, cut: l.LogicalCutSupport(e), op: op}
+		p := &plane{
+			etype: e, graph: g, dec: dec, cut: l.LogicalCutSupport(e), op: op,
+			syn:  make([]bool, g.NumChecks()),
+			left: make([]bool, g.NumChecks()),
+		}
 		if mesh, ok := dec.(*sfq.Mesh); ok {
 			p.mesh = mesh
 		}
@@ -181,7 +195,7 @@ func (s *Simulator) decodePlane(p *plane, res *Result) (bool, error) {
 			return false, err
 		}
 	} else {
-		syn = p.graph.Syndrome(s.residual)
+		syn = p.graph.SyndromeInto(s.residual, p.syn)
 	}
 	var corr decoder.Correction
 	if p.mesh != nil {
@@ -191,7 +205,10 @@ func (s *Simulator) decodePlane(p *plane, res *Result) (bool, error) {
 			s.cfg.Observer(p.etype, st)
 		}
 	} else {
-		corr, err = p.dec.Decode(p.graph, syn)
+		// Routes through the zero-allocation DecodeInto path when the
+		// decoder supports it; corr then aliases s.scratch and is consumed
+		// before the next decode.
+		corr, err = decodepool.Decode(p.dec, p.graph, syn, s.scratch)
 	}
 	if err != nil {
 		return false, fmt.Errorf("surface: %s on %v checks: %w", p.dec.Name(), p.etype, err)
@@ -202,8 +219,11 @@ func (s *Simulator) decodePlane(p *plane, res *Result) (bool, error) {
 	// Ablation variants (and any buggy decoder) may leave checks hot;
 	// the evaluation harness completes them with boundary chains so the
 	// residual is always stabilizer-trivial and PL stays well defined.
-	left := p.graph.Syndrome(s.residual)
-	for _, i := range lattice.HotChecks(left) {
+	left := p.graph.SyndromeInto(s.residual, p.left)
+	for i, hot := range left {
+		if !hot {
+			continue
+		}
 		for _, q := range p.graph.BoundaryPathQubits(i) {
 			s.residual.Apply(q, p.op)
 		}
@@ -233,7 +253,7 @@ func parity(f *pauli.Frame, cut []int, e lattice.ErrorType) int {
 // every configured plane.
 func (s *Simulator) checkClean() error {
 	for _, p := range s.planes {
-		for i, hot := range p.graph.Syndrome(s.residual) {
+		for i, hot := range p.graph.SyndromeInto(s.residual, p.left) {
 			if hot {
 				return fmt.Errorf("surface: residual leaves %v check %d hot after correction", p.etype, i)
 			}
