@@ -488,6 +488,38 @@ func BenchmarkDecodeHotPath(b *testing.B) {
 	}
 }
 
+// BenchmarkSFQMesh compares the legacy struct-of-bools mesh kernel with
+// the bit-plane kernel at d ∈ {5,9,13} on fixed seeded syndromes, both
+// through the pooled DecodeInto path. cycles/decode is attached as a
+// metric — it must be identical between the kernels (the conformance
+// suite enforces this; the benchmark makes it visible). cmd/bench
+// regenerates the same matrix into BENCH_pr3.json.
+func BenchmarkSFQMesh(b *testing.B) {
+	for _, d := range []int{5, 9, 13} {
+		l := lattice.MustNew(d)
+		g := l.MatchingGraph(lattice.ZErrors)
+		syndromes := hotPathSyndromes(b, l, g, 64, int64(100+d))
+		for _, k := range []sfq.Kernel{sfq.KernelLegacy, sfq.KernelBitplane} {
+			b.Run(fmt.Sprintf("d=%d/%s", d, k), func(b *testing.B) {
+				mesh := sfq.NewWithKernel(g, sfq.Final, k)
+				s := decodepool.NewScratch()
+				for _, syn := range syndromes { // warm the scratch
+					if _, err := mesh.DecodeInto(g, syn, s); err != nil {
+						b.Fatal(err)
+					}
+				}
+				var cycles int64
+				benchDecode(b, func(i int) error {
+					_, err := mesh.DecodeInto(g, syndromes[i%len(syndromes)], s)
+					cycles += int64(mesh.Stats().Cycles)
+					return err
+				})
+				b.ReportMetric(float64(cycles)/float64(b.N), "cycles/decode")
+			})
+		}
+	}
+}
+
 // benchDecode times one decode closure and reports ns/decode and
 // allocs/decode (heap allocation count from runtime.MemStats).
 func benchDecode(b *testing.B, decode func(i int) error) {

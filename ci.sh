@@ -5,8 +5,10 @@
 #
 # Runs, in order: go vet, go build, the full test suite, the test suite
 # under the race detector, a short native-fuzz smoke over the blossom
-# matcher and the decode dispatch, and the decode-hot-path benchmark
-# (which also regenerates BENCH_pr2.json). The race run sets
+# matcher, the decode dispatch, and the SFQ mesh kernel pair, a short
+# bit-plane/legacy conformance pass, and the decode-hot-path benchmarks
+# (which also regenerate BENCH_pr2.json and BENCH_pr3.json). The race
+# run sets
 # REPRO_MC_SHORT=1, which the statistical tests in internal/stats and
 # internal/mc honour by shrinking their trial budgets (their acceptance
 # thresholds scale with sample size, so the checks stay valid — just
@@ -33,9 +35,14 @@ REPRO_MC_SHORT=1 go test -race ./...
 echo "== fuzz smoke =="
 go test -run='^$' -fuzz=FuzzBlossom -fuzztime=5s ./internal/match
 go test -run='^$' -fuzz=FuzzDecode -fuzztime=5s ./internal/decoder
+go test -run='^$' -fuzz=FuzzMesh -fuzztime=5s ./internal/sfq
+
+echo "== mesh kernel conformance (short) =="
+REPRO_MC_SHORT=1 go test -run TestBitplaneConformance ./internal/sfq
 
 echo "== decode hot-path benchmarks =="
 go test -run='^$' -bench BenchmarkDecodeHotPath -benchtime 100x -benchmem .
-go run ./cmd/bench -iters 2000 -out BENCH_pr2.json
+go test -run='^$' -bench BenchmarkSFQMesh -benchtime 100x -benchmem .
+go run ./cmd/bench -iters 2000 -out BENCH_pr2.json -mesh-out BENCH_pr3.json
 
 echo "CI OK"

@@ -1,14 +1,16 @@
 // Command bench measures the decode hot path outside the testing
 // framework and writes the results as JSON, so benchmark regressions are
-// tracked as repository artifacts (BENCH_pr2.json). For every matching
-// decoder and d ∈ {5, 9, 13} it times the legacy allocating Decode path
-// and the pooled zero-allocation DecodeInto path on identical seeded
-// syndromes, reporting ns/decode and allocation counts from
+// tracked as repository artifacts. For every matching decoder and
+// d ∈ {5, 9, 13} it times the legacy allocating Decode path and the
+// pooled zero-allocation DecodeInto path on identical seeded syndromes
+// (BENCH_pr2.json), then times the SFQ mesh's legacy and bit-plane
+// stepping kernels head to head on the same syndromes (BENCH_pr3.json),
+// reporting ns/decode, mesh cycles/decode, and allocation counts from
 // runtime.MemStats deltas.
 //
 // Usage:
 //
-//	bench [-iters 2000] [-out BENCH_pr2.json]
+//	bench [-iters 2000] [-out BENCH_pr2.json] [-mesh-out BENCH_pr3.json]
 package main
 
 import (
@@ -27,6 +29,7 @@ import (
 	"repro/internal/lattice"
 	"repro/internal/noise"
 	"repro/internal/pauli"
+	"repro/internal/sfq"
 )
 
 // Row is one benchmark measurement.
@@ -40,9 +43,25 @@ type Row struct {
 	BytesPerDecode  float64 `json:"bytes_per_decode"`
 }
 
+// MeshRow is one mesh-kernel measurement. CyclesPerDecode is the mean
+// simulated mesh cycle count over the syndrome set — it must be
+// identical across kernels (the bit-plane kernel is cycle-exact), so the
+// artifact doubles as a conformance record.
+type MeshRow struct {
+	Kernel          string  `json:"kernel"` // "legacy" or "bitplane"
+	Distance        int     `json:"d"`
+	Variant         string  `json:"variant"`
+	Iters           int     `json:"iters"`
+	NsPerDecode     float64 `json:"ns_per_decode"`
+	CyclesPerDecode float64 `json:"cycles_per_decode"`
+	AllocsPerDecode float64 `json:"allocs_per_decode"`
+	BytesPerDecode  float64 `json:"bytes_per_decode"`
+}
+
 func main() {
 	iters := flag.Int("iters", 2000, "timed decodes per (decoder, d, path) cell")
-	out := flag.String("out", "BENCH_pr2.json", "output JSON path")
+	out := flag.String("out", "BENCH_pr2.json", "output JSON path (software decoders)")
+	meshOut := flag.String("mesh-out", "BENCH_pr3.json", "output JSON path (mesh kernels)")
 	flag.Parse()
 
 	var rows []Row
@@ -89,7 +108,80 @@ func main() {
 	if err := os.WriteFile(*out, append(data, '\n'), 0o644); err != nil {
 		log.Fatal(err)
 	}
-	fmt.Printf("wrote %s (%d rows)\n", *out, len(rows))
+	fmt.Printf("wrote %s (%d rows)\n\n", *out, len(rows))
+
+	meshRows, err := benchMeshKernels(*iters)
+	if err != nil {
+		log.Fatal(err)
+	}
+	data, err = json.MarshalIndent(meshRows, "", "  ")
+	if err != nil {
+		log.Fatal(err)
+	}
+	if err := os.WriteFile(*meshOut, append(data, '\n'), 0o644); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("wrote %s (%d rows)\n", *meshOut, len(meshRows))
+}
+
+// benchMeshKernels times the SFQ mesh's two stepping kernels on
+// identical seeded syndromes through the zero-allocation DecodeInto
+// path, and checks that the bit-plane kernel reproduces the legacy
+// kernel's simulated cycle counts exactly.
+func benchMeshKernels(iters int) ([]MeshRow, error) {
+	var rows []MeshRow
+	for _, d := range []int{5, 9, 13} {
+		l := lattice.MustNew(d)
+		g := l.MatchingGraph(lattice.ZErrors)
+		syndromes, err := sampleSyndromes(l, g, 64, int64(100+d))
+		if err != nil {
+			return nil, err
+		}
+		var legacyNs float64
+		for _, k := range []sfq.Kernel{sfq.KernelLegacy, sfq.KernelBitplane} {
+			mesh := sfq.NewWithKernel(g, sfq.Final, k)
+			s := decodepool.NewScratch()
+			// Cycle counts are deterministic per syndrome: one clean pass
+			// gives the exact mean, independent of the timing loop.
+			cycles := 0
+			for _, syn := range syndromes {
+				if _, err := mesh.DecodeInto(g, syn, s); err != nil {
+					return nil, fmt.Errorf("mesh %s d=%d: %w", k, d, err)
+				}
+				cycles += mesh.Stats().Cycles
+			}
+			row, err := measure(iters, syndromes, func(syn []bool) error {
+				_, err := mesh.DecodeInto(g, syn, s)
+				return err
+			})
+			if err != nil {
+				return nil, fmt.Errorf("mesh %s d=%d: %w", k, d, err)
+			}
+			rows = append(rows, MeshRow{
+				Kernel:          k.String(),
+				Distance:        d,
+				Variant:         sfq.Final.Name(),
+				Iters:           row.Iters,
+				NsPerDecode:     row.NsPerDecode,
+				CyclesPerDecode: float64(cycles) / float64(len(syndromes)),
+				AllocsPerDecode: row.AllocsPerDecode,
+				BytesPerDecode:  row.BytesPerDecode,
+			})
+			if k == sfq.KernelLegacy {
+				legacyNs = row.NsPerDecode
+			} else {
+				prev := rows[len(rows)-2]
+				if prev.CyclesPerDecode != rows[len(rows)-1].CyclesPerDecode {
+					return nil, fmt.Errorf("d=%d: kernels disagree on cycles/decode: legacy %v, bitplane %v",
+						d, prev.CyclesPerDecode, rows[len(rows)-1].CyclesPerDecode)
+				}
+				fmt.Printf("sfq mesh    d=%-3d legacy %9.0f ns/decode | bitplane %9.0f ns/decode | %.2fx  (%.2f cycles/decode, %.1f allocs)\n",
+					d, legacyNs, row.NsPerDecode, legacyNs/row.NsPerDecode,
+					rows[len(rows)-1].CyclesPerDecode, row.AllocsPerDecode)
+			}
+		}
+	}
+	return rows, nil
 }
 
 // sampleSyndromes draws the benchmark's fixed syndrome set (dephasing at

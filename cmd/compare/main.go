@@ -82,12 +82,14 @@ func main() {
 		// Same ID per distance: identical error streams for every decoder.
 		specs = append(specs, stats.LifetimeSpec(int64(d), *cycles, shardSize, build))
 	}
+	pool := sfq.NewPool(sfq.Final)
 	for _, d := range ds {
 		d := d
-		g := lattice.MustNew(d).MatchingGraph(lattice.ZErrors)
+		g := pool.Graph(d, lattice.ZErrors)
 		add(d, "sfq-"+sfq.Final.Name(), "online, ~ns latency", 0, func() (decoder.Decoder, error) {
-			return sfq.New(g, sfq.Final), nil
+			return pool.Get(d, lattice.ZErrors), nil
 		})
+		specs[len(specs)-1].Release = stats.ReleaseDecoders(pool.Release)
 		add(d, "greedy", "software reference of §V-B", 0, func() (decoder.Decoder, error) {
 			return greedy.New(), nil
 		})

@@ -52,17 +52,19 @@ func main() {
 	}
 	rates := []float64{0.015, 0.02, 0.025, 0.03, 0.035, 0.04}
 
+	pool := sfq.NewPool(sfq.Final)
 	cfg := stats.CurveConfig{
 		Distances:  ds,
 		Rates:      rates,
 		Cycles:     *cycles,
 		NewChannel: func(p float64) (noise.Channel, error) { return noise.NewDephasing(p) },
 		NewDecoderZ: func(d int) decoder.Decoder {
-			return sfq.New(lattice.MustNew(d).MatchingGraph(lattice.ZErrors), sfq.Final)
+			return pool.Get(d, lattice.ZErrors)
 		},
 		Seed:           *seed,
 		Workers:        *workers,
 		TargetRelWidth: *relWidth,
+		FreeDecoder:    pool.Release,
 	}
 	var bar *progress.Printer
 	if *showProgress {

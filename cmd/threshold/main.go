@@ -86,17 +86,22 @@ func main() {
 		log.Fatal(err)
 	}
 
+	// One mesh pool for the whole sweep: finished points release their
+	// meshes for the next point to reuse instead of rebuilding lattice,
+	// graph, and mesh per shard.
+	pool := sfq.NewPool(variant)
 	cfg := stats.CurveConfig{
 		Distances:  ds,
 		Rates:      ps,
 		Cycles:     *cycles,
 		NewChannel: func(p float64) (noise.Channel, error) { return noise.NewDephasing(p) },
 		NewDecoderZ: func(d int) decoder.Decoder {
-			return sfq.New(lattice.MustNew(d).MatchingGraph(lattice.ZErrors), variant)
+			return pool.Get(d, lattice.ZErrors)
 		},
 		Seed:           *seed,
 		Workers:        *workers,
 		TargetRelWidth: *relWidth,
+		FreeDecoder:    pool.Release,
 	}
 	var bar *progress.Printer
 	if *showProgress {
@@ -108,7 +113,7 @@ func main() {
 	case "depolarizing":
 		cfg.NewChannel = func(p float64) (noise.Channel, error) { return noise.NewDepolarizing(p) }
 		cfg.NewDecoderX = func(d int) decoder.Decoder {
-			return sfq.New(lattice.MustNew(d).MatchingGraph(lattice.XErrors), variant)
+			return pool.Get(d, lattice.XErrors)
 		}
 	default:
 		log.Fatalf("unknown channel %q", *channel)

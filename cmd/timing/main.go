@@ -87,16 +87,18 @@ func main() {
 	for _, d := range ds {
 		samples[d] = &meshSamples{counts: map[int]int{}}
 	}
+	pool := sfq.NewPool(sfq.Final)
 	if _, err := stats.Curves(stats.CurveConfig{
 		Distances:  ds,
 		Rates:      ps,
 		Cycles:     *cycles,
 		NewChannel: func(p float64) (noise.Channel, error) { return noise.NewDephasing(p) },
 		NewDecoderZ: func(d int) decoder.Decoder {
-			return sfq.New(lattice.MustNew(d).MatchingGraph(lattice.ZErrors), sfq.Final)
+			return pool.Get(d, lattice.ZErrors)
 		},
-		Seed:    *seed,
-		Workers: *workers,
+		FreeDecoder: pool.Release,
+		Seed:        *seed,
+		Workers:     *workers,
 		Observer: func(d int, p float64) func(lattice.ErrorType, sfq.Stats) {
 			ms := samples[d]
 			return func(e lattice.ErrorType, st sfq.Stats) { ms.observe(st) }

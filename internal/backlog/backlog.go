@@ -11,6 +11,7 @@ import (
 	"fmt"
 
 	"repro/internal/qprog"
+	"repro/internal/sfq"
 )
 
 // Model fixes the machine's timing parameters.
@@ -28,6 +29,20 @@ type Model struct {
 
 // Ratio returns f = rgen/rproc = DecodeNs / SyndromeCycleNs.
 func (m Model) Ratio() float64 { return m.DecodeNs / m.SyndromeCycleNs }
+
+// ModelForDecodes builds a Model whose decode latency is the worst
+// observed SFQ mesh round across the given samples, floored at floorNs
+// (callers pass the paper's 20 ns worst-case bound so an empty or
+// easy sample set still yields the pessimistic online model).
+func ModelForDecodes(syndromeCycleNs, floorNs float64, decodes []sfq.Stats) Model {
+	worst := floorNs
+	for _, st := range decodes {
+		if t := st.TimeNs(); t > worst {
+			worst = t
+		}
+	}
+	return Model{SyndromeCycleNs: syndromeCycleNs, DecodeNs: worst}
+}
 
 // TracePoint records the wall clock at one T gate (the dots on Fig. 5).
 type TracePoint struct {

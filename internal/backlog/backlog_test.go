@@ -5,6 +5,7 @@ import (
 	"testing"
 
 	"repro/internal/qprog"
+	"repro/internal/sfq"
 )
 
 func prog(tPositions []int, n int) []bool {
@@ -157,5 +158,26 @@ func TestSweepShape(t *testing.T) {
 	}
 	if math.IsNaN(pts[5].Slowdown) {
 		t.Error("NaN slowdown")
+	}
+}
+
+// ModelForDecodes must take the worst observed mesh round, but never go
+// below the caller's floor (the paper's 20 ns bound).
+func TestModelForDecodes(t *testing.T) {
+	m := ModelForDecodes(400, 20, nil)
+	if m.DecodeNs != 20 || m.SyndromeCycleNs != 400 {
+		t.Errorf("empty samples: got %+v, want floor 20 over 400", m)
+	}
+	// 200 cycles ≈ 32.5 ns at 162.72 ps/cycle — above the floor.
+	samples := []sfq.Stats{{Cycles: 10}, {Cycles: 200}, {Cycles: 40}}
+	m = ModelForDecodes(400, 20, samples)
+	want := samples[1].TimeNs()
+	if m.DecodeNs != want {
+		t.Errorf("DecodeNs = %v, want worst sample %v", m.DecodeNs, want)
+	}
+	// All samples under the floor: the floor wins.
+	m = ModelForDecodes(400, 20, samples[:1])
+	if m.DecodeNs != 20 {
+		t.Errorf("DecodeNs = %v, want floor 20", m.DecodeNs)
 	}
 }

@@ -146,14 +146,8 @@ func (s *System) RunLifetime(cycles int) (LifetimeReport, error) {
 // lifetime first so the mesh has timing samples; otherwise the paper's
 // 20 ns bound is assumed.
 func (s *System) ExecutionTrace(c *qprog.Circuit, offlineDecodeNs float64) (online, offline backlog.Trace, err error) {
-	worst := 20.0
-	for _, st := range s.decodes {
-		if t := st.TimeNs(); t > worst {
-			worst = t
-		}
-	}
 	prog := backlog.Program(c)
-	online, err = backlog.Model{SyndromeCycleNs: s.cfg.SyndromeCycleNs, DecodeNs: worst}.Execute(prog)
+	online, err = backlog.ModelForDecodes(s.cfg.SyndromeCycleNs, 20, s.decodes).Execute(prog)
 	if err != nil {
 		return
 	}

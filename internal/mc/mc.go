@@ -80,6 +80,11 @@ type PointSpec struct {
 	// ShardSize overrides the engine's shard sizing for this point
 	// (e.g. 1 shard for a point whose state is expensive to build).
 	ShardSize int
+	// Release, when non-nil, receives every shard state NewShard built
+	// for this point once the point finishes (budget spent, CI tight
+	// enough, or failed). Use it to return pooled resources — decoder
+	// meshes, scratch arenas — to their free lists for the next point.
+	Release func(Shard)
 }
 
 // Progress reports one point's cumulative tally after a checkpoint.
@@ -200,6 +205,22 @@ func Run(ctx context.Context, cfg Config, specs []PointSpec) ([]Result, error) {
 func (e *engine) runPoint(ctx context.Context, idx int, sp PointSpec) (Result, error) {
 	res := Result{ID: sp.ID}
 	idle := make(chan Shard, e.workers) // shard states reused across batches
+	if sp.Release != nil {
+		// At most e.workers shards ever exist per point, and after every
+		// batch's wg.Wait each one sits in the idle channel (capacity ==
+		// workers, so the non-blocking put never drops), so draining idle
+		// here hands every shard back exactly once.
+		defer func() {
+			for {
+				select {
+				case sh := <-idle:
+					sp.Release(sh)
+				default:
+					return
+				}
+			}
+		}()
+	}
 	for res.Trials < sp.Trials {
 		hi := sp.Trials
 		if e.cfg.TargetRelWidth > 0 {

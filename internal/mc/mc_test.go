@@ -297,3 +297,82 @@ func ExampleRun() {
 	fmt.Println(res[0].Trials)
 	// Output: 10000
 }
+
+// TestReleaseReturnsEveryShard checks that Release receives every shard
+// NewShard built — exactly once each — after the point finishes, for
+// both full-budget and mid-batch-error points.
+func TestReleaseReturnsEveryShard(t *testing.T) {
+	var mu sync.Mutex
+	built := map[Shard]int{}
+	released := map[Shard]int{}
+	spec := PointSpec{
+		ID:     DeriveID(1),
+		Trials: 4000,
+		NewShard: func() (Shard, error) {
+			sh := ShardFunc(func(rng *rand.Rand, tt int) (Outcome, error) {
+				return Outcome{Failed: rng.Float64() < 0.1}, nil
+			})
+			mu.Lock()
+			built[&sh]++
+			mu.Unlock()
+			return &sh, nil
+		},
+		Release: func(sh Shard) {
+			mu.Lock()
+			released[sh]++
+			mu.Unlock()
+		},
+	}
+	if _, err := Run(context.Background(), Config{RootSeed: 5, Workers: 4, ShardSize: 100}, []PointSpec{spec}); err != nil {
+		t.Fatal(err)
+	}
+	if len(built) == 0 {
+		t.Fatal("no shards built")
+	}
+	if len(released) != len(built) {
+		t.Fatalf("released %d distinct shards, built %d", len(released), len(built))
+	}
+	for sh, n := range released {
+		if n != 1 {
+			t.Fatalf("shard released %d times", n)
+		}
+		if built[sh] != 1 {
+			t.Fatalf("released a shard that was never built")
+		}
+	}
+}
+
+// TestReleaseOnPointError checks shards are still reclaimed when a
+// trial fails partway through the point.
+func TestReleaseOnPointError(t *testing.T) {
+	var mu sync.Mutex
+	builtN, releasedN := 0, 0
+	spec := PointSpec{
+		ID:     DeriveID(2),
+		Trials: 2000,
+		NewShard: func() (Shard, error) {
+			mu.Lock()
+			builtN++
+			mu.Unlock()
+			return ShardFunc(func(rng *rand.Rand, tt int) (Outcome, error) {
+				if tt == 999 {
+					return Outcome{}, errors.New("boom")
+				}
+				return Outcome{}, nil
+			}), nil
+		},
+		Release: func(Shard) {
+			mu.Lock()
+			releasedN++
+			mu.Unlock()
+		},
+	}
+	if _, err := Run(context.Background(), Config{RootSeed: 5, Workers: 3, ShardSize: 50}, []PointSpec{spec}); err == nil {
+		t.Fatal("expected point error")
+	}
+	mu.Lock()
+	defer mu.Unlock()
+	if releasedN != builtN {
+		t.Fatalf("released %d shards, built %d", releasedN, builtN)
+	}
+}

@@ -2,7 +2,9 @@ package sfq
 
 import (
 	"fmt"
+	"os"
 
+	"repro/internal/decodepool"
 	"repro/internal/decoder"
 	"repro/internal/lattice"
 )
@@ -31,6 +33,50 @@ type Stats struct {
 // full-circuit latency.
 func (s Stats) TimeNs() float64 { return float64(s.Cycles) * CycleTimePs / 1000 }
 
+// Kernel selects the mesh stepping implementation. Both kernels are
+// cycle-exact models of the same hardware: corrections and Stats are
+// bit-identical (pinned by the conformance suite and FuzzMesh).
+type Kernel uint8
+
+const (
+	// KernelBitplane packs every (signal class × direction) into
+	// []uint64 bit-planes and steps whole rows with shift-and-mask
+	// operations. The default.
+	KernelBitplane Kernel = iota
+	// KernelLegacy is the original struct-of-bools reference kernel.
+	KernelLegacy
+)
+
+// String implements fmt.Stringer.
+func (k Kernel) String() string {
+	if k == KernelLegacy {
+		return "legacy"
+	}
+	return "bitplane"
+}
+
+// KernelByName maps "bitplane"/"legacy" to a Kernel.
+func KernelByName(name string) (Kernel, bool) {
+	switch name {
+	case "bitplane":
+		return KernelBitplane, true
+	case "legacy":
+		return KernelLegacy, true
+	}
+	return KernelBitplane, false
+}
+
+// DefaultKernel is what New uses; the REPRO_SFQ_KERNEL environment
+// variable ("legacy" or "bitplane") overrides it at process start.
+var DefaultKernel = kernelFromEnv()
+
+func kernelFromEnv() Kernel {
+	if k, ok := KernelByName(os.Getenv("REPRO_SFQ_KERNEL")); ok {
+		return k
+	}
+	return KernelBitplane
+}
+
 // Mesh is the SFQ decoder: a (2d+1)×(2d+1) grid of decoder modules (the
 // (2d−1)² per-qubit modules ringed by boundary modules) bound to one
 // matching graph. A Mesh is reusable across Decode calls but not safe
@@ -38,12 +84,8 @@ func (s Stats) TimeNs() float64 { return float64(s.Cycles) * CycleTimePs / 1000 
 type Mesh struct {
 	g       *lattice.Graph
 	variant Variant
-	m       int // mesh side length
-
-	kind     []cellKind
-	dataQ    []int // interior data cells -> qubit index, else -1
-	checkIdx []int // interior check cells -> check index, else -1
-	cellOf   []int // check index -> cell index
+	kernel  Kernel
+	geo     *meshGeom
 
 	// MaxCycles bounds one decode; Decode fails beyond it. Defaults to
 	// 200 × mesh side.
@@ -52,7 +94,7 @@ type Mesh struct {
 	// maxRetries bounds stall-recovery attempts per decode.
 	maxRetries int
 
-	// Dynamic per-decode state.
+	// Dynamic per-decode state of the legacy kernel (nil planes mesh).
 	hot      []bool
 	growFrom [][4]bool
 	fired    []bool
@@ -66,61 +108,46 @@ type Mesh struct {
 	growN, reqN, grantN, pairN [][4]bool // next-cycle buffers
 	pairB, pairBN              [][4]bool // provenance: pair signal originated at a boundary module
 
-	reqArrived [][4]bool // scratch: request arrivals at hot modules this cycle
+	reqArrived [][4]bool     // scratch: request arrivals at hot modules this cycle
+	growArr    []growArrival // scratch: grow arrivals, reused across cycles
+	reqArrAt   []int         // scratch: cells with request arrivals, reused
 
+	planes *planeState // bit-plane kernel state (nil for the legacy kernel)
+
+	hotCount       int // maintained count of hot modules (both kernels)
 	resetCountdown int
 	priorityOffset int
 	stats          Stats
 	tracer         Tracer
 }
 
+type growArrival struct {
+	n int
+	d Dir
+}
+
 // New builds a decoder mesh for the matching graph with the given design
-// variant.
+// variant, using the DefaultKernel.
 func New(g *lattice.Graph, v Variant) *Mesh {
-	size := g.Lattice().Size()
-	side := size + 2
+	return NewWithKernel(g, v, DefaultKernel)
+}
+
+// NewWithKernel builds a decoder mesh with an explicit stepping kernel.
+func NewWithKernel(g *lattice.Graph, v Variant, k Kernel) *Mesh {
+	geo := geomFor(g)
 	m := &Mesh{
 		g:          g,
 		variant:    v,
-		m:          side,
-		MaxCycles:  200 * side,
+		kernel:     k,
+		geo:        geo,
+		MaxCycles:  200 * geo.m,
 		maxRetries: 3,
 	}
-	n := side * side
-	m.kind = make([]cellKind, n)
-	m.dataQ = make([]int, n)
-	m.checkIdx = make([]int, n)
-	m.cellOf = make([]int, g.NumChecks())
-	for i := range m.dataQ {
-		m.dataQ[i], m.checkIdx[i] = -1, -1
+	if k == KernelBitplane {
+		m.planes = newPlaneState(m)
+		return m
 	}
-	l := g.Lattice()
-	for lr := 0; lr < size; lr++ {
-		for lc := 0; lc < size; lc++ {
-			i := m.index(lr+1, lc+1)
-			m.kind[i] = cellInterior
-			s := lattice.Site{Row: lr, Col: lc}
-			if l.KindAt(s) == lattice.Data {
-				m.dataQ[i] = l.QubitIndex(s)
-			} else if ci, ok := g.CheckIndex(s); ok {
-				m.checkIdx[i] = ci
-				m.cellOf[ci] = i
-			}
-		}
-	}
-	// Boundary modules sit on the ring, facing the two code edges the
-	// decoded error type can terminate on, adjacent to boundary data
-	// qubits (even lattice coordinates).
-	for x := 0; x < size; x += 2 {
-		if g.ErrorType() == lattice.ZErrors {
-			m.kind[m.index(x+1, 0)] = cellBoundary
-			m.kind[m.index(x+1, side-1)] = cellBoundary
-		} else {
-			m.kind[m.index(0, x+1)] = cellBoundary
-			m.kind[m.index(side-1, x+1)] = cellBoundary
-		}
-	}
-
+	n := geo.n
 	m.hot = make([]bool, n)
 	m.growFrom = make([][4]bool, n)
 	m.fired = make([]bool, n)
@@ -149,30 +176,62 @@ func (m *Mesh) Name() string { return "sfq-" + m.variant.Name() }
 // Variant returns the mesh's design variant.
 func (m *Mesh) Variant() Variant { return m.variant }
 
+// Kernel returns the mesh's stepping kernel.
+func (m *Mesh) Kernel() Kernel { return m.kernel }
+
 // Stats returns the statistics of the most recent Decode call.
 func (m *Mesh) Stats() Stats { return m.stats }
 
-func (m *Mesh) index(r, c int) int { return r*m.m + c }
+// Reset returns the mesh to its idle state. Decode calls reset
+// internally; pools call Reset before parking a mesh so a stale decode's
+// state is never carried across owners.
+func (m *Mesh) Reset() {
+	if m.planes != nil {
+		m.planes.reset()
+	} else {
+		m.reset()
+	}
+}
+
+func (m *Mesh) index(r, c int) int { return m.geo.index(r, c) }
 
 // neighbor returns the cell index one step in direction d, or -1 when
 // the step leaves the mesh.
-func (m *Mesh) neighbor(i int, d Dir) int {
-	dr, dc := d.Delta()
-	r, c := i/m.m+dr, i%m.m+dc
-	if r < 0 || r >= m.m || c < 0 || c >= m.m {
-		return -1
+func (m *Mesh) neighbor(i int, d Dir) int { return m.geo.neighbor(i, d) }
+
+// compatible reports whether the mesh can decode syndromes of g. Graphs
+// of equal distance and error type are structurally identical (the
+// assumption decodepool's geometry cache already rests on), so pooled
+// meshes accept any such graph, not just the pointer they were built
+// with.
+func (m *Mesh) compatible(g *lattice.Graph) bool {
+	if g == m.g {
+		return true
 	}
-	return r*m.m + c
+	return g.ErrorType() == m.g.ErrorType() &&
+		g.Lattice().Distance() == m.g.Lattice().Distance() &&
+		g.NumChecks() == m.g.NumChecks()
 }
 
-// Decode implements decoder.Decoder. The graph must be the one the mesh
-// was built for.
+// Decode implements decoder.Decoder. The graph must be structurally
+// identical to the one the mesh was built for.
 func (m *Mesh) Decode(g *lattice.Graph, syn []bool) (decoder.Correction, error) {
-	if g != m.g {
+	if !m.compatible(g) {
 		return decoder.Correction{}, fmt.Errorf("sfq: mesh bound to a different matching graph")
 	}
 	c, _, err := m.DecodeWithStats(syn)
 	return c, err
+}
+
+// DecodeInto implements decodepool.IntoDecoder: it decodes with zero
+// heap allocations, appending the correction into the scratch's pooled
+// qubit buffer. Cycle statistics remain available via Stats.
+func (m *Mesh) DecodeInto(g *lattice.Graph, syn []bool, s *decodepool.Scratch) (decoder.Correction, error) {
+	if !m.compatible(g) {
+		return decoder.Correction{}, fmt.Errorf("sfq: mesh bound to a different matching graph")
+	}
+	q, err := m.decodeAppend(syn, s.TakeQubits())
+	return s.PutQubits(q), err
 }
 
 // DecodeWithStats runs the mesh on the syndrome and also returns cycle
@@ -180,19 +239,32 @@ func (m *Mesh) Decode(g *lattice.Graph, syn []bool) (decoder.Correction, error) 
 // the design variant cannot resolve them (Stats.Unresolved counts them);
 // the final variant resolves everything it is given.
 func (m *Mesh) DecodeWithStats(syn []bool) (decoder.Correction, Stats, error) {
+	q, err := m.decodeAppend(syn, nil)
+	if err != nil {
+		return decoder.Correction{}, Stats{}, err
+	}
+	return decoder.Correction{Qubits: q}, m.stats, nil
+}
+
+// decodeAppend is the shared decode core: it appends the corrected
+// qubit indices to q (which may be nil or a recycled buffer) and leaves
+// statistics in m.stats.
+func (m *Mesh) decodeAppend(syn []bool, q []int) ([]int, error) {
 	if len(syn) != m.g.NumChecks() {
-		return decoder.Correction{}, Stats{}, fmt.Errorf("sfq: syndrome has %d checks, graph has %d", len(syn), m.g.NumChecks())
+		return q, fmt.Errorf("sfq: syndrome has %d checks, graph has %d", len(syn), m.g.NumChecks())
+	}
+	if m.planes != nil {
+		return m.planes.decodeAppend(syn, q)
 	}
 	m.reset()
-	nHot := 0
 	for ci, h := range syn {
 		if h {
-			m.hot[m.cellOf[ci]] = true
-			nHot++
+			m.hot[m.geo.cellOf[ci]] = true
+			m.hotCount++
 		}
 	}
-	if nHot == 0 {
-		return decoder.Correction{}, Stats{}, nil
+	if m.hotCount == 0 {
+		return q, nil
 	}
 	m.emitGrows()
 	retries := 0
@@ -233,13 +305,12 @@ func (m *Mesh) DecodeWithStats(syn []bool) (decoder.Correction, Stats, error) {
 			m.tracer(m.stats.Cycles, m.Render())
 		}
 	}
-	var c decoder.Correction
 	for i, e := range m.errOut {
-		if e && m.dataQ[i] >= 0 {
-			c.Qubits = append(c.Qubits, m.dataQ[i])
+		if e && m.geo.dataQ[i] >= 0 {
+			q = append(q, m.geo.dataQ[i])
 		}
 	}
-	return c, m.stats, nil
+	return q, nil
 }
 
 // reset clears all per-decode state.
@@ -259,6 +330,7 @@ func (m *Mesh) reset() {
 		m.pair[i] = [4]bool{}
 		m.pairB[i] = [4]bool{}
 	}
+	m.hotCount = 0
 	m.resetCountdown = 0
 	m.priorityOffset = 0
 	m.stats = Stats{}
@@ -274,17 +346,9 @@ func (m *Mesh) emitGrows() {
 	}
 }
 
-func (m *Mesh) anyHot() bool { return m.countHot() > 0 }
+func (m *Mesh) anyHot() bool { return m.hotCount > 0 }
 
-func (m *Mesh) countHot() int {
-	n := 0
-	for _, h := range m.hot {
-		if h {
-			n++
-		}
-	}
-	return n
-}
+func (m *Mesh) countHot() int { return m.hotCount }
 
 func (m *Mesh) anySignal(buf [][4]bool) bool {
 	for i := range buf {
@@ -376,11 +440,7 @@ func clearBuf(buf [][4]bool) {
 // this, the two fronts would latch every module between the endpoints
 // and flood the handshake with spurious intermediates.
 func (m *Mesh) moveGrows() {
-	type arrival struct {
-		n int
-		d Dir
-	}
-	var arrivals []arrival
+	arrivals := m.growArr[:0]
 	for i := range m.grow {
 		for _, d := range dirs {
 			if !m.grow[i][d] {
@@ -391,10 +451,10 @@ func (m *Mesh) moveGrows() {
 				continue
 			}
 			entry := d.Opposite()
-			switch m.kind[n] {
+			switch m.geo.kind[n] {
 			case cellInterior:
 				m.growFrom[n][entry] = true
-				arrivals = append(arrivals, arrival{n, d})
+				arrivals = append(arrivals, growArrival{n, d})
 			case cellBoundary:
 				if m.variant.Boundary && !m.fired[n] {
 					m.fired[n] = true
@@ -417,19 +477,20 @@ func (m *Mesh) moveGrows() {
 			m.growN[a.n][a.d] = true
 		}
 	}
+	m.growArr = arrivals
 }
 
 // moveReqs advances pair requests; requests stop at hot modules, which
 // grant at most one.
 func (m *Mesh) moveReqs() {
-	arrivedAt := []int{}
+	arrivedAt := m.reqArrAt[:0]
 	for i := range m.req {
 		for _, d := range dirs {
 			if !m.req[i][d] {
 				continue
 			}
 			n := m.neighbor(i, d)
-			if n < 0 || m.kind[n] != cellInterior {
+			if n < 0 || m.geo.kind[n] != cellInterior {
 				continue
 			}
 			entry := d.Opposite()
@@ -468,6 +529,7 @@ func (m *Mesh) moveReqs() {
 		}
 		m.reqArrived[n] = [4]bool{}
 	}
+	m.reqArrAt = arrivedAt
 }
 
 // moveGrants advances pair grants; a grant is consumed by the first
@@ -484,7 +546,7 @@ func (m *Mesh) moveGrants() {
 				continue
 			}
 			entry := d.Opposite()
-			switch m.kind[n] {
+			switch m.geo.kind[n] {
 			case cellInterior:
 				if m.fired[n] && m.reqDirs[n][entry] && !m.grants[n][entry] {
 					m.grants[n][entry] = true
@@ -515,12 +577,13 @@ func (m *Mesh) movePairs() bool {
 				continue
 			}
 			n := m.neighbor(i, d)
-			if n < 0 || m.kind[n] != cellInterior {
+			if n < 0 || m.geo.kind[n] != cellInterior {
 				continue
 			}
 			m.errOut[n] = !m.errOut[n]
 			if m.hot[n] {
 				m.hot[n] = false
+				m.hotCount--
 				m.stats.Pairings++
 				if m.pairB[i][d] {
 					m.stats.BoundaryPairings++
@@ -542,7 +605,7 @@ func (m *Mesh) movePairs() bool {
 // whose grows arrived from the north fires.
 func (m *Mesh) fireIntermediates() {
 	for i := range m.growFrom {
-		if m.kind[i] != cellInterior || m.fired[i] || m.hot[i] {
+		if m.geo.kind[i] != cellInterior || m.fired[i] || m.hot[i] {
 			continue
 		}
 		gf := m.growFrom[i]
@@ -581,7 +644,7 @@ func (m *Mesh) completeHandshakes() {
 		return
 	}
 	for i := range m.fired {
-		if !m.fired[i] || m.sentPair[i] || m.kind[i] != cellInterior {
+		if !m.fired[i] || m.sentPair[i] || m.geo.kind[i] != cellInterior {
 			continue
 		}
 		all := true
@@ -613,27 +676,12 @@ func (m *Mesh) drainToBoundary() {
 		if !h {
 			continue
 		}
-		var d Dir
-		var hops int
-		if m.g.ErrorType() == lattice.ZErrors {
-			c := i % m.m
-			if c <= m.m-1-c {
-				d, hops = West, c
-			} else {
-				d, hops = East, m.m-1-c
-			}
-		} else {
-			r := i / m.m
-			if r <= m.m-1-r {
-				d, hops = North, r
-			} else {
-				d, hops = South, m.m-1-r
-			}
-		}
-		for j := m.neighbor(i, d); j >= 0 && m.kind[j] == cellInterior; j = m.neighbor(j, d) {
+		d, hops := m.geo.drainDir(i)
+		for j := m.neighbor(i, d); j >= 0 && m.geo.kind[j] == cellInterior; j = m.neighbor(j, d) {
 			m.errOut[j] = !m.errOut[j]
 		}
 		m.hot[i] = false
+		m.hotCount--
 		m.stats.Fallbacks++
 		m.stats.Pairings++
 		m.stats.BoundaryPairings++
@@ -641,4 +689,24 @@ func (m *Mesh) drainToBoundary() {
 	}
 }
 
-var _ decoder.Decoder = (*Mesh)(nil)
+// drainDir returns the direction and hop count of cell i's nearest
+// boundary edge for the geometry's error type.
+func (geo *meshGeom) drainDir(i int) (Dir, int) {
+	if geo.e == lattice.ZErrors {
+		c := i % geo.m
+		if c <= geo.m-1-c {
+			return West, c
+		}
+		return East, geo.m - 1 - c
+	}
+	r := i / geo.m
+	if r <= geo.m-1-r {
+		return North, r
+	}
+	return South, geo.m - 1 - r
+}
+
+var (
+	_ decoder.Decoder        = (*Mesh)(nil)
+	_ decodepool.IntoDecoder = (*Mesh)(nil)
+)

@@ -1,0 +1,99 @@
+package sfq
+
+import (
+	"sync"
+
+	"repro/internal/decoder"
+	"repro/internal/lattice"
+)
+
+// Pool recycles decoder meshes across Monte-Carlo shards, mirroring
+// decodepool.Scratch: a sweep that runs thousands of shards per (d, p)
+// point draws meshes from the pool instead of rebuilding lattice,
+// matching graph, and mesh per shard. A Pool is safe for concurrent
+// use; the meshes it hands out are not (one mesh per shard).
+type Pool struct {
+	variant Variant
+	kernel  Kernel
+
+	mu     sync.Mutex
+	graphs map[poolKey]*lattice.Graph
+	free   map[poolKey][]*Mesh
+}
+
+type poolKey struct {
+	d int
+	e lattice.ErrorType
+}
+
+// NewPool returns a pool of meshes with the given design variant and
+// the DefaultKernel.
+func NewPool(v Variant) *Pool { return NewPoolWithKernel(v, DefaultKernel) }
+
+// NewPoolWithKernel returns a pool with an explicit stepping kernel.
+func NewPoolWithKernel(v Variant, k Kernel) *Pool {
+	return &Pool{
+		variant: v,
+		kernel:  k,
+		graphs:  map[poolKey]*lattice.Graph{},
+		free:    map[poolKey][]*Mesh{},
+	}
+}
+
+// Graph returns the pool's shared matching graph for (d, e), building
+// it on first use. All meshes the pool hands out for (d, e) are bound
+// to this graph.
+func (p *Pool) Graph(d int, e lattice.ErrorType) *lattice.Graph {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.graphLocked(poolKey{d, e})
+}
+
+func (p *Pool) graphLocked(k poolKey) *lattice.Graph {
+	g := p.graphs[k]
+	if g == nil {
+		g = lattice.MustNew(k.d).MatchingGraph(k.e)
+		p.graphs[k] = g
+	}
+	return g
+}
+
+// Get returns an idle mesh for (d, e), reusing a previously Put mesh
+// when one is available.
+func (p *Pool) Get(d int, e lattice.ErrorType) *Mesh {
+	k := poolKey{d, e}
+	p.mu.Lock()
+	if list := p.free[k]; len(list) > 0 {
+		m := list[len(list)-1]
+		p.free[k] = list[:len(list)-1]
+		p.mu.Unlock()
+		return m
+	}
+	g := p.graphLocked(k)
+	p.mu.Unlock()
+	return NewWithKernel(g, p.variant, p.kernel)
+}
+
+// Put resets the mesh and parks it on the free list. Meshes whose
+// variant or kernel differ from the pool's are dropped rather than
+// mixed in.
+func (p *Pool) Put(m *Mesh) {
+	if m == nil || m.variant != p.variant || m.kernel != p.kernel {
+		return
+	}
+	m.Reset()
+	m.SetTracer(nil)
+	k := poolKey{d: m.geo.d, e: m.geo.e}
+	p.mu.Lock()
+	p.free[k] = append(p.free[k], m)
+	p.mu.Unlock()
+}
+
+// Release adapts Put to the func(decoder.Decoder) release hooks of the
+// sweep layers: mesh decoders return to the pool, anything else is
+// ignored.
+func (p *Pool) Release(dec decoder.Decoder) {
+	if m, ok := dec.(*Mesh); ok {
+		p.Put(m)
+	}
+}

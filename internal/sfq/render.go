@@ -21,11 +21,11 @@ func (m *Mesh) SetTracer(t Tracer) { m.tracer = t }
 //	·  idle interior module
 //
 // Signals take precedence over the chain marking, which takes
-// precedence over idle.
+// precedence over idle. Both kernels render identically.
 func (m *Mesh) Render() string {
 	var b strings.Builder
-	for r := 0; r < m.m; r++ {
-		for c := 0; c < m.m; c++ {
+	for r := 0; r < m.geo.m; r++ {
+		for c := 0; c < m.geo.m; c++ {
 			i := m.index(r, c)
 			b.WriteString(m.cellGlyph(i))
 		}
@@ -35,8 +35,11 @@ func (m *Mesh) Render() string {
 }
 
 func (m *Mesh) cellGlyph(i int) string {
+	if m.planes != nil {
+		return m.planes.cellGlyph(i)
+	}
 	switch {
-	case m.kind[i] == cellInert:
+	case m.geo.kind[i] == cellInert:
 		return " "
 	case m.hot[i]:
 		return "H"
@@ -48,11 +51,44 @@ func (m *Mesh) cellGlyph(i int) string {
 		return "r"
 	case m.grow[i] != [4]bool{}:
 		return "*"
-	case m.errOut[i] && m.kind[i] == cellInterior:
+	case m.errOut[i] && m.geo.kind[i] == cellInterior:
 		return "#"
-	case m.kind[i] == cellBoundary:
+	case m.geo.kind[i] == cellBoundary:
 		return "="
 	default:
 		return "·"
 	}
+}
+
+func (ps *planeState) cellGlyph(i int) string {
+	geo := ps.geo
+	switch {
+	case geo.kind[i] == cellInert:
+		return " "
+	case geo.planeBit(ps.hot, i):
+		return "H"
+	case ps.anyDir(&ps.pairW, i):
+		return "P"
+	case ps.anyDir(&ps.grantW, i):
+		return "G"
+	case ps.anyDir(&ps.reqW, i):
+		return "r"
+	case ps.anyDir(&ps.growW, i):
+		return "*"
+	case geo.planeBit(ps.errOut, i) && geo.kind[i] == cellInterior:
+		return "#"
+	case geo.kind[i] == cellBoundary:
+		return "="
+	default:
+		return "·"
+	}
+}
+
+func (ps *planeState) anyDir(w *wavefront, i int) bool {
+	for d := 0; d < 4; d++ {
+		if ps.geo.planeBit(w.cur[d], i) {
+			return true
+		}
+	}
+	return false
 }

@@ -4,6 +4,8 @@ import (
 	"math/rand"
 	"strings"
 	"testing"
+
+	"repro/internal/sfq"
 )
 
 func TestLibraryMatchesTableII(t *testing.T) {
@@ -285,5 +287,25 @@ func TestSanitizeIdent(t *testing.T) {
 	}
 	if sanitizeIdent("9lives!") != "_9lives_" {
 		t.Errorf("got %q", sanitizeIdent("9lives!"))
+	}
+}
+
+// The mesh simulator's cycle time (the paper's published 162.72 ps)
+// must stay tied to this package's synthesized full-circuit latency:
+// same Table III row, same order of magnitude. The simplified cell
+// library lands below the published number but never by more than ~3×,
+// and never above it (the paper's path includes wiring the model omits).
+func TestFullCircuitLatencyMatchesMeshCycle(t *testing.T) {
+	got := FullCircuitLatencyPs()
+	if got <= 0 {
+		t.Fatalf("FullCircuitLatencyPs = %v", got)
+	}
+	for _, r := range TableIII() {
+		if r.Name == "Full Circuit" && r.LatencyPs != got {
+			t.Errorf("helper %v != Table III row %v", got, r.LatencyPs)
+		}
+	}
+	if got > sfq.CycleTimePs || got < sfq.CycleTimePs/3 {
+		t.Errorf("synthesized latency %v ps drifted from the paper's %v ps cycle", got, sfq.CycleTimePs)
 	}
 }

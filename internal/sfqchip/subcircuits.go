@@ -260,6 +260,22 @@ func TableIII() []Report {
 	return reports
 }
 
+// FullCircuitLatencyPs returns the critical-path latency of the
+// balanced full module — the Table III "Full Circuit" row. This is the
+// physical quantity behind the mesh simulator's cycle time: one mesh
+// cycle takes one pulse wave through the composed pipeline. The mesh
+// pins the paper's published value (sfq.CycleTimePs = 162.72 ps); this
+// reproduction's simplified cell library synthesizes to the same order
+// of magnitude, a gap the cross-check test in this package documents.
+func FullCircuitLatencyPs() float64 {
+	for _, r := range TableIII() {
+		if r.Name == "Full Circuit" {
+			return r.LatencyPs
+		}
+	}
+	return 0
+}
+
 // ModuleFootprint returns the area (mm²) and power (µW) of one decoder
 // module: the full composed circuit after balancing.
 func ModuleFootprint() (areaMm2, powerUw float64) {

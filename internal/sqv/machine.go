@@ -32,6 +32,11 @@ type SimConfig struct {
 	// Workers bounds the Monte-Carlo engine parallelism of
 	// MeanCyclesToFailure; 0 means GOMAXPROCS.
 	Workers int
+	// FreeDecoder, when non-nil, receives every decoder NewDecoderZ
+	// built once the engine retires the shard owning it (pass
+	// sfq.Pool.Release to recycle meshes). Must be safe for concurrent
+	// use.
+	FreeDecoder func(decoder.Decoder)
 }
 
 // buildTiles constructs the K tile simulators. Seeds only matter for
@@ -144,6 +149,19 @@ func (m *MachineSim) MeanCyclesToFailureContext(ctx context.Context, trials, max
 			}
 			return &machineShard{sims: sims, maxCycles: maxCycles}, nil
 		},
+	}
+	if m.cfg.FreeDecoder != nil {
+		spec.Release = func(sh mc.Shard) {
+			ms, ok := sh.(*machineShard)
+			if !ok {
+				return
+			}
+			for _, sim := range ms.sims {
+				for _, dec := range sim.Decoders() {
+					m.cfg.FreeDecoder(dec)
+				}
+			}
+		}
 	}
 	results, err := mc.Run(ctx, mc.Config{
 		RootSeed: m.cfg.Seed,

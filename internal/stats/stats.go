@@ -94,6 +94,12 @@ type CurveConfig struct {
 	// The harness serializes calls within a point, but observers for
 	// distinct points may run concurrently.
 	Observer func(d int, p float64) func(lattice.ErrorType, sfq.Stats)
+	// FreeDecoder, when non-nil, receives every decoder the factories
+	// built once the point owning it finishes. Pass sfq.Pool.Release so
+	// mesh decoders are recycled across points instead of rebuilt per
+	// shard. Calls may come from concurrent points; the hook must be
+	// safe for concurrent use.
+	FreeDecoder func(decoder.Decoder)
 }
 
 // Curves runs the sweep and returns points ordered by the
@@ -143,7 +149,11 @@ func CurvesContext(ctx context.Context, cfg CurveConfig) ([]Point, error) {
 				}
 				return sc, nil
 			}
-			specs = append(specs, LifetimeSpec(PointID(d, p), cfg.Cycles, cfg.ShardSize, build))
+			spec := LifetimeSpec(PointID(d, p), cfg.Cycles, cfg.ShardSize, build)
+			if cfg.FreeDecoder != nil {
+				spec.Release = ReleaseDecoders(cfg.FreeDecoder)
+			}
+			specs = append(specs, spec)
 		}
 	}
 	results, err := mc.Run(ctx, mc.Config{
@@ -205,6 +215,19 @@ func LifetimeSpec(id int64, trials, shardSize int, build func() (surface.Config,
 			}
 			return &lifetimeShard{sim: sim}, nil
 		},
+	}
+}
+
+// ReleaseDecoders adapts a decoder release hook (e.g. sfq.Pool.Release)
+// to mc.PointSpec.Release for lifetime shards: every decoder of the
+// shard's simulator is handed to free when the shard retires.
+func ReleaseDecoders(free func(decoder.Decoder)) func(mc.Shard) {
+	return func(sh mc.Shard) {
+		if ls, ok := sh.(*lifetimeShard); ok {
+			for _, dec := range ls.sim.Decoders() {
+				free(dec)
+			}
+		}
 	}
 }
 

@@ -150,6 +150,17 @@ func (s *Simulator) Lattice() *lattice.Lattice { return s.l }
 // this before every trial with the trial's private stream.
 func (s *Simulator) SetRand(rng *rand.Rand) { s.rng = rng }
 
+// Decoders returns the simulator's configured decoders (Z plane first
+// when present). Release hooks use it to reclaim pooled decoder meshes
+// when a Monte-Carlo shard retires.
+func (s *Simulator) Decoders() []decoder.Decoder {
+	decs := make([]decoder.Decoder, 0, len(s.planes))
+	for _, p := range s.planes {
+		decs = append(decs, p.dec)
+	}
+	return decs
+}
+
 // Reset clears the residual error frame, returning the simulator to
 // the code space so the next Run is independent of earlier cycles.
 // Counters already returned by Run are unaffected.
@@ -199,10 +210,11 @@ func (s *Simulator) decodePlane(p *plane, res *Result) (bool, error) {
 	}
 	var corr decoder.Correction
 	if p.mesh != nil {
-		var st sfq.Stats
-		corr, st, err = p.mesh.DecodeWithStats(syn)
+		// The mesh joins the zero-allocation scratch path; cycle
+		// statistics stay readable on the mesh itself.
+		corr, err = p.mesh.DecodeInto(p.graph, syn, s.scratch)
 		if err == nil && s.cfg.Observer != nil {
-			s.cfg.Observer(p.etype, st)
+			s.cfg.Observer(p.etype, p.mesh.Stats())
 		}
 	} else {
 		// Routes through the zero-allocation DecodeInto path when the
