@@ -22,6 +22,7 @@ import (
 	"repro/internal/decoder/unionfind"
 	"repro/internal/lattice"
 	"repro/internal/noise"
+	"repro/internal/obs"
 	"repro/internal/pauli"
 	"repro/internal/qprog"
 	"repro/internal/rotated"
@@ -436,7 +437,7 @@ func BenchmarkErasureDecoding(b *testing.B) {
 
 // hotPathSyndromes draws the fixed seeded syndrome set the decode
 // hot-path benchmarks and cmd/bench share (dephasing at p = 5%).
-func hotPathSyndromes(b *testing.B, l *lattice.Lattice, g *lattice.Graph, count int, seed int64) [][]bool {
+func hotPathSyndromes(b testing.TB, l *lattice.Lattice, g *lattice.Graph, count int, seed int64) [][]bool {
 	b.Helper()
 	rng := noise.NewRand(seed)
 	ch, err := noise.NewDephasing(0.05)
@@ -474,6 +475,23 @@ func BenchmarkDecodeHotPath(b *testing.B) {
 			})
 			b.Run(fmt.Sprintf("%s/d=%d/pooled", dec.Name(), d), func(b *testing.B) {
 				s := decodepool.NewScratch()
+				for _, syn := range syndromes { // warm the scratch and cache
+					if _, err := dec.DecodeInto(g, syn, s); err != nil {
+						b.Fatal(err)
+					}
+				}
+				benchDecode(b, func(i int) error {
+					_, err := dec.DecodeInto(g, syndromes[i%len(syndromes)], s)
+					return err
+				})
+			})
+			// Same pooled path with telemetry attached (default 1-in-16
+			// latency sampling): the allocs/decode metric must stay 0 and
+			// ns/decode within a few percent of plain pooled — the basis
+			// of the ci.sh overhead guard.
+			b.Run(fmt.Sprintf("%s/d=%d/pooled+obs", dec.Name(), d), func(b *testing.B) {
+				s := decodepool.NewScratch()
+				s.Instrument(obs.NewHistogram(), nil, 0)
 				for _, syn := range syndromes { // warm the scratch and cache
 					if _, err := dec.DecodeInto(g, syn, s); err != nil {
 						b.Fatal(err)

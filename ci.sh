@@ -6,7 +6,10 @@
 # Runs, in order: go vet, go build, the full test suite, the test suite
 # under the race detector, a short native-fuzz smoke over the blossom
 # matcher, the decode dispatch, and the SFQ mesh kernel pair, a short
-# bit-plane/legacy conformance pass, and the decode-hot-path benchmarks
+# bit-plane/legacy conformance pass, the telemetry gates (a dedicated
+# race pass over internal/obs, the live /metrics smoke scrape, and the
+# <=5% instrumentation-overhead guard on the decode hot path), and the
+# decode-hot-path benchmarks
 # (which also regenerate BENCH_pr2.json and BENCH_pr3.json). The race
 # run sets
 # REPRO_MC_SHORT=1, which the statistical tests in internal/stats and
@@ -39,6 +42,11 @@ go test -run='^$' -fuzz=FuzzMesh -fuzztime=5s ./internal/sfq
 
 echo "== mesh kernel conformance (short) =="
 REPRO_MC_SHORT=1 go test -run TestBitplaneConformance ./internal/sfq
+
+echo "== telemetry: obs race, live scrape, overhead guard =="
+go test -race -count=1 ./internal/obs
+REPRO_MC_SHORT=1 go test -run TestObsMetricsSmokeSweep -count=1 .
+REPRO_OBS_GUARD=1 go test -run TestObsOverheadGuard -count=1 .
 
 echo "== decode hot-path benchmarks =="
 go test -run='^$' -bench BenchmarkDecodeHotPath -benchtime 100x -benchmem .

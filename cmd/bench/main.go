@@ -8,9 +8,14 @@
 // reporting ns/decode, mesh cycles/decode, and allocation counts from
 // runtime.MemStats deltas.
 //
+// Each artifact embeds the run manifest (git SHA + dirty flag, Go
+// version, GOMAXPROCS, CPU count, kernel env knobs) so a number in the
+// perf trajectory is attributable to the machine and tree that produced
+// it.
+//
 // Usage:
 //
-//	bench [-iters 2000] [-out BENCH_pr2.json] [-mesh-out BENCH_pr3.json]
+//	bench [-iters 2000] [-out BENCH_pr2.json] [-mesh-out BENCH_pr3.json] [-obs :9090]
 package main
 
 import (
@@ -28,9 +33,23 @@ import (
 	"repro/internal/decoder/unionfind"
 	"repro/internal/lattice"
 	"repro/internal/noise"
+	"repro/internal/obs"
 	"repro/internal/pauli"
 	"repro/internal/sfq"
 )
+
+// Artifact is the on-disk schema of BENCH_pr2.json: the measurement
+// rows plus the manifest of the run that produced them.
+type Artifact struct {
+	Manifest *obs.Manifest `json:"manifest"`
+	Rows     []Row         `json:"rows"`
+}
+
+// MeshArtifact is the on-disk schema of BENCH_pr3.json.
+type MeshArtifact struct {
+	Manifest *obs.Manifest `json:"manifest"`
+	Rows     []MeshRow     `json:"rows"`
+}
 
 // Row is one benchmark measurement.
 type Row struct {
@@ -62,7 +81,18 @@ func main() {
 	iters := flag.Int("iters", 2000, "timed decodes per (decoder, d, path) cell")
 	out := flag.String("out", "BENCH_pr2.json", "output JSON path (software decoders)")
 	meshOut := flag.String("mesh-out", "BENCH_pr3.json", "output JSON path (mesh kernels)")
+	obsAddr := flag.String("obs", "", "serve /metrics and /debug/pprof on this address while benchmarking (e.g. :9090)")
 	flag.Parse()
+
+	manifest := obs.NewManifest(map[string]any{"iters": *iters})
+	if *obsAddr != "" {
+		srv, err := obs.ServeDefault(*obsAddr, map[string]any{"iters": *iters})
+		if err != nil {
+			log.Fatal(err)
+		}
+		defer srv.Close()
+		fmt.Fprintf(os.Stderr, "obs: telemetry on http://%s/metrics\n", srv.Addr)
+	}
 
 	var rows []Row
 	for _, d := range []int{5, 9, 13} {
@@ -101,11 +131,7 @@ func main() {
 		}
 	}
 
-	data, err := json.MarshalIndent(rows, "", "  ")
-	if err != nil {
-		log.Fatal(err)
-	}
-	if err := os.WriteFile(*out, append(data, '\n'), 0o644); err != nil {
+	if err := writeArtifact(*out, Artifact{Manifest: manifest, Rows: rows}); err != nil {
 		log.Fatal(err)
 	}
 	fmt.Printf("wrote %s (%d rows)\n\n", *out, len(rows))
@@ -114,14 +140,19 @@ func main() {
 	if err != nil {
 		log.Fatal(err)
 	}
-	data, err = json.MarshalIndent(meshRows, "", "  ")
-	if err != nil {
-		log.Fatal(err)
-	}
-	if err := os.WriteFile(*meshOut, append(data, '\n'), 0o644); err != nil {
+	if err := writeArtifact(*meshOut, MeshArtifact{Manifest: manifest, Rows: meshRows}); err != nil {
 		log.Fatal(err)
 	}
 	fmt.Printf("wrote %s (%d rows)\n", *meshOut, len(meshRows))
+}
+
+// writeArtifact marshals one artifact with a trailing newline.
+func writeArtifact(path string, v any) error {
+	data, err := json.MarshalIndent(v, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(data, '\n'), 0o644)
 }
 
 // benchMeshKernels times the SFQ mesh's two stepping kernels on

@@ -37,6 +37,7 @@ import (
 	"repro/internal/lattice"
 	"repro/internal/mc"
 	"repro/internal/noise"
+	"repro/internal/obs"
 	"repro/internal/sfq"
 	"repro/internal/stats"
 	"repro/internal/surface"
@@ -48,6 +49,7 @@ func main() {
 	cycles := flag.Int("cycles", 20000, "syndrome cycles per decoder")
 	seed := flag.Int64("seed", 1, "random seed (shared across decoders)")
 	workers := flag.Int("workers", 0, "concurrent trial shards (0 = GOMAXPROCS)")
+	obsAddr := flag.String("obs", "", "serve /metrics, /metrics.json, /manifest.json and /debug/pprof on this address (e.g. :9090)")
 	flag.Parse()
 
 	var ds []int
@@ -111,9 +113,22 @@ func main() {
 		}
 	}
 
+	var reg *obs.Registry
+	if *obsAddr != "" {
+		srv, err := obs.ServeDefault(*obsAddr, map[string]any{
+			"distances": *distances, "p": *p, "cycles": *cycles,
+			"seed": *seed, "workers": *workers,
+		})
+		if err != nil {
+			log.Fatal(err)
+		}
+		defer srv.Close()
+		fmt.Fprintf(os.Stderr, "obs: telemetry on http://%s/metrics\n", srv.Addr)
+		reg = obs.Default()
+	}
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
 	defer stop()
-	results, err := mc.Run(ctx, mc.Config{RootSeed: *seed, Workers: *workers}, specs)
+	results, err := mc.Run(ctx, mc.Config{RootSeed: *seed, Workers: *workers, Obs: reg}, specs)
 	if err != nil {
 		log.Fatal(err)
 	}

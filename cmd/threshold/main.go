@@ -30,6 +30,7 @@ import (
 	"repro/internal/decoder"
 	"repro/internal/lattice"
 	"repro/internal/noise"
+	"repro/internal/obs"
 	"repro/internal/plot"
 	"repro/internal/progress"
 	"repro/internal/sfq"
@@ -71,6 +72,7 @@ func main() {
 	channel := flag.String("channel", "dephasing", "error channel: dephasing or depolarizing")
 	relWidth := flag.Float64("relwidth", 0, "stop a point once its 95% CI is tighter than this fraction of PL (0 = run all cycles)")
 	showProgress := flag.Bool("progress", false, "live progress line on stderr")
+	obsAddr := flag.String("obs", "", "serve /metrics, /metrics.json, /manifest.json and /debug/pprof on this address (e.g. :9090)")
 	flag.Parse()
 
 	variant, ok := sfq.VariantByName(*variantName)
@@ -102,6 +104,19 @@ func main() {
 		Workers:        *workers,
 		TargetRelWidth: *relWidth,
 		FreeDecoder:    pool.Release,
+	}
+	if *obsAddr != "" {
+		srv, err := obs.ServeDefault(*obsAddr, map[string]any{
+			"variant": *variantName, "channel": *channel, "cycles": *cycles,
+			"distances": *distances, "rates": *rates, "seed": *seed,
+			"workers": *workers, "relwidth": *relWidth,
+		})
+		if err != nil {
+			log.Fatal(err)
+		}
+		defer srv.Close()
+		fmt.Fprintf(os.Stderr, "obs: telemetry on http://%s/metrics\n", srv.Addr)
+		cfg.Obs = obs.Default()
 	}
 	var bar *progress.Printer
 	if *showProgress {

@@ -11,7 +11,16 @@
 // Usage:
 //
 //	timing [-cycles 4000] [-distances 3,5,7,9] [-rates 0.01,...]
-//	       [-hist] [-seed 1] [-workers 0]
+//	       [-hist] [-seed 1] [-workers 0] [-obs :9090]
+//
+// After the Table IV summary, the command closes the loop between the
+// measured cycles-to-solution distributions and the §III backlog model:
+// for every distance it prints the execution-time slowdown on the
+// cuccaro adder under the worst-case model (ModelForDecodes — the
+// Fig. 5/6 construction) next to the distribution-aware model
+// (backlog.ModelForHistogram over the live sfq_decode_cycles_d*
+// histogram), showing how much the single-worst-sample bound
+// overstates the steady-state cost.
 package main
 
 import (
@@ -25,9 +34,12 @@ import (
 	"sync"
 	"text/tabwriter"
 
+	"repro/internal/backlog"
 	"repro/internal/decoder"
 	"repro/internal/lattice"
 	"repro/internal/noise"
+	"repro/internal/obs"
+	"repro/internal/qprog"
 	"repro/internal/sfq"
 	"repro/internal/stats"
 )
@@ -64,6 +76,8 @@ func main() {
 	hist := flag.Bool("hist", false, "also print the Fig. 10(c) cycle histograms")
 	seed := flag.Int64("seed", 1, "random seed")
 	workers := flag.Int("workers", 0, "concurrent trial shards (0 = GOMAXPROCS)")
+	obsAddr := flag.String("obs", "", "serve /metrics, /metrics.json, /manifest.json and /debug/pprof on this address (e.g. :9090)")
+	tGen := flag.Float64("tgen", 400, "syndrome generation cycle time in ns for the backlog comparison")
 	flag.Parse()
 
 	var ds []int
@@ -87,8 +101,22 @@ func main() {
 	for _, d := range ds {
 		samples[d] = &meshSamples{counts: map[int]int{}}
 	}
+	var reg *obs.Registry
+	if *obsAddr != "" {
+		srv, err := obs.ServeDefault(*obsAddr, map[string]any{
+			"cycles": *cycles, "distances": *distances, "rates": *rates,
+			"seed": *seed, "workers": *workers, "tgen": *tGen,
+		})
+		if err != nil {
+			log.Fatal(err)
+		}
+		defer srv.Close()
+		fmt.Fprintf(os.Stderr, "obs: telemetry on http://%s/metrics\n", srv.Addr)
+		reg = obs.Default()
+	}
 	pool := sfq.NewPool(sfq.Final)
 	if _, err := stats.Curves(stats.CurveConfig{
+		Obs:        reg,
 		Distances:  ds,
 		Rates:      ps,
 		Cycles:     *cycles,
@@ -143,4 +171,37 @@ func main() {
 			}
 		}
 	}
+
+	// Close the loop: measured latency distribution -> backlog model.
+	adder, err := qprog.Cuccaro(20)
+	if err != nil {
+		log.Fatal(err)
+	}
+	isT := backlog.Program(adder.Circuit.Decompose())
+	const floorNs = 20 // the paper's worst-case decode bound
+	fmt.Printf("\nBacklog model on cuccaro-adder-20, tGen = %.0f ns, floor = %.0f ns\n\n", *tGen, float64(floorNs))
+	bw := tabwriter.NewWriter(os.Stdout, 2, 4, 2, ' ', 0)
+	fmt.Fprintln(bw, "d\tdecode ns (worst)\tdecode ns (dist)\tslowdown (worst)\tslowdown (dist)")
+	for _, d := range ds {
+		// The per-d cycle histograms accumulate in the process-wide
+		// registry as the meshes decode; flush-on-Put already ran when
+		// the pool reclaimed the sweep's meshes.
+		snap := obs.Default().Histogram(fmt.Sprintf("sfq_decode_cycles_d%d", d)).Snapshot()
+		var sts []sfq.Stats
+		for c := range samples[d].counts {
+			sts = append(sts, sfq.Stats{Cycles: c})
+		}
+		wm := backlog.ModelForDecodes(*tGen, floorNs, sts)
+		hm := backlog.ModelForHistogram(*tGen, floorNs, sfq.CycleTimePs/1000, snap)
+		wt, err := wm.Execute(isT)
+		if err != nil {
+			log.Fatal(err)
+		}
+		ht, err := hm.Execute(isT)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Fprintf(bw, "%d\t%.2f\t%.2f\t%.4g\t%.4g\n", d, wm.DecodeNs, hm.DecodeNs, wt.Slowdown(), ht.Slowdown())
+	}
+	bw.Flush()
 }

@@ -10,6 +10,7 @@ package backlog
 import (
 	"fmt"
 
+	"repro/internal/obs"
 	"repro/internal/qprog"
 	"repro/internal/sfq"
 )
@@ -42,6 +43,38 @@ func ModelForDecodes(syndromeCycleNs, floorNs float64, decodes []sfq.Stats) Mode
 		}
 	}
 	return Model{SyndromeCycleNs: syndromeCycleNs, DecodeNs: worst}
+}
+
+// ModelForHistogram builds a Model from a measured decode-latency
+// distribution (the Fig. 10(c) cycles-to-solution histograms the
+// telemetry layer collects), rather than the single worst sample
+// ModelForDecodes pins to.
+//
+// The backlog recurrence of §III only sees the decoder through the time
+// it takes to drain n queued rounds, which for large n concentrates at
+// n times the per-round mean (the drain is an n-fold convolution of the
+// per-decode distribution; its relative spread shrinks as 1/√n). The
+// steady-state model therefore uses the distribution's exact mean — the
+// histogram tracks the value sum outside its buckets, so no bucketing
+// error enters — floored at floorNs, the same pessimistic floor the
+// worst-case constructor applies.
+//
+// unitNs converts one histogram unit to nanoseconds: pass
+// sfq.CycleTimePs/1000 for the sfq_decode_cycles_d* histograms (units
+// of mesh cycles) or 1 for wall-clock nanosecond histograms.
+//
+// Since mean ≤ max, the resulting DecodeNs never exceeds
+// ModelForDecodes built from the same samples, and the two coincide for
+// a point-mass distribution — both properties are pinned by the
+// property suite in hist_model_test.go.
+func ModelForHistogram(syndromeCycleNs, floorNs, unitNs float64, snap obs.Snapshot) Model {
+	d := floorNs
+	if snap.Count > 0 {
+		if t := snap.Mean() * unitNs; t > d {
+			d = t
+		}
+	}
+	return Model{SyndromeCycleNs: syndromeCycleNs, DecodeNs: d}
 }
 
 // TracePoint records the wall clock at one T gate (the dots on Fig. 5).

@@ -1,0 +1,159 @@
+package backlog_test
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/backlog"
+	"repro/internal/lattice"
+	"repro/internal/obs"
+	"repro/internal/sfq"
+)
+
+const cycleNs = sfq.CycleTimePs / 1000
+
+// leq is a ≤ with relative float tolerance: when a sample set is a
+// point mass, mean and max coincide and the two constructors differ
+// only in float association order (one ulp, amplified through the
+// exponential backlog recurrence).
+func leq(a, b float64) bool { return a <= b*(1+1e-9)+1e-12 }
+
+// histAndStats builds the histogram view and the sample-slice view of
+// one set of cycle counts, so the two Model constructors see identical
+// measurements.
+func histAndStats(cycles []uint16) (obs.Snapshot, []sfq.Stats) {
+	h := obs.NewHistogram()
+	stats := make([]sfq.Stats, len(cycles))
+	for i, c := range cycles {
+		h.Observe(uint64(c))
+		stats[i] = sfq.Stats{Cycles: int(c)}
+	}
+	return h.Snapshot(), stats
+}
+
+// The distribution-aware model must lower-bound the worst-case model on
+// any sample set (mean ≤ max), and the resulting wall-clock estimate is
+// therefore never more pessimistic.
+func TestHistogramModelLowerBoundsWorstCase(t *testing.T) {
+	isT := make([]bool, 400)
+	for i := range isT {
+		isT[i] = i%3 == 0
+	}
+	f := func(cycles []uint16, tGenScaled uint16, floorScaled uint8) bool {
+		tGen := 10 + float64(tGenScaled%990) // 10–1000 ns
+		floor := float64(floorScaled % 50)   // 0–50 ns
+		snap, stats := histAndStats(cycles)
+		hm := backlog.ModelForHistogram(tGen, floor, cycleNs, snap)
+		wm := backlog.ModelForDecodes(tGen, floor, stats)
+		if !leq(hm.DecodeNs, wm.DecodeNs) {
+			return false
+		}
+		ht, err1 := hm.Execute(isT)
+		wt, err2 := wm.Execute(isT)
+		if err1 != nil || err2 != nil {
+			return false
+		}
+		return leq(ht.WallNs, wt.WallNs) && leq(ht.Slowdown(), wt.Slowdown())
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// For a point-mass distribution (every decode takes the same time) the
+// mean IS the max, so the two constructors must coincide exactly.
+func TestHistogramModelPointMass(t *testing.T) {
+	f := func(cycle uint16, n uint8, floorScaled uint8) bool {
+		count := int(n)%64 + 1
+		cycles := make([]uint16, count)
+		for i := range cycles {
+			cycles[i] = cycle
+		}
+		floor := float64(floorScaled % 50)
+		snap, stats := histAndStats(cycles)
+		hm := backlog.ModelForHistogram(400, floor, cycleNs, snap)
+		wm := backlog.ModelForDecodes(400, floor, stats)
+		// mean == max for a point mass; the two constructors may differ
+		// only by float association ((c·ps)/1000 vs c·(ps/1000)).
+		return hm.SyndromeCycleNs == wm.SyndromeCycleNs &&
+			math.Abs(hm.DecodeNs-wm.DecodeNs) <= 1e-12*wm.DecodeNs
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// An empty histogram falls back to the floor, exactly like
+// ModelForDecodes with no samples.
+func TestHistogramModelEmpty(t *testing.T) {
+	hm := backlog.ModelForHistogram(400, 20, cycleNs, obs.NewHistogram().Snapshot())
+	wm := backlog.ModelForDecodes(400, 20, nil)
+	if hm != wm || hm.DecodeNs != 20 {
+		t.Fatalf("empty-sample models diverge: %+v vs %+v", hm, wm)
+	}
+}
+
+// Closing the loop on a real measured distribution: decode random d = 9
+// syndromes on the final SFQ mesh, feed the measured cycles-to-solution
+// histogram (Fig. 10(c)) into the backlog model, and check that it
+// strictly tightens the worst-case wall-clock estimate of Fig. 5/6 once
+// the distribution actually has spread above the floor.
+func TestHistogramModelTightensMeasuredD9(t *testing.T) {
+	const (
+		d       = 9
+		trials  = 60
+		p       = 0.02
+		floorNs = 2.0 // well below the measured cycles so the data governs
+		tGenNs  = 10.0
+	)
+	g := lattice.MustNew(d).MatchingGraph(lattice.XErrors)
+	m := sfq.New(g, sfq.Final)
+	rng := rand.New(rand.NewSource(42))
+	h := obs.NewHistogram()
+	var stats []sfq.Stats
+	syn := make([]bool, g.NumChecks())
+	for i := 0; i < trials; i++ {
+		any := false
+		for j := range syn {
+			syn[j] = rng.Float64() < p
+			any = any || syn[j]
+		}
+		if !any {
+			syn[rng.Intn(len(syn))] = true
+		}
+		if _, st, err := m.DecodeWithStats(syn); err != nil {
+			t.Fatal(err)
+		} else {
+			h.Observe(uint64(st.Cycles))
+			stats = append(stats, st)
+		}
+	}
+	snap := h.Snapshot()
+	if snap.Max == snap.Min {
+		t.Fatalf("degenerate measured distribution (all decodes took %d cycles)", snap.Max)
+	}
+	hm := backlog.ModelForHistogram(tGenNs, floorNs, cycleNs, snap)
+	wm := backlog.ModelForDecodes(tGenNs, floorNs, stats)
+	if hm.DecodeNs >= wm.DecodeNs {
+		t.Fatalf("histogram model (%.2f ns) does not tighten worst case (%.2f ns)", hm.DecodeNs, wm.DecodeNs)
+	}
+	isT := make([]bool, 300)
+	for i := range isT {
+		isT[i] = i%2 == 0
+	}
+	ht, err := hm.Execute(isT)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wt, err := wm.Execute(isT)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ht.WallNs >= wt.WallNs {
+		t.Fatalf("wall estimate not tightened: hist %.0f ns vs worst %.0f ns", ht.WallNs, wt.WallNs)
+	}
+	t.Logf("d=%d measured: mean %.1f cycles, max %d cycles; slowdown %.2f (hist) vs %.2f (worst-case)",
+		d, snap.Mean(), snap.Max, ht.Slowdown(), wt.Slowdown())
+}

@@ -1,0 +1,70 @@
+package mc
+
+import (
+	"sync"
+
+	"repro/internal/obs"
+)
+
+// AsyncProgress wraps a Progress sink so the engine never blocks on it.
+// The engine's Progress callback runs under an engine-wide mutex (see
+// Config.Progress), so a sink that writes to a terminal over a slow
+// pipe, or renders while an HTTP scrape holds a lock, stalls every
+// point's checkpoint processing. AsyncProgress decouples them: the
+// returned callback enqueues the report on a buffered channel and
+// returns immediately; a dedicated goroutine drains the channel into
+// sink, preserving order. When the buffer is full the report is DROPPED
+// (progress reporting is advisory — the engine's results never depend
+// on it) and counted.
+//
+// buf is the queue depth (≤ 0 means 64). reg, when non-nil, receives
+// the mc_progress_reports_total and mc_progress_dropped_total counters.
+//
+// stop flushes the queue, waits for the drain goroutine, and returns
+// the number of dropped reports. Call it after mc.Run returns; the
+// callback must not be invoked after stop.
+func AsyncProgress(sink func(Progress), buf int, reg *obs.Registry) (cb func(Progress), stop func() (dropped int64)) {
+	if buf <= 0 {
+		buf = 64
+	}
+	ch := make(chan Progress, buf)
+	var (
+		mu      sync.Mutex
+		dropped int64
+		done    = make(chan struct{})
+	)
+	var reports, drops *obs.Counter
+	if reg != nil {
+		reports = reg.Counter("mc_progress_reports_total")
+		drops = reg.Counter("mc_progress_dropped_total")
+	}
+	go func() {
+		defer close(done)
+		for p := range ch {
+			sink(p)
+		}
+	}()
+	cb = func(p Progress) {
+		if reports != nil {
+			reports.Inc()
+		}
+		select {
+		case ch <- p:
+		default:
+			mu.Lock()
+			dropped++
+			mu.Unlock()
+			if drops != nil {
+				drops.Inc()
+			}
+		}
+	}
+	stop = func() int64 {
+		close(ch)
+		<-done
+		mu.Lock()
+		defer mu.Unlock()
+		return dropped
+	}
+	return cb, stop
+}

@@ -32,6 +32,9 @@ import (
 	"math/rand"
 	"runtime"
 	"sync"
+	"time"
+
+	"repro/internal/obs"
 )
 
 // Outcome is the result of one trial.
@@ -95,6 +98,11 @@ type Progress struct {
 	Target   int   // trial budget
 	Failures int   // failures so far
 	Done     bool  // point finished (budget exhausted or CI tight enough)
+	// TrialNs summarizes the point's wall-clock per-trial latency
+	// distribution up to this checkpoint. It is populated only when
+	// Config.Obs is set (timing trials costs two clock reads each);
+	// otherwise TrialNs is the zero Summary.
+	TrialNs obs.Summary
 }
 
 // Config drives a Run.
@@ -119,8 +127,20 @@ type Config struct {
 	// later checkpoints double until the budget is reached.
 	MinTrials int
 	// Progress, when non-nil, receives a Progress after every
-	// checkpoint of every point. Calls are serialized by the engine.
+	// checkpoint of every point. Calls run under an engine-wide mutex:
+	// no two invocations overlap, but a slow callback stalls the
+	// checkpoint processing of EVERY concurrently running point, not
+	// just its own. Callbacks that block (network writes, scrapes)
+	// should be wrapped with AsyncProgress, which hands reports to a
+	// dedicated goroutine and never blocks the engine.
 	Progress func(Progress)
+	// Obs, when non-nil, receives engine telemetry: the mc_trials_total
+	// and mc_failures_total counters and the mc_trial_ns wall-clock
+	// latency histogram. Each shard records into a private obs.Local
+	// and publishes as it retires — counters and histogram move
+	// together on a live scrape — so results stay bit-identical and
+	// the hot loop stays allocation-free whether or not Obs is set.
+	Obs *obs.Registry
 }
 
 // Result is one point's aggregate tally.
@@ -141,6 +161,11 @@ type engine struct {
 	minTrials int
 	tasks     chan func()
 	mu        sync.Mutex // serializes Progress callbacks
+
+	// Telemetry, nil unless cfg.Obs is set.
+	obsTrialNs  *obs.Histogram // process-wide mc_trial_ns
+	obsTrials   *obs.Counter
+	obsFailures *obs.Counter
 }
 
 // Run executes the sweep and returns one Result per spec, in spec
@@ -167,6 +192,11 @@ func Run(ctx context.Context, cfg Config, specs []PointSpec) ([]Result, error) {
 	}
 	if e.minTrials <= 0 {
 		e.minTrials = 1000
+	}
+	if cfg.Obs != nil {
+		e.obsTrialNs = cfg.Obs.Histogram("mc_trial_ns")
+		e.obsTrials = cfg.Obs.Counter("mc_trials_total")
+		e.obsFailures = cfg.Obs.Counter("mc_failures_total")
 	}
 	e.tasks = make(chan func())
 	var workerWG sync.WaitGroup
@@ -204,6 +234,10 @@ func Run(ctx context.Context, cfg Config, specs []PointSpec) ([]Result, error) {
 // runPoint drives one point through its checkpoint schedule.
 func (e *engine) runPoint(ctx context.Context, idx int, sp PointSpec) (Result, error) {
 	res := Result{ID: sp.ID}
+	var pointNs *obs.Histogram // this point's trial-latency distribution
+	if e.obsTrialNs != nil {
+		pointNs = obs.NewHistogram()
+	}
 	idle := make(chan Shard, e.workers) // shard states reused across batches
 	if sp.Release != nil {
 		// At most e.workers shards ever exist per point, and after every
@@ -233,7 +267,7 @@ func (e *engine) runPoint(ctx context.Context, idx int, sp PointSpec) (Result, e
 				hi = next
 			}
 		}
-		failures, aux, err := e.runBatch(ctx, sp, idle, res.Trials, hi)
+		failures, aux, err := e.runBatch(ctx, sp, idle, pointNs, res.Trials, hi)
 		if err != nil {
 			return res, fmt.Errorf("mc: point %d (id %d): %w", idx, sp.ID, err)
 		}
@@ -247,11 +281,15 @@ func (e *engine) runPoint(ctx context.Context, idx int, sp PointSpec) (Result, e
 			done = hiCI-lo <= e.cfg.TargetRelWidth*rate
 		}
 		if e.cfg.Progress != nil {
-			e.mu.Lock()
-			e.cfg.Progress(Progress{
+			p := Progress{
 				Point: idx, ID: sp.ID, Trials: res.Trials, Target: sp.Trials,
 				Failures: res.Failures, Done: done,
-			})
+			}
+			if pointNs != nil {
+				p.TrialNs = pointNs.Snapshot().Summary()
+			}
+			e.mu.Lock()
+			e.cfg.Progress(p)
 			e.mu.Unlock()
 		}
 		if done {
@@ -270,7 +308,7 @@ type shardTally struct {
 // runBatch fans trials [lo, hi) out over the worker pool and waits for
 // the whole batch. Shard errors are joined in shard order, so the
 // reported error set does not depend on scheduling.
-func (e *engine) runBatch(ctx context.Context, sp PointSpec, idle chan Shard, lo, hi int) (failures int, aux int64, err error) {
+func (e *engine) runBatch(ctx context.Context, sp PointSpec, idle chan Shard, pointNs *obs.Histogram, lo, hi int) (failures int, aux int64, err error) {
 	size := sp.ShardSize
 	if size <= 0 {
 		size = e.cfg.ShardSize
@@ -296,7 +334,7 @@ func (e *engine) runBatch(ctx context.Context, sp PointSpec, idle chan Shard, lo
 		wg.Add(1)
 		task := func() {
 			defer wg.Done()
-			tallies[s] = e.runShard(ctx, sp, idle, a, b)
+			tallies[s] = e.runShard(ctx, sp, idle, pointNs, a, b)
 		}
 		select {
 		case e.tasks <- task:
@@ -326,8 +364,12 @@ func (e *engine) runBatch(ctx context.Context, sp PointSpec, idle chan Shard, lo
 }
 
 // runShard executes trials [lo, hi) on one shard state, resetting the
-// counter-based stream before every trial.
-func (e *engine) runShard(ctx context.Context, sp PointSpec, idle chan Shard, lo, hi int) (out shardTally) {
+// counter-based stream before every trial. With telemetry enabled it
+// wall-times every trial into a shard-private obs.Local that is merged
+// into the point-level and process-level histograms when the shard
+// finishes — the randomness streams are untouched, so results stay
+// bit-identical with and without Obs.
+func (e *engine) runShard(ctx context.Context, sp PointSpec, idle chan Shard, pointNs *obs.Histogram, lo, hi int) (out shardTally) {
 	var sh Shard
 	select {
 	case sh = <-idle:
@@ -345,6 +387,21 @@ func (e *engine) runShard(ctx context.Context, sp PointSpec, idle chan Shard, lo
 		default:
 		}
 	}()
+	var rec *obs.Local
+	if pointNs != nil {
+		rec = obs.NewLocal(0, e.obsTrialNs, pointNs)
+		defer rec.Flush()
+	}
+	// Engine counters advance as each shard retires (not at point
+	// checkpoints), so a scrape during a long fixed-budget batch sees
+	// trial counts move together with the latency histograms.
+	trialsDone := 0
+	defer func() {
+		if e.obsTrials != nil {
+			e.obsTrials.Add(int64(trialsDone))
+			e.obsFailures.Add(int64(out.failures))
+		}
+	}()
 	src := NewStream(e.cfg.RootSeed, sp.ID, int64(lo))
 	rng := rand.New(src)
 	for t := lo; t < hi; t++ {
@@ -353,7 +410,14 @@ func (e *engine) runShard(ctx context.Context, sp PointSpec, idle chan Shard, lo
 			return
 		}
 		src.Reset(e.cfg.RootSeed, sp.ID, int64(t))
+		var start time.Time
+		if rec != nil {
+			start = time.Now()
+		}
 		o, err := sh.Trial(rng, t)
+		if rec != nil {
+			rec.Observe(uint64(time.Since(start)))
+		}
 		if err != nil {
 			out.err = fmt.Errorf("trial %d: %w", t, err)
 			return
@@ -362,6 +426,7 @@ func (e *engine) runShard(ctx context.Context, sp PointSpec, idle chan Shard, lo
 			out.failures++
 		}
 		out.aux += o.Aux
+		trialsDone++
 	}
 	return out
 }

@@ -1,0 +1,280 @@
+package obs
+
+import (
+	"math/bits"
+	"sync/atomic"
+)
+
+// Log-bucketed latency histogram: values 0–7 get exact unit buckets,
+// larger values land in octaves split into 8 sub-buckets, so every
+// bucket is at most 12.5% wide relative to its lower edge. The layout
+// covers the full uint64 range in 496 buckets, which keeps a Histogram
+// small enough (~4 KiB) to allocate per point or per shard.
+const (
+	histSubBits = 3
+	histSub     = 1 << histSubBits // sub-buckets per octave
+	// Top exponent is 64-histSubBits-1; each exponent's sub-index spans
+	// [histSub, 2·histSub), so the largest index is exp<<histSubBits +
+	// 2·histSub - 1 = 495.
+	histBuckets = (64-histSubBits-1)<<histSubBits + 2*histSub
+)
+
+// bucketOf maps a value to its bucket index. The mapping is monotone
+// and contiguous: bucket boundaries never overlap or leave gaps.
+func bucketOf(v uint64) int {
+	if v < histSub {
+		return int(v)
+	}
+	exp := bits.Len64(v) - histSubBits - 1
+	return exp<<histSubBits + int(v>>exp)
+}
+
+// bucketBounds returns the half-open value range [lo, hi) of bucket i.
+// For the topmost bucket hi wraps to 0 (lo + width = 2^64); consumers
+// only ever use hi-1, which correctly lands on MaxUint64.
+func bucketBounds(i int) (lo, hi uint64) {
+	if i < histSub {
+		return uint64(i), uint64(i) + 1
+	}
+	exp := uint(i>>histSubBits) - 1
+	m := uint64(i) - uint64(exp)<<histSubBits
+	lo = m << exp
+	return lo, lo + 1<<exp
+}
+
+// Histogram is a concurrency-safe log-bucketed histogram. Observe is
+// lock-free (plain atomic adds), histograms merge exactly (bucket
+// counts and the value sum are additive), and Snapshot extracts
+// quantiles with a bounded relative error of 12.5%. Min, max and the
+// value sum are tracked exactly, so Snapshot.Mean and Summary.Max are
+// not subject to bucketing error. The zero value is ready to use.
+type Histogram struct {
+	count   atomic.Uint64
+	sum     atomic.Uint64
+	max     atomic.Uint64
+	invMin  atomic.Uint64 // ^min; zero value decodes to MaxUint64 (unset)
+	buckets [histBuckets]atomic.Uint64
+}
+
+// NewHistogram returns an empty histogram. Use it for unregistered
+// histograms (per-point or per-shard accumulators); named process-wide
+// histograms come from Registry.Histogram.
+func NewHistogram() *Histogram { return new(Histogram) }
+
+// Observe records one value.
+func (h *Histogram) Observe(v uint64) {
+	h.buckets[bucketOf(v)].Add(1)
+	h.count.Add(1)
+	h.sum.Add(v)
+	atomicMax(&h.max, v)
+	atomicMax(&h.invMin, ^v)
+}
+
+// atomicMax raises *a to v if v is larger.
+func atomicMax(a *atomic.Uint64, v uint64) {
+	for {
+		cur := a.Load()
+		if v <= cur || a.CompareAndSwap(cur, v) {
+			return
+		}
+	}
+}
+
+// Count returns the number of observations.
+func (h *Histogram) Count() uint64 { return h.count.Load() }
+
+// Merge adds src's observations into h. Merging is exact, commutative
+// and associative (bucket counts and sums are additive), so shard-level
+// histograms can be combined in any order — the property the
+// Monte-Carlo checkpoint merge relies on. Concurrent Observes on either
+// histogram are safe; the merge then reflects some valid interleaving.
+func (h *Histogram) Merge(src *Histogram) {
+	for i := range src.buckets {
+		if c := src.buckets[i].Load(); c > 0 {
+			h.buckets[i].Add(c)
+		}
+	}
+	h.count.Add(src.count.Load())
+	h.sum.Add(src.sum.Load())
+	atomicMax(&h.max, src.max.Load())
+	atomicMax(&h.invMin, src.invMin.Load())
+}
+
+// Bucket is one non-empty bucket of a Snapshot: Count observations in
+// the half-open value range [Lo, Hi).
+type Bucket struct {
+	Lo    uint64 `json:"lo"`
+	Hi    uint64 `json:"hi"`
+	Count uint64 `json:"count"`
+}
+
+// Snapshot is a point-in-time copy of a histogram. Under concurrent
+// writers the copy is a valid histogram of some prefix of the
+// observation stream.
+type Snapshot struct {
+	Count   uint64   `json:"count"`
+	Sum     uint64   `json:"sum"`
+	Min     uint64   `json:"min"`
+	Max     uint64   `json:"max"`
+	Buckets []Bucket `json:"buckets,omitempty"`
+}
+
+// Snapshot copies the histogram's current state.
+func (h *Histogram) Snapshot() Snapshot {
+	s := Snapshot{
+		Count: h.count.Load(),
+		Sum:   h.sum.Load(),
+		Max:   h.max.Load(),
+		Min:   ^h.invMin.Load(),
+	}
+	if s.Count == 0 {
+		s.Min = 0
+		return s
+	}
+	for i := range h.buckets {
+		if c := h.buckets[i].Load(); c > 0 {
+			lo, hi := bucketBounds(i)
+			s.Buckets = append(s.Buckets, Bucket{Lo: lo, Hi: hi, Count: c})
+		}
+	}
+	return s
+}
+
+// Mean returns the exact mean of the observed values (the sum is
+// tracked outside the buckets), or 0 for an empty snapshot.
+func (s Snapshot) Mean() float64 {
+	if s.Count == 0 {
+		return 0
+	}
+	return float64(s.Sum) / float64(s.Count)
+}
+
+// Quantile returns an upper bound on the q-quantile (0 ≤ q ≤ 1) of the
+// observed values: the result r satisfies x ≤ r ≤ x + max(0, x/8) where
+// x is the exact rank-⌈q·n⌉ order statistic. Quantile(1) equals the
+// exact maximum.
+func (s Snapshot) Quantile(q float64) uint64 {
+	if s.Count == 0 {
+		return 0
+	}
+	rank := uint64(q * float64(s.Count))
+	if float64(rank) < q*float64(s.Count) || rank == 0 {
+		rank++ // ceil, floored at rank 1
+	}
+	if rank > s.Count {
+		rank = s.Count
+	}
+	var seen uint64
+	for _, b := range s.Buckets {
+		seen += b.Count
+		if seen >= rank {
+			r := b.Hi - 1
+			if r > s.Max {
+				r = s.Max
+			}
+			if r < s.Min {
+				r = s.Min
+			}
+			return r
+		}
+	}
+	return s.Max
+}
+
+// Summary condenses a snapshot to the quantile set the sweep harnesses
+// report (p50/p90/p99 carry the histogram's 12.5% bucket error; Min,
+// Max and Mean are exact).
+type Summary struct {
+	Count uint64  `json:"count"`
+	Min   uint64  `json:"min"`
+	Max   uint64  `json:"max"`
+	P50   uint64  `json:"p50"`
+	P90   uint64  `json:"p90"`
+	P99   uint64  `json:"p99"`
+	Mean  float64 `json:"mean"`
+}
+
+// Summary extracts the standard quantile set from the snapshot.
+func (s Snapshot) Summary() Summary {
+	return Summary{
+		Count: s.Count,
+		Min:   s.Min,
+		Max:   s.Max,
+		P50:   s.Quantile(0.50),
+		P90:   s.Quantile(0.90),
+		P99:   s.Quantile(0.99),
+		Mean:  s.Mean(),
+	}
+}
+
+// Local is a single-owner histogram for hot paths: Observe touches only
+// plain (non-atomic) fields, so one recording costs a few adds and no
+// shared cache lines. Flush merges and clears the accumulated counts
+// into every target histogram; with FlushEvery > 0, Observe flushes
+// itself every FlushEvery observations, amortizing the shared atomic
+// traffic. A Local is not safe for concurrent use — give each shard,
+// mesh or scratch its own, exactly like decodepool.Scratch.
+type Local struct {
+	targets      []*Histogram
+	count, sum   uint64
+	min, max     uint64
+	loIdx, hiIdx int
+	pending      uint32
+	flushEvery   uint32
+	buckets      [histBuckets]uint64
+}
+
+// NewLocal returns a single-owner recorder flushing into targets.
+// flushEvery 0 disables auto-flushing (call Flush explicitly).
+func NewLocal(flushEvery uint32, targets ...*Histogram) *Local {
+	return &Local{flushEvery: flushEvery, targets: targets, loIdx: histBuckets, min: ^uint64(0)}
+}
+
+// Observe records one value. No atomics, no allocation.
+func (l *Local) Observe(v uint64) {
+	i := bucketOf(v)
+	l.buckets[i]++
+	l.count++
+	l.sum += v
+	if v > l.max {
+		l.max = v
+	}
+	if v < l.min {
+		l.min = v
+	}
+	if i < l.loIdx {
+		l.loIdx = i
+	}
+	if i > l.hiIdx {
+		l.hiIdx = i
+	}
+	l.pending++
+	if l.flushEvery > 0 && l.pending >= l.flushEvery {
+		l.Flush()
+	}
+}
+
+// Flush merges the pending observations into every target and resets
+// the local state. Flushing an empty Local is a no-op.
+func (l *Local) Flush() {
+	if l.count == 0 {
+		return
+	}
+	for _, h := range l.targets {
+		for i := l.loIdx; i <= l.hiIdx; i++ {
+			if c := l.buckets[i]; c > 0 {
+				h.buckets[i].Add(c)
+			}
+		}
+		h.count.Add(l.count)
+		h.sum.Add(l.sum)
+		atomicMax(&h.max, l.max)
+		atomicMax(&h.invMin, ^l.min)
+	}
+	for i := l.loIdx; i <= l.hiIdx; i++ {
+		l.buckets[i] = 0
+	}
+	l.count, l.sum, l.max, l.pending = 0, 0, 0, 0
+	l.min = ^uint64(0)
+	l.loIdx, l.hiIdx = histBuckets, 0
+}

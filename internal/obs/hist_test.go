@@ -1,0 +1,168 @@
+package obs
+
+import (
+	"math/rand"
+	"reflect"
+	"sort"
+	"testing"
+	"testing/quick"
+)
+
+// Bucket geometry: the mapping must be monotone and contiguous, and
+// every value must fall inside its own bucket's [lo, hi) range.
+func TestBucketBoundsContainValue(t *testing.T) {
+	f := func(v uint64) bool {
+		i := bucketOf(v)
+		if i < 0 || i >= histBuckets {
+			return false
+		}
+		lo, hi := bucketBounds(i)
+		// hi-lo is the bucket width even when the top bucket's hi
+		// wraps past 2^64 to 0.
+		return lo <= v && v-lo < hi-lo
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 5000}); err != nil {
+		t.Fatal(err)
+	}
+	// Contiguity: bucket i+1 starts exactly where bucket i ends.
+	for i := 0; i+1 <= bucketOf(^uint64(0)); i++ {
+		_, hi := bucketBounds(i)
+		lo, _ := bucketBounds(i + 1)
+		if hi != lo {
+			t.Fatalf("gap between buckets %d and %d: hi=%d lo=%d", i, i+1, hi, lo)
+		}
+	}
+}
+
+func fill(vals []uint64) *Histogram {
+	h := NewHistogram()
+	for _, v := range vals {
+		h.Observe(v)
+	}
+	return h
+}
+
+// Merge must be exact, commutative and associative: any merge order of
+// shard histograms yields the histogram of the combined sample set.
+func TestMergeAssociative(t *testing.T) {
+	f := func(a, b, c []uint64) bool {
+		all := fill(append(append(append([]uint64{}, a...), b...), c...))
+
+		// (a ⊕ b) ⊕ c
+		left := fill(a)
+		left.Merge(fill(b))
+		left.Merge(fill(c))
+
+		// a ⊕ (b ⊕ c)
+		bc := fill(b)
+		bc.Merge(fill(c))
+		right := fill(a)
+		right.Merge(bc)
+
+		// c ⊕ b ⊕ a (commutativity)
+		rev := fill(c)
+		rev.Merge(fill(b))
+		rev.Merge(fill(a))
+
+		want := all.Snapshot()
+		return reflect.DeepEqual(want, left.Snapshot()) &&
+			reflect.DeepEqual(want, right.Snapshot()) &&
+			reflect.DeepEqual(want, rev.Snapshot())
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Quantile bounds: the extracted quantile never undershoots the exact
+// order statistic and overshoots by at most one bucket width (12.5%
+// relative, exact below 8).
+func TestQuantileBounds(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	f := func(raw []uint32, qFrac uint16) bool {
+		if len(raw) == 0 {
+			raw = []uint32{uint32(rng.Uint64())}
+		}
+		vals := make([]uint64, len(raw))
+		for i, v := range raw {
+			vals[i] = uint64(v)
+		}
+		q := float64(qFrac) / 65535
+		s := fill(vals).Snapshot()
+		got := s.Quantile(q)
+
+		sorted := append([]uint64{}, vals...)
+		sort.Slice(sorted, func(i, j int) bool { return sorted[i] < sorted[j] })
+		rank := int(q * float64(len(sorted)))
+		if float64(rank) < q*float64(len(sorted)) || rank == 0 {
+			rank++
+		}
+		if rank > len(sorted) {
+			rank = len(sorted)
+		}
+		exact := sorted[rank-1]
+		return got >= exact && got-exact <= exact/8
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 1000}); err != nil {
+		t.Fatal(err)
+	}
+	// Quantile(1) is the exact maximum; Mean is exact (sum tracked
+	// outside the buckets).
+	s := fill([]uint64{3, 1000, 77, 77}).Snapshot()
+	if s.Quantile(1) != 1000 {
+		t.Fatalf("Quantile(1) = %d, want exact max 1000", s.Quantile(1))
+	}
+	if s.Mean() != (3+1000+77+77)/4.0 {
+		t.Fatalf("Mean = %v, want exact", s.Mean())
+	}
+	if s.Min != 3 || s.Max != 1000 {
+		t.Fatalf("Min/Max = %d/%d, want 3/1000", s.Min, s.Max)
+	}
+}
+
+// A Local recorder flushed into a Histogram must be indistinguishable
+// from observing directly, regardless of the auto-flush period.
+func TestLocalFlushEquivalence(t *testing.T) {
+	f := func(vals []uint64, every uint8) bool {
+		direct := fill(vals)
+		via := NewHistogram()
+		l := NewLocal(uint32(every), via)
+		for _, v := range vals {
+			l.Observe(v)
+		}
+		l.Flush()
+		l.Flush() // idempotent on empty
+		return reflect.DeepEqual(direct.Snapshot(), via.Snapshot())
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// A Local flushing into two targets delivers identical copies to both
+// (the Monte-Carlo engine fans each shard's trials into the point-level
+// and the process-level histogram this way).
+func TestLocalDualTargets(t *testing.T) {
+	a, b := NewHistogram(), NewHistogram()
+	l := NewLocal(3, a, b)
+	for v := uint64(0); v < 1000; v++ {
+		l.Observe(v * v)
+	}
+	l.Flush()
+	if !reflect.DeepEqual(a.Snapshot(), b.Snapshot()) {
+		t.Fatal("dual targets diverged")
+	}
+	if a.Count() != 1000 {
+		t.Fatalf("count = %d, want 1000", a.Count())
+	}
+}
+
+func TestEmptySnapshot(t *testing.T) {
+	s := NewHistogram().Snapshot()
+	if s.Count != 0 || s.Min != 0 || s.Max != 0 || s.Quantile(0.5) != 0 || s.Mean() != 0 {
+		t.Fatalf("empty snapshot not zero: %+v", s)
+	}
+	if sum := s.Summary(); sum.Count != 0 {
+		t.Fatalf("empty summary not zero: %+v", sum)
+	}
+}

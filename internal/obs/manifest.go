@@ -1,0 +1,93 @@
+package obs
+
+import (
+	"encoding/json"
+	"io"
+	"os"
+	"os/exec"
+	"runtime"
+	"runtime/debug"
+	"strings"
+	"time"
+)
+
+// Manifest records the provenance of one run so sweep artifacts stay
+// attributable across machines and toolchains: which binary, which
+// commit, which Go version, how many cores, and which environment knobs
+// were live. cmd/bench embeds a Manifest in every BENCH_*.json and the
+// --obs endpoint serves the active run's at /manifest.json.
+type Manifest struct {
+	Command    []string          `json:"command"`
+	StartTime  string            `json:"start_time"` // RFC 3339, UTC
+	GoVersion  string            `json:"go_version"`
+	GitSHA     string            `json:"git_sha"`
+	GitDirty   bool              `json:"git_dirty,omitempty"`
+	GOOS       string            `json:"goos"`
+	GOARCH     string            `json:"goarch"`
+	GOMAXPROCS int               `json:"gomaxprocs"`
+	NumCPU     int               `json:"num_cpu"`
+	Env        map[string]string `json:"env,omitempty"`    // REPRO_* and Go runtime knobs
+	Config     map[string]any    `json:"config,omitempty"` // caller-supplied (seed, flags)
+}
+
+// NewManifest captures the current process environment. config carries
+// run-specific parameters (seed, sweep grid, flag values); nil is fine.
+func NewManifest(config map[string]any) *Manifest {
+	m := &Manifest{
+		Command:    os.Args,
+		StartTime:  time.Now().UTC().Format(time.RFC3339),
+		GoVersion:  runtime.Version(),
+		GOOS:       runtime.GOOS,
+		GOARCH:     runtime.GOARCH,
+		GOMAXPROCS: runtime.GOMAXPROCS(0),
+		NumCPU:     runtime.NumCPU(),
+		Env:        map[string]string{},
+		Config:     config,
+	}
+	m.GitSHA, m.GitDirty = gitRevision()
+	// The kernel/engine environment knobs that change what a run
+	// measures; absent variables are omitted so the manifest records
+	// exactly what was set.
+	for _, k := range []string{"REPRO_SFQ_KERNEL", "REPRO_MC_SHORT", "GOMAXPROCS", "GOGC", "GODEBUG"} {
+		if v, ok := os.LookupEnv(k); ok {
+			m.Env[k] = v
+		}
+	}
+	return m
+}
+
+// gitRevision resolves the source revision: the build info's stamped
+// VCS metadata when present (go build inside a repo), otherwise a
+// direct `git rev-parse HEAD` of the working directory (go run, tests),
+// otherwise "unknown".
+func gitRevision() (sha string, dirty bool) {
+	if bi, ok := debug.ReadBuildInfo(); ok {
+		for _, s := range bi.Settings {
+			switch s.Key {
+			case "vcs.revision":
+				sha = s.Value
+			case "vcs.modified":
+				dirty = s.Value == "true"
+			}
+		}
+		if sha != "" {
+			return sha, dirty
+		}
+	}
+	out, err := exec.Command("git", "rev-parse", "HEAD").Output()
+	if err != nil {
+		return "unknown", false
+	}
+	sha = strings.TrimSpace(string(out))
+	if st, err := exec.Command("git", "status", "--porcelain").Output(); err == nil {
+		dirty = len(strings.TrimSpace(string(st))) > 0
+	}
+	return sha, dirty
+}
+
+// WriteJSON renders the manifest as indented JSON.
+func (m *Manifest) WriteJSON(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(m)
+}

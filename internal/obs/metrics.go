@@ -1,0 +1,43 @@
+// Package obs is the repository's stdlib-only telemetry layer: lock-free
+// counters and gauges, log-bucketed mergeable latency histograms with
+// quantile extraction, a named-metric registry with Prometheus-text and
+// JSON exposition over net/http, opt-in pprof endpoints, and run
+// manifests that make every sweep artifact attributable (git SHA, Go
+// version, GOMAXPROCS, environment knobs).
+//
+// The paper's headline claim rests on the *distribution* of decoder
+// latencies — NISQ+ wins because the latency tail stays under the
+// syndrome-generation period (§III, Fig. 10(c)) — so the measurement
+// layer is a product of this repository, not an afterthought. Hot
+// layers record through single-owner Local recorders (plain counters,
+// no shared cache lines) that flush into shared atomic histograms on an
+// amortized schedule, preserving the zero-allocation decode invariant;
+// the regression tests in this package and internal/decoder pin both
+// properties.
+package obs
+
+import "sync/atomic"
+
+// Counter is a monotonically increasing atomic counter.
+type Counter struct{ v atomic.Int64 }
+
+// Add increments the counter by n.
+func (c *Counter) Add(n int64) { c.v.Add(n) }
+
+// Inc increments the counter by one.
+func (c *Counter) Inc() { c.v.Add(1) }
+
+// Load returns the current value.
+func (c *Counter) Load() int64 { return c.v.Load() }
+
+// Gauge is an atomic instantaneous value (set or adjusted).
+type Gauge struct{ v atomic.Int64 }
+
+// Set stores n.
+func (g *Gauge) Set(n int64) { g.v.Store(n) }
+
+// Add adjusts the gauge by n (negative to decrease).
+func (g *Gauge) Add(n int64) { g.v.Add(n) }
+
+// Load returns the current value.
+func (g *Gauge) Load() int64 { return g.v.Load() }

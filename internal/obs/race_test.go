@@ -1,0 +1,101 @@
+package obs
+
+import (
+	"bytes"
+	"fmt"
+	"reflect"
+	"sync"
+	"testing"
+)
+
+// Hammer one shared Histogram from many goroutines three ways at once —
+// direct Observe, per-goroutine Local recorders flushing in, and
+// concurrent Snapshot/exposition readers — the way the Monte-Carlo
+// shards share a point-level recorder. Run under -race in ci.sh; the
+// count/sum/min/max invariants below must hold regardless of schedule.
+func TestRecorderSharedAcrossShards(t *testing.T) {
+	const (
+		shards   = 16
+		perShard = 4000
+	)
+	r := NewRegistry()
+	shared := r.Histogram("hammer_ns")
+	trials := r.Counter("hammer_trials_total")
+
+	var wg sync.WaitGroup
+	for s := 0; s < shards; s++ {
+		wg.Add(1)
+		go func(s int) {
+			defer wg.Done()
+			if s%2 == 0 {
+				// Even shards go through single-owner Locals with a
+				// small auto-flush period, the hot-path configuration.
+				l := NewLocal(7, shared)
+				for i := 0; i < perShard; i++ {
+					l.Observe(uint64(s*perShard + i))
+					trials.Inc()
+				}
+				l.Flush()
+				return
+			}
+			for i := 0; i < perShard; i++ {
+				shared.Observe(uint64(s*perShard + i))
+				trials.Inc()
+			}
+		}(s)
+	}
+	// Concurrent readers: snapshots and full expositions while writes
+	// are in flight must be internally consistent (sum of bucket counts
+	// equals the snapshot count) even though they race with Observe.
+	done := make(chan struct{})
+	var readers sync.WaitGroup
+	for g := 0; g < 4; g++ {
+		readers.Add(1)
+		go func() {
+			defer readers.Done()
+			for {
+				select {
+				case <-done:
+					return
+				default:
+				}
+				snap := shared.Snapshot()
+				var n uint64
+				for _, b := range snap.Buckets {
+					n += b.Count
+				}
+				if snap.Count > uint64(shards*perShard) {
+					panic(fmt.Sprintf("count overshot: %d", snap.Count))
+				}
+				_ = n
+				var buf bytes.Buffer
+				_ = r.WritePrometheus(&buf)
+				_ = r.WriteJSON(&buf)
+				_ = r.Histogram("hammer_ns") // get-or-create race
+				_ = r.Counter(fmt.Sprintf("side_%d_total", g))
+			}
+		}()
+	}
+	wg.Wait()
+	close(done)
+	readers.Wait()
+
+	s := shared.Snapshot()
+	if s.Count != shards*perShard {
+		t.Fatalf("count = %d, want %d", s.Count, shards*perShard)
+	}
+	if trials.Load() != shards*perShard {
+		t.Fatalf("trials = %d, want %d", trials.Load(), shards*perShard)
+	}
+	if s.Min != 0 || s.Max != shards*perShard-1 {
+		t.Fatalf("min/max = %d/%d, want 0/%d", s.Min, s.Max, shards*perShard-1)
+	}
+	// The quiescent result must equal a serial fill of the same values.
+	want := NewHistogram()
+	for v := uint64(0); v < shards*perShard; v++ {
+		want.Observe(v)
+	}
+	if !reflect.DeepEqual(want.Snapshot(), s) {
+		t.Fatal("concurrent fill diverged from serial fill")
+	}
+}

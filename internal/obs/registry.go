@@ -1,0 +1,201 @@
+package obs
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"sort"
+	"sync"
+	"sync/atomic"
+)
+
+// Registry is a named-metric table: counters, gauges and histograms are
+// created on first use and shared by name, so independent subsystems
+// (the Monte-Carlo engine, the SFQ mesh, the decode pool) contribute to
+// one exposition surface without knowing about each other. All methods
+// are safe for concurrent use; the get-or-create fast path takes a read
+// lock only.
+type Registry struct {
+	mu       sync.RWMutex
+	counters map[string]*Counter
+	gauges   map[string]*Gauge
+	hists    map[string]*Histogram
+	manifest atomic.Pointer[Manifest]
+}
+
+// NewRegistry returns an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{
+		counters: map[string]*Counter{},
+		gauges:   map[string]*Gauge{},
+		hists:    map[string]*Histogram{},
+	}
+}
+
+// defaultRegistry is the process-wide registry the instrumented hot
+// layers record into; the --obs flag of the cmd binaries serves it.
+var defaultRegistry = NewRegistry()
+
+// Default returns the process-wide registry.
+func Default() *Registry { return defaultRegistry }
+
+// Counter returns the named counter, creating it on first use.
+func (r *Registry) Counter(name string) *Counter {
+	r.mu.RLock()
+	c := r.counters[name]
+	r.mu.RUnlock()
+	if c != nil {
+		return c
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if c = r.counters[name]; c == nil {
+		c = new(Counter)
+		r.counters[name] = c
+	}
+	return c
+}
+
+// Gauge returns the named gauge, creating it on first use.
+func (r *Registry) Gauge(name string) *Gauge {
+	r.mu.RLock()
+	g := r.gauges[name]
+	r.mu.RUnlock()
+	if g != nil {
+		return g
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if g = r.gauges[name]; g == nil {
+		g = new(Gauge)
+		r.gauges[name] = g
+	}
+	return g
+}
+
+// Histogram returns the named histogram, creating it on first use.
+func (r *Registry) Histogram(name string) *Histogram {
+	r.mu.RLock()
+	h := r.hists[name]
+	r.mu.RUnlock()
+	if h != nil {
+		return h
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if h = r.hists[name]; h == nil {
+		h = NewHistogram()
+		r.hists[name] = h
+	}
+	return h
+}
+
+// SetManifest attaches the run manifest served at /manifest.json and
+// embedded in the JSON exposition.
+func (r *Registry) SetManifest(m *Manifest) { r.manifest.Store(m) }
+
+// Manifest returns the attached run manifest, or nil.
+func (r *Registry) Manifest() *Manifest { return r.manifest.Load() }
+
+// snapshot copies the metric tables under the read lock so exposition
+// never holds the lock while formatting.
+func (r *Registry) snapshot() (counters map[string]int64, gauges map[string]int64, hists map[string]Snapshot) {
+	r.mu.RLock()
+	cs := make(map[string]*Counter, len(r.counters))
+	gs := make(map[string]*Gauge, len(r.gauges))
+	hs := make(map[string]*Histogram, len(r.hists))
+	for k, v := range r.counters {
+		cs[k] = v
+	}
+	for k, v := range r.gauges {
+		gs[k] = v
+	}
+	for k, v := range r.hists {
+		hs[k] = v
+	}
+	r.mu.RUnlock()
+	counters = make(map[string]int64, len(cs))
+	gauges = make(map[string]int64, len(gs))
+	hists = make(map[string]Snapshot, len(hs))
+	for k, v := range cs {
+		counters[k] = v.Load()
+	}
+	for k, v := range gs {
+		gauges[k] = v.Load()
+	}
+	for k, v := range hs {
+		hists[k] = v.Snapshot()
+	}
+	return counters, gauges, hists
+}
+
+func sortedKeys[V any](m map[string]V) []string {
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
+}
+
+// WritePrometheus renders every metric in the Prometheus text
+// exposition format (histograms as cumulative _bucket/_sum/_count
+// series with inclusive le edges). Output is sorted by name so scrapes
+// diff cleanly.
+func (r *Registry) WritePrometheus(w io.Writer) error {
+	counters, gauges, hists := r.snapshot()
+	for _, name := range sortedKeys(counters) {
+		if _, err := fmt.Fprintf(w, "# TYPE %s counter\n%s %d\n", name, name, counters[name]); err != nil {
+			return err
+		}
+	}
+	for _, name := range sortedKeys(gauges) {
+		if _, err := fmt.Fprintf(w, "# TYPE %s gauge\n%s %d\n", name, name, gauges[name]); err != nil {
+			return err
+		}
+	}
+	for _, name := range sortedKeys(hists) {
+		s := hists[name]
+		if _, err := fmt.Fprintf(w, "# TYPE %s histogram\n", name); err != nil {
+			return err
+		}
+		var cum uint64
+		for _, b := range s.Buckets {
+			cum += b.Count
+			if _, err := fmt.Fprintf(w, "%s_bucket{le=\"%d\"} %d\n", name, b.Hi-1, cum); err != nil {
+				return err
+			}
+		}
+		if _, err := fmt.Fprintf(w, "%s_bucket{le=\"+Inf\"} %d\n%s_sum %d\n%s_count %d\n",
+			name, s.Count, name, s.Sum, name, s.Count); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// jsonExposition is the /metrics.json document.
+type jsonExposition struct {
+	Manifest   *Manifest          `json:"manifest,omitempty"`
+	Counters   map[string]int64   `json:"counters"`
+	Gauges     map[string]int64   `json:"gauges"`
+	Histograms map[string]Summary `json:"histograms"`
+}
+
+// WriteJSON renders every metric (histograms as quantile summaries)
+// plus the run manifest as one JSON document.
+func (r *Registry) WriteJSON(w io.Writer) error {
+	counters, gauges, hists := r.snapshot()
+	doc := jsonExposition{
+		Manifest:   r.Manifest(),
+		Counters:   counters,
+		Gauges:     gauges,
+		Histograms: make(map[string]Summary, len(hists)),
+	}
+	for name, s := range hists {
+		doc.Histograms[name] = s.Summary()
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(doc)
+}

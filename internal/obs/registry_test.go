@@ -1,0 +1,167 @@
+package obs
+
+import (
+	"bytes"
+	"encoding/json"
+	"io"
+	"net/http"
+	"strings"
+	"testing"
+)
+
+func TestRegistryGetOrCreate(t *testing.T) {
+	r := NewRegistry()
+	c := r.Counter("x_total")
+	c.Add(3)
+	if r.Counter("x_total") != c || c.Load() != 3 {
+		t.Fatal("counter not shared by name")
+	}
+	g := r.Gauge("x_inflight")
+	g.Set(5)
+	g.Add(-2)
+	if r.Gauge("x_inflight").Load() != 3 {
+		t.Fatal("gauge not shared by name")
+	}
+	h := r.Histogram("x_ns")
+	h.Observe(9)
+	if r.Histogram("x_ns").Count() != 1 {
+		t.Fatal("histogram not shared by name")
+	}
+}
+
+func TestPrometheusExposition(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("trials_total").Add(42)
+	r.Gauge("outstanding").Set(-1)
+	h := r.Histogram("lat_ns")
+	for _, v := range []uint64{1, 1, 9, 200} {
+		h.Observe(v)
+	}
+	var buf bytes.Buffer
+	if err := r.WritePrometheus(&buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{
+		"# TYPE trials_total counter\ntrials_total 42",
+		"# TYPE outstanding gauge\noutstanding -1",
+		"# TYPE lat_ns histogram",
+		`lat_ns_bucket{le="1"} 2`,
+		`lat_ns_bucket{le="+Inf"} 4`,
+		"lat_ns_sum 211",
+		"lat_ns_count 4",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("exposition missing %q:\n%s", want, out)
+		}
+	}
+	// Cumulative bucket counts must be non-decreasing and end at count.
+	var last int64 = -1
+	for _, line := range strings.Split(out, "\n") {
+		if !strings.HasPrefix(line, "lat_ns_bucket") {
+			continue
+		}
+		var n int64
+		if _, err := parseSuffixInt(line, &n); err != nil {
+			t.Fatalf("bad bucket line %q: %v", line, err)
+		}
+		if n < last {
+			t.Fatalf("bucket counts not cumulative: %q after %d", line, last)
+		}
+		last = n
+	}
+	if last != 4 {
+		t.Fatalf("final cumulative bucket = %d, want 4", last)
+	}
+}
+
+func parseSuffixInt(line string, n *int64) (int, error) {
+	i := strings.LastIndexByte(line, ' ')
+	v := line[i+1:]
+	var err error
+	*n = 0
+	for _, c := range v {
+		if c < '0' || c > '9' {
+			return 0, io.ErrUnexpectedEOF
+		}
+		*n = *n*10 + int64(c-'0')
+	}
+	return len(v), err
+}
+
+func TestJSONExpositionAndManifest(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("c_total").Inc()
+	r.Histogram("h_ns").Observe(100)
+	r.SetManifest(NewManifest(map[string]any{"seed": 7}))
+	var buf bytes.Buffer
+	if err := r.WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	var doc struct {
+		Manifest   *Manifest          `json:"manifest"`
+		Counters   map[string]int64   `json:"counters"`
+		Histograms map[string]Summary `json:"histograms"`
+	}
+	if err := json.Unmarshal(buf.Bytes(), &doc); err != nil {
+		t.Fatal(err)
+	}
+	if doc.Counters["c_total"] != 1 {
+		t.Fatalf("counters = %v", doc.Counters)
+	}
+	if doc.Histograms["h_ns"].Count != 1 || doc.Histograms["h_ns"].Max != 100 {
+		t.Fatalf("histograms = %v", doc.Histograms)
+	}
+	if doc.Manifest == nil || doc.Manifest.GoVersion == "" || doc.Manifest.GOMAXPROCS < 1 ||
+		doc.Manifest.NumCPU < 1 || doc.Manifest.GitSHA == "" {
+		t.Fatalf("manifest incomplete: %+v", doc.Manifest)
+	}
+	if doc.Manifest.Config["seed"] != float64(7) {
+		t.Fatalf("manifest config = %v", doc.Manifest.Config)
+	}
+}
+
+// The HTTP surface: /metrics, /metrics.json, /manifest.json and the
+// pprof index must all answer on a real TCP listener.
+func TestServeEndpoints(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("served_total").Add(5)
+	r.Histogram("served_ns").Observe(123)
+	r.SetManifest(NewManifest(nil))
+	srv, err := Serve("127.0.0.1:0", r, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+
+	get := func(path string) string {
+		resp, err := http.Get("http://" + srv.Addr + path)
+		if err != nil {
+			t.Fatalf("GET %s: %v", path, err)
+		}
+		defer resp.Body.Close()
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("GET %s: status %d", path, resp.StatusCode)
+		}
+		body, err := io.ReadAll(resp.Body)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return string(body)
+	}
+	if out := get("/metrics"); !strings.Contains(out, "served_total 5") || !strings.Contains(out, "served_ns_count 1") {
+		t.Errorf("/metrics missing series:\n%s", out)
+	}
+	if out := get("/metrics.json"); !strings.Contains(out, `"served_total": 5`) {
+		t.Errorf("/metrics.json missing counter:\n%s", out)
+	}
+	if out := get("/manifest.json"); !strings.Contains(out, `"go_version"`) {
+		t.Errorf("/manifest.json incomplete:\n%s", out)
+	}
+	if out := get("/debug/pprof/"); !strings.Contains(out, "goroutine") {
+		t.Errorf("pprof index incomplete:\n%s", out)
+	}
+	if out := get("/"); !strings.Contains(out, "/metrics") {
+		t.Errorf("index incomplete:\n%s", out)
+	}
+}

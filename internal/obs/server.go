@@ -1,0 +1,91 @@
+package obs
+
+import (
+	"fmt"
+	"net"
+	"net/http"
+	"net/http/pprof"
+	"time"
+)
+
+// Handler returns the registry's HTTP surface:
+//
+//	/metrics        Prometheus text exposition
+//	/metrics.json   JSON exposition (histogram quantile summaries + manifest)
+//	/manifest.json  the run manifest alone
+//	/debug/pprof/*  net/http/pprof (only when withPprof is true)
+//	/               plain-text index of the above
+func (r *Registry) Handler(withPprof bool) http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/metrics", func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		_ = r.WritePrometheus(w)
+	})
+	mux.HandleFunc("/metrics.json", func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "application/json")
+		_ = r.WriteJSON(w)
+	})
+	mux.HandleFunc("/manifest.json", func(w http.ResponseWriter, _ *http.Request) {
+		m := r.Manifest()
+		if m == nil {
+			http.Error(w, "no manifest attached", http.StatusNotFound)
+			return
+		}
+		w.Header().Set("Content-Type", "application/json")
+		_ = m.WriteJSON(w)
+	})
+	mux.HandleFunc("/", func(w http.ResponseWriter, req *http.Request) {
+		if req.URL.Path != "/" {
+			http.NotFound(w, req)
+			return
+		}
+		fmt.Fprintln(w, "repro telemetry")
+		fmt.Fprintln(w, "  /metrics        Prometheus text exposition")
+		fmt.Fprintln(w, "  /metrics.json   JSON exposition")
+		fmt.Fprintln(w, "  /manifest.json  run manifest")
+		if withPprof {
+			fmt.Fprintln(w, "  /debug/pprof/   profiling endpoints")
+		}
+	})
+	if withPprof {
+		mux.HandleFunc("/debug/pprof/", pprof.Index)
+		mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+		mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+		mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+		mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	}
+	return mux
+}
+
+// Server is a running telemetry endpoint.
+type Server struct {
+	// Addr is the bound listen address (useful with ":0").
+	Addr string
+	srv  *http.Server
+	ln   net.Listener
+}
+
+// Serve binds addr (e.g. ":9090" or "127.0.0.1:0") and serves the
+// registry's Handler in the background. The sweep binaries call this
+// from their --obs flag; Close when the run finishes.
+func Serve(addr string, r *Registry, withPprof bool) (*Server, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, fmt.Errorf("obs: listen %s: %w", addr, err)
+	}
+	srv := &http.Server{Handler: r.Handler(withPprof), ReadHeaderTimeout: 5 * time.Second}
+	go func() { _ = srv.Serve(ln) }()
+	return &Server{Addr: ln.Addr().String(), srv: srv, ln: ln}, nil
+}
+
+// Close stops the server and releases the listener.
+func (s *Server) Close() error { return s.srv.Close() }
+
+// ServeDefault is the one-liner behind every sweep binary's --obs flag:
+// it attaches a fresh run manifest (config carries the binary's flag
+// values) to the process-wide Default registry and serves it — pprof
+// included — on addr.
+func ServeDefault(addr string, config map[string]any) (*Server, error) {
+	Default().SetManifest(NewManifest(config))
+	return Serve(addr, Default(), true)
+}

@@ -7,6 +7,7 @@ import (
 	"repro/internal/decodepool"
 	"repro/internal/decoder"
 	"repro/internal/lattice"
+	"repro/internal/obs"
 )
 
 // cellKind classifies a mesh cell.
@@ -119,7 +120,24 @@ type Mesh struct {
 	priorityOffset int
 	stats          Stats
 	tracer         Tracer
+
+	// Telemetry: every decode's cycle count goes into a mesh-private
+	// obs.Local (no atomics, no allocation on the hot path) that
+	// auto-flushes into the process-wide sfq_decode_cycles_d<D>
+	// histogram every obsFlushEvery decodes and on FlushObs.
+	obsCycles *obs.Local
+
+	// Pool bookkeeping (see Pool): which pool handed this mesh out, and
+	// whether it is currently parked on a free list.
+	owner  *Pool
+	pooled bool
 }
+
+// obsFlushEvery is how many decodes a mesh accumulates before merging
+// its private cycle histogram into the shared registry — the amortized
+// flush keeps shared-cache-line traffic off the per-decode path while
+// /metrics scrapes stay at most a few dozen decodes stale.
+const obsFlushEvery = 64
 
 type growArrival struct {
 	n int
@@ -143,6 +161,8 @@ func NewWithKernel(g *lattice.Graph, v Variant, k Kernel) *Mesh {
 		MaxCycles:  200 * geo.m,
 		maxRetries: 3,
 	}
+	m.obsCycles = obs.NewLocal(obsFlushEvery,
+		obs.Default().Histogram(fmt.Sprintf("sfq_decode_cycles_d%d", geo.d)))
 	if k == KernelBitplane {
 		m.planes = newPlaneState(m)
 		return m
@@ -247,15 +267,34 @@ func (m *Mesh) DecodeWithStats(syn []bool) (decoder.Correction, Stats, error) {
 }
 
 // decodeAppend is the shared decode core: it appends the corrected
-// qubit indices to q (which may be nil or a recycled buffer) and leaves
-// statistics in m.stats.
+// qubit indices to q (which may be nil or a recycled buffer), leaves
+// statistics in m.stats, and records the cycle count in the mesh's
+// telemetry recorder. Both kernels pass through here, so the per-d
+// cycle histograms see every decode regardless of REPRO_SFQ_KERNEL.
 func (m *Mesh) decodeAppend(syn []bool, q []int) ([]int, error) {
 	if len(syn) != m.g.NumChecks() {
 		return q, fmt.Errorf("sfq: syndrome has %d checks, graph has %d", len(syn), m.g.NumChecks())
 	}
+	var err error
 	if m.planes != nil {
-		return m.planes.decodeAppend(syn, q)
+		q, err = m.planes.decodeAppend(syn, q)
+	} else {
+		q, err = m.legacyDecodeAppend(syn, q)
 	}
+	if err == nil {
+		m.obsCycles.Observe(uint64(m.stats.Cycles))
+	}
+	return q, err
+}
+
+// FlushObs merges any pending telemetry into the shared registry
+// histograms. The pool calls it when a mesh is parked; call it directly
+// before scraping when a mesh is long-lived outside a pool.
+func (m *Mesh) FlushObs() { m.obsCycles.Flush() }
+
+// legacyDecodeAppend is the struct-of-bools reference kernel's decode
+// core.
+func (m *Mesh) legacyDecodeAppend(syn []bool, q []int) ([]int, error) {
 	m.reset()
 	for ci, h := range syn {
 		if h {

@@ -5,6 +5,7 @@ import (
 
 	"repro/internal/decoder"
 	"repro/internal/lattice"
+	"repro/internal/obs"
 )
 
 // Pool recycles decoder meshes across Monte-Carlo shards, mirroring
@@ -12,6 +13,13 @@ import (
 // point draws meshes from the pool instead of rebuilding lattice,
 // matching graph, and mesh per shard. A Pool is safe for concurrent
 // use; the meshes it hands out are not (one mesh per shard).
+//
+// Delivery is exactly-once and observable: every mesh tracks which pool
+// handed it out and whether it is currently parked, so a double Put
+// (which would alias one mesh into two shards), a Put of another pool's
+// mesh, or a mesh that never comes back all show up in Stats and in the
+// process-wide sfq_pool_* metrics instead of silently corrupting the
+// free list.
 type Pool struct {
 	variant Variant
 	kernel  Kernel
@@ -19,12 +27,37 @@ type Pool struct {
 	mu     sync.Mutex
 	graphs map[poolKey]*lattice.Graph
 	free   map[poolKey][]*Mesh
+	stats  PoolStats
+}
+
+// PoolStats is a pool's cumulative accounting. Hits + Misses == Gets,
+// and when every mesh has been returned exactly once,
+// Outstanding == 0 and Puts == Gets - adopted strays.
+type PoolStats struct {
+	Gets        int64 // meshes handed out
+	Hits        int64 // Gets served from the free list
+	Misses      int64 // Gets that built a new mesh
+	Puts        int64 // meshes accepted back
+	Foreign     int64 // rejected Puts: wrong variant/kernel or another pool's mesh
+	DoublePuts  int64 // rejected Puts: mesh already parked in this pool
+	Outstanding int64 // handed out and not yet returned
 }
 
 type poolKey struct {
 	d int
 	e lattice.ErrorType
 }
+
+// Process-wide pool telemetry, aggregated across all pools.
+var (
+	poolGets        = obs.Default().Counter("sfq_pool_gets_total")
+	poolHits        = obs.Default().Counter("sfq_pool_hits_total")
+	poolMisses      = obs.Default().Counter("sfq_pool_misses_total")
+	poolPuts        = obs.Default().Counter("sfq_pool_puts_total")
+	poolForeign     = obs.Default().Counter("sfq_pool_foreign_total")
+	poolDoublePuts  = obs.Default().Counter("sfq_pool_double_puts_total")
+	poolOutstanding = obs.Default().Gauge("sfq_pool_outstanding")
+)
 
 // NewPool returns a pool of meshes with the given design variant and
 // the DefaultKernel.
@@ -38,6 +71,13 @@ func NewPoolWithKernel(v Variant, k Kernel) *Pool {
 		graphs:  map[poolKey]*lattice.Graph{},
 		free:    map[poolKey][]*Mesh{},
 	}
+}
+
+// Stats returns a snapshot of the pool's accounting.
+func (p *Pool) Stats() PoolStats {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.stats
 }
 
 // Graph returns the pool's shared matching graph for (d, e), building
@@ -63,30 +103,73 @@ func (p *Pool) graphLocked(k poolKey) *lattice.Graph {
 func (p *Pool) Get(d int, e lattice.ErrorType) *Mesh {
 	k := poolKey{d, e}
 	p.mu.Lock()
+	p.stats.Gets++
+	p.stats.Outstanding++
+	poolGets.Inc()
+	poolOutstanding.Add(1)
 	if list := p.free[k]; len(list) > 0 {
 		m := list[len(list)-1]
+		list[len(list)-1] = nil
 		p.free[k] = list[:len(list)-1]
+		m.pooled = false
+		p.stats.Hits++
 		p.mu.Unlock()
+		poolHits.Inc()
 		return m
 	}
+	p.stats.Misses++
 	g := p.graphLocked(k)
 	p.mu.Unlock()
-	return NewWithKernel(g, p.variant, p.kernel)
+	poolMisses.Inc()
+	m := NewWithKernel(g, p.variant, p.kernel)
+	m.owner = p
+	return m
 }
 
-// Put resets the mesh and parks it on the free list. Meshes whose
-// variant or kernel differ from the pool's are dropped rather than
-// mixed in.
+// Put resets the mesh, flushes its pending telemetry, and parks it on
+// the free list. Rejected — counted, never mixed in — are meshes whose
+// variant or kernel differ from the pool's, meshes owned by another
+// pool, and meshes already parked here (a double Put would alias one
+// mesh into two future Gets). A compatible mesh built outside any pool
+// is adopted without touching the outstanding count.
 func (p *Pool) Put(m *Mesh) {
 	if m == nil || m.variant != p.variant || m.kernel != p.kernel {
+		p.mu.Lock()
+		p.stats.Foreign++
+		p.mu.Unlock()
+		poolForeign.Inc()
 		return
 	}
 	m.Reset()
 	m.SetTracer(nil)
+	m.FlushObs()
 	k := poolKey{d: m.geo.d, e: m.geo.e}
 	p.mu.Lock()
+	switch {
+	case m.pooled && m.owner == p:
+		p.stats.DoublePuts++
+		p.mu.Unlock()
+		poolDoublePuts.Inc()
+		return
+	case m.owner != nil && m.owner != p:
+		p.stats.Foreign++
+		p.mu.Unlock()
+		poolForeign.Inc()
+		return
+	}
+	wasOurs := m.owner == p
+	m.owner = p
+	m.pooled = true
 	p.free[k] = append(p.free[k], m)
+	p.stats.Puts++
+	if wasOurs {
+		p.stats.Outstanding--
+	}
 	p.mu.Unlock()
+	poolPuts.Inc()
+	if wasOurs {
+		poolOutstanding.Add(-1)
+	}
 }
 
 // Release adapts Put to the func(decoder.Decoder) release hooks of the

@@ -9,6 +9,7 @@ import (
 	"repro/internal/decoder"
 	"repro/internal/mc"
 	"repro/internal/noise"
+	"repro/internal/obs"
 	"repro/internal/surface"
 )
 
@@ -37,6 +38,9 @@ type SimConfig struct {
 	// sfq.Pool.Release to recycle meshes). Must be safe for concurrent
 	// use.
 	FreeDecoder func(decoder.Decoder)
+	// Obs, when non-nil, receives engine and tile telemetry (see
+	// mc.Config.Obs and surface.Config.Obs).
+	Obs *obs.Registry
 }
 
 // buildTiles constructs the K tile simulators. Seeds only matter for
@@ -54,6 +58,7 @@ func (cfg SimConfig) buildTiles() ([]*surface.Simulator, error) {
 			Channel:  ch,
 			DecoderZ: cfg.NewDecoderZ(cfg.Distance),
 			Seed:     cfg.Seed + int64(k)*7919,
+			Obs:      cfg.Obs,
 		})
 		if err != nil {
 			return nil, err
@@ -166,6 +171,7 @@ func (m *MachineSim) MeanCyclesToFailureContext(ctx context.Context, trials, max
 	results, err := mc.Run(ctx, mc.Config{
 		RootSeed: m.cfg.Seed,
 		Workers:  m.cfg.Workers,
+		Obs:      m.cfg.Obs,
 	}, []mc.PointSpec{spec})
 	if err != nil {
 		return 0, err

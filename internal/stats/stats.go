@@ -16,6 +16,7 @@ import (
 	"repro/internal/lattice"
 	"repro/internal/mc"
 	"repro/internal/noise"
+	"repro/internal/obs"
 	"repro/internal/sfq"
 	"repro/internal/surface"
 )
@@ -94,6 +95,11 @@ type CurveConfig struct {
 	// The harness serializes calls within a point, but observers for
 	// distinct points may run concurrently.
 	Observer func(d int, p float64) func(lattice.ErrorType, sfq.Stats)
+	// Obs, when non-nil, receives sweep telemetry: the engine's trial
+	// counters and latency histograms (see mc.Config.Obs) and the
+	// simulators' decode-latency samples (see surface.Config.Obs).
+	// Sweep binaries pass obs.Default() when --obs is set.
+	Obs *obs.Registry
 	// FreeDecoder, when non-nil, receives every decoder the factories
 	// built once the point owning it finishes. Pass sfq.Pool.Release so
 	// mesh decoders are recycled across points instead of rebuilt per
@@ -123,11 +129,11 @@ func CurvesContext(ctx context.Context, cfg CurveConfig) ([]Point, error) {
 	for _, d := range cfg.Distances {
 		for _, p := range cfg.Rates {
 			d, p := d, p
-			var obs func(lattice.ErrorType, sfq.Stats)
+			var observer func(lattice.ErrorType, sfq.Stats)
 			if cfg.Observer != nil {
 				inner := cfg.Observer(d, p)
 				var mu sync.Mutex // shards of one point decode concurrently
-				obs = func(e lattice.ErrorType, st sfq.Stats) {
+				observer = func(e lattice.ErrorType, st sfq.Stats) {
 					mu.Lock()
 					inner(e, st)
 					mu.Unlock()
@@ -142,7 +148,8 @@ func CurvesContext(ctx context.Context, cfg CurveConfig) ([]Point, error) {
 					Distance: d,
 					Channel:  ch,
 					DecoderZ: cfg.NewDecoderZ(d),
-					Observer: obs,
+					Observer: observer,
+					Obs:      cfg.Obs,
 				}
 				if cfg.NewDecoderX != nil {
 					sc.DecoderX = cfg.NewDecoderX(d)
@@ -166,6 +173,7 @@ func CurvesContext(ctx context.Context, cfg CurveConfig) ([]Point, error) {
 			return WilsonInterval(k, n, 1.96)
 		},
 		Progress: cfg.Progress,
+		Obs:      cfg.Obs,
 	}, specs)
 	if err != nil {
 		return nil, err

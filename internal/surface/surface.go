@@ -14,6 +14,7 @@ import (
 	"repro/internal/decoder"
 	"repro/internal/lattice"
 	"repro/internal/noise"
+	"repro/internal/obs"
 	"repro/internal/pauli"
 	"repro/internal/sfq"
 	"repro/internal/stabilizer"
@@ -45,6 +46,12 @@ type Config struct {
 	// Observer, when non-nil, receives the mesh statistics of every SFQ
 	// decode invocation (ignored for software decoders).
 	Observer func(e lattice.ErrorType, st sfq.Stats)
+	// Obs, when non-nil, instruments the simulator's decode arena: the
+	// software-decoder wall-clock latency is sampled into the registry's
+	// decodepool_decode_ns histogram and the decode count advances
+	// decodepool_decodes_total (see decodepool.Scratch.Instrument; SFQ
+	// mesh decoders record their own cycle histograms process-wide).
+	Obs *obs.Registry
 }
 
 // Result summarizes a lifetime run.
@@ -108,6 +115,10 @@ func New(cfg Config) (*Simulator, error) {
 		rng:      rng,
 		residual: pauli.NewFrame(l.NumQubits()),
 		scratch:  decodepool.NewScratch(),
+	}
+	if cfg.Obs != nil {
+		s.scratch.Instrument(cfg.Obs.Histogram("decodepool_decode_ns"),
+			cfg.Obs.Counter("decodepool_decodes_total"), 0)
 	}
 	for _, site := range l.DataSites() {
 		s.data = append(s.data, l.QubitIndex(site))

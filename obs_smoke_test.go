@@ -1,0 +1,85 @@
+package repro_test
+
+import (
+	"io"
+	"net/http"
+	"strings"
+	"sync/atomic"
+	"testing"
+
+	"repro/internal/decoder"
+	"repro/internal/decoder/greedy"
+	"repro/internal/mc"
+	"repro/internal/noise"
+	"repro/internal/obs"
+	"repro/internal/stats"
+)
+
+// TestObsMetricsSmokeSweep drives a small lifetime sweep with telemetry
+// enabled and scrapes the live /metrics endpoint from inside the
+// sweep's own progress callback — i.e. while shards are still running —
+// checking that the engine counters, the trial-latency histogram, and
+// the sampled decode-latency histogram are all being published as the
+// run progresses, not only after it finishes.
+func TestObsMetricsSmokeSweep(t *testing.T) {
+	reg := obs.NewRegistry()
+	srv, err := obs.Serve("127.0.0.1:0", reg, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+
+	var scrapes atomic.Int32
+	var lastBody atomic.Value
+	_, err = stats.Curves(stats.CurveConfig{
+		Distances:  []int{3},
+		Rates:      []float64{0.05},
+		Cycles:     1200,
+		NewChannel: func(p float64) (noise.Channel, error) { return noise.NewDephasing(p) },
+		NewDecoderZ: func(d int) decoder.Decoder {
+			return greedy.New()
+		},
+		Seed:    5,
+		Workers: 2,
+		// An unreachable width target with a small first checkpoint
+		// forces several progress reports per point, so the scrape
+		// really happens mid-sweep.
+		TargetRelWidth: 1e-9,
+		MinTrials:      100,
+		Obs:            reg,
+		Progress: func(p mc.Progress) {
+			resp, err := http.Get("http://" + srv.Addr + "/metrics")
+			if err != nil {
+				t.Errorf("mid-sweep scrape: %v", err)
+				return
+			}
+			body, err := io.ReadAll(resp.Body)
+			resp.Body.Close()
+			if err != nil {
+				t.Errorf("mid-sweep scrape: %v", err)
+				return
+			}
+			lastBody.Store(string(body))
+			scrapes.Add(1)
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if scrapes.Load() == 0 {
+		t.Fatal("sweep finished without a single progress checkpoint scrape")
+	}
+	body, _ := lastBody.Load().(string)
+	for _, series := range []string{
+		"mc_trials_total",
+		"mc_trial_ns_bucket{",
+		"mc_trial_ns_count",
+		"decodepool_decodes_total",
+		"decodepool_decode_ns_bucket{",
+	} {
+		if !strings.Contains(body, series) {
+			t.Errorf("live /metrics missing %q\nexposition:\n%s", series, body)
+		}
+	}
+	t.Logf("scraped /metrics %d times mid-sweep", scrapes.Load())
+}
