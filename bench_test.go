@@ -506,14 +506,17 @@ func BenchmarkDecodeHotPath(b *testing.B) {
 	}
 }
 
-// BenchmarkSFQMesh compares the legacy struct-of-bools mesh kernel with
-// the bit-plane kernel at d ∈ {5,9,13} on fixed seeded syndromes, both
-// through the pooled DecodeInto path. cycles/decode is attached as a
-// metric — it must be identical between the kernels (the conformance
-// suite enforces this; the benchmark makes it visible). cmd/bench
-// regenerates the same matrix into BENCH_pr3.json.
+// BenchmarkSFQMesh compares the legacy struct-of-bools mesh kernel, the
+// scalar bit-plane kernel, and the SWAR batch kernel at d ∈ {5,7,9,13}
+// on fixed seeded syndromes, all through the pooled decode path.
+// cycles/decode is attached as a metric — it must be identical across
+// kernels (the conformance suites enforce this; the benchmark makes it
+// visible). The batch case reports per-decode metrics (one call
+// advances Lanes() decodes); the PR 5 acceptance bar is batch ns/decode
+// ≤ ½ of the scalar bit-plane kernel at every d ≤ 13. cmd/bench
+// regenerates the same matrix into BENCH_pr3.json / BENCH_pr5.json.
 func BenchmarkSFQMesh(b *testing.B) {
-	for _, d := range []int{5, 9, 13} {
+	for _, d := range []int{5, 7, 9, 13} {
 		l := lattice.MustNew(d)
 		g := l.MatchingGraph(lattice.ZErrors)
 		syndromes := hotPathSyndromes(b, l, g, 64, int64(100+d))
@@ -527,7 +530,7 @@ func BenchmarkSFQMesh(b *testing.B) {
 					}
 				}
 				var cycles int64
-				benchDecode(b, func(i int) error {
+				benchDecodeN(b, 1, func(i int) error {
 					_, err := mesh.DecodeInto(g, syndromes[i%len(syndromes)], s)
 					cycles += int64(mesh.Stats().Cycles)
 					return err
@@ -535,12 +538,49 @@ func BenchmarkSFQMesh(b *testing.B) {
 				b.ReportMetric(float64(cycles)/float64(b.N), "cycles/decode")
 			})
 		}
+		b.Run(fmt.Sprintf("d=%d/batch", d), func(b *testing.B) {
+			batch := sfq.NewBatch(g, sfq.Final)
+			s := decodepool.NewScratch()
+			lanes := batch.Lanes()
+			b.ReportMetric(float64(lanes), "lanes")
+			// Rotating windows over the syndrome set so successive calls
+			// decode fresh lane mixes.
+			wins := make([][][]bool, len(syndromes))
+			for i := range wins {
+				win := make([][]bool, lanes)
+				for j := range win {
+					win[j] = syndromes[(i+j)%len(syndromes)]
+				}
+				wins[i] = win
+			}
+			for _, win := range wins { // warm the scratch
+				if _, err := batch.DecodeBatchInto(g, win, s); err != nil {
+					b.Fatal(err)
+				}
+			}
+			var cycles int64
+			benchDecodeN(b, lanes, func(i int) error {
+				_, err := batch.DecodeBatchInto(g, wins[i%len(wins)], s)
+				for j := 0; j < lanes; j++ {
+					cycles += int64(batch.LaneStats(j).Cycles)
+				}
+				return err
+			})
+			b.ReportMetric(float64(cycles)/float64(b.N*lanes), "cycles/decode")
+		})
 	}
 }
 
 // benchDecode times one decode closure and reports ns/decode and
 // allocs/decode (heap allocation count from runtime.MemStats).
 func benchDecode(b *testing.B, decode func(i int) error) {
+	benchDecodeN(b, 1, decode)
+}
+
+// benchDecodeN is benchDecode for closures that complete perCall
+// decodes per invocation (the SWAR batch path): per-decode metrics are
+// normalized by b.N·perCall.
+func benchDecodeN(b *testing.B, perCall int, decode func(i int) error) {
 	var ms0, ms1 runtime.MemStats
 	runtime.GC()
 	runtime.ReadMemStats(&ms0)
@@ -553,6 +593,7 @@ func benchDecode(b *testing.B, decode func(i int) error) {
 	}
 	b.StopTimer()
 	runtime.ReadMemStats(&ms1)
-	b.ReportMetric(float64(b.Elapsed().Nanoseconds())/float64(b.N), "ns/decode")
-	b.ReportMetric(float64(ms1.Mallocs-ms0.Mallocs)/float64(b.N), "allocs/decode")
+	n := float64(b.N) * float64(perCall)
+	b.ReportMetric(float64(b.Elapsed().Nanoseconds())/n, "ns/decode")
+	b.ReportMetric(float64(ms1.Mallocs-ms0.Mallocs)/n, "allocs/decode")
 }

@@ -5,12 +5,15 @@
 #
 # Runs, in order: go vet, go build, the full test suite, the test suite
 # under the race detector, a short native-fuzz smoke over the blossom
-# matcher, the decode dispatch, and the SFQ mesh kernel pair, a short
-# bit-plane/legacy conformance pass, the telemetry gates (a dedicated
+# matcher, the decode dispatch, the SFQ mesh kernel pair, and the SWAR
+# batch kernel, short bit-plane/legacy and batch/scalar conformance
+# passes, a batched-vs-scalar sweep determinism gate under the race
+# detector, the telemetry gates (a dedicated
 # race pass over internal/obs, the live /metrics smoke scrape, and the
 # <=5% instrumentation-overhead guard on the decode hot path), and the
 # decode-hot-path benchmarks
-# (which also regenerate BENCH_pr2.json and BENCH_pr3.json). The race
+# (which also regenerate BENCH_pr2.json, BENCH_pr3.json and
+# BENCH_pr5.json). The race
 # run sets
 # REPRO_MC_SHORT=1, which the statistical tests in internal/stats and
 # internal/mc honour by shrinking their trial budgets (their acceptance
@@ -38,10 +41,15 @@ REPRO_MC_SHORT=1 go test -race ./...
 echo "== fuzz smoke =="
 go test -run='^$' -fuzz=FuzzBlossom -fuzztime=5s ./internal/match
 go test -run='^$' -fuzz=FuzzDecode -fuzztime=5s ./internal/decoder
-go test -run='^$' -fuzz=FuzzMesh -fuzztime=5s ./internal/sfq
+go test -run='^$' -fuzz='^FuzzMesh$' -fuzztime=5s ./internal/sfq
+go test -run='^$' -fuzz='^FuzzBatchMesh$' -fuzztime=5s ./internal/sfq
 
 echo "== mesh kernel conformance (short) =="
 REPRO_MC_SHORT=1 go test -run TestBitplaneConformance ./internal/sfq
+REPRO_MC_SHORT=1 go test -run TestBatchMeshConformance ./internal/sfq
+
+echo "== batched sweep determinism (race, short trials) =="
+REPRO_MC_SHORT=1 go test -race -run TestCurvesBatchDeterminism -count=1 ./internal/stats
 
 echo "== telemetry: obs race, live scrape, overhead guard =="
 go test -race -count=1 ./internal/obs
@@ -51,6 +59,6 @@ REPRO_OBS_GUARD=1 go test -run TestObsOverheadGuard -count=1 .
 echo "== decode hot-path benchmarks =="
 go test -run='^$' -bench BenchmarkDecodeHotPath -benchtime 100x -benchmem .
 go test -run='^$' -bench BenchmarkSFQMesh -benchtime 100x -benchmem .
-go run ./cmd/bench -iters 2000 -out BENCH_pr2.json -mesh-out BENCH_pr3.json
+go run ./cmd/bench -iters 2000 -out BENCH_pr2.json -mesh-out BENCH_pr3.json -batch-out BENCH_pr5.json
 
 echo "CI OK"

@@ -6,7 +6,10 @@
 // (BENCH_pr2.json), then times the SFQ mesh's legacy and bit-plane
 // stepping kernels head to head on the same syndromes (BENCH_pr3.json),
 // reporting ns/decode, mesh cycles/decode, and allocation counts from
-// runtime.MemStats deltas.
+// runtime.MemStats deltas. Finally it races the scalar bit-plane kernel
+// against the SWAR batch kernel at d ∈ {5, 7, 9, 13} (BENCH_pr5.json),
+// cross-checking batch corrections and cycle counts against the scalar
+// kernel before timing.
 //
 // Each artifact embeds the run manifest (git SHA + dirty flag, Go
 // version, GOMAXPROCS, CPU count, kernel env knobs) so a number in the
@@ -15,7 +18,7 @@
 //
 // Usage:
 //
-//	bench [-iters 2000] [-out BENCH_pr2.json] [-mesh-out BENCH_pr3.json] [-obs :9090]
+//	bench [-iters 2000] [-out BENCH_pr2.json] [-mesh-out BENCH_pr3.json] [-batch-out BENCH_pr5.json] [-obs :9090]
 package main
 
 import (
@@ -51,6 +54,12 @@ type MeshArtifact struct {
 	Rows     []MeshRow     `json:"rows"`
 }
 
+// BatchArtifact is the on-disk schema of BENCH_pr5.json.
+type BatchArtifact struct {
+	Manifest *obs.Manifest `json:"manifest"`
+	Rows     []BatchRow    `json:"rows"`
+}
+
 // Row is one benchmark measurement.
 type Row struct {
 	Decoder         string  `json:"decoder"`
@@ -77,10 +86,31 @@ type MeshRow struct {
 	BytesPerDecode  float64 `json:"bytes_per_decode"`
 }
 
+// BatchRow is one scalar-vs-batch measurement: the same syndrome set
+// decoded one at a time through the scalar bit-plane kernel and
+// Lanes()-wide through the SWAR batch kernel. Both ns figures are
+// per decode (the batch loop is normalized by lanes), so Speedup is the
+// per-decode throughput ratio. CyclesPerDecode comes from the batch
+// kernel and is cross-checked against the scalar kernel before timing.
+type BatchRow struct {
+	Distance             int     `json:"d"`
+	Lanes                int     `json:"lanes"`
+	Variant              string  `json:"variant"`
+	Iters                int     `json:"iters"`
+	ScalarNsPerDecode    float64 `json:"scalar_ns_per_decode"`
+	BatchNsPerDecode     float64 `json:"batch_ns_per_decode"`
+	Speedup              float64 `json:"speedup"`
+	ScalarDecodesPerSec  float64 `json:"scalar_decodes_per_sec"`
+	BatchDecodesPerSec   float64 `json:"batch_decodes_per_sec"`
+	CyclesPerDecode      float64 `json:"cycles_per_decode"`
+	BatchAllocsPerDecode float64 `json:"batch_allocs_per_decode"`
+}
+
 func main() {
 	iters := flag.Int("iters", 2000, "timed decodes per (decoder, d, path) cell")
 	out := flag.String("out", "BENCH_pr2.json", "output JSON path (software decoders)")
 	meshOut := flag.String("mesh-out", "BENCH_pr3.json", "output JSON path (mesh kernels)")
+	batchOut := flag.String("batch-out", "BENCH_pr5.json", "output JSON path (scalar vs SWAR batch kernel)")
 	obsAddr := flag.String("obs", "", "serve /metrics and /debug/pprof on this address while benchmarking (e.g. :9090)")
 	flag.Parse()
 
@@ -143,7 +173,16 @@ func main() {
 	if err := writeArtifact(*meshOut, MeshArtifact{Manifest: manifest, Rows: meshRows}); err != nil {
 		log.Fatal(err)
 	}
-	fmt.Printf("wrote %s (%d rows)\n", *meshOut, len(meshRows))
+	fmt.Printf("wrote %s (%d rows)\n\n", *meshOut, len(meshRows))
+
+	batchRows, err := benchBatchKernel(*iters)
+	if err != nil {
+		log.Fatal(err)
+	}
+	if err := writeArtifact(*batchOut, BatchArtifact{Manifest: manifest, Rows: batchRows}); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("wrote %s (%d rows)\n", *batchOut, len(batchRows))
 }
 
 // writeArtifact marshals one artifact with a trailing newline.
@@ -213,6 +252,128 @@ func benchMeshKernels(iters int) ([]MeshRow, error) {
 		}
 	}
 	return rows, nil
+}
+
+// benchBatchKernel races the scalar bit-plane kernel against the SWAR
+// batch kernel on identical seeded syndromes. Before timing it decodes
+// every batch window through both kernels and requires bit-identical
+// corrections and cycle counts, so the artifact doubles as a
+// conformance record.
+func benchBatchKernel(iters int) ([]BatchRow, error) {
+	var rows []BatchRow
+	for _, d := range []int{5, 7, 9, 13} {
+		l := lattice.MustNew(d)
+		g := l.MatchingGraph(lattice.ZErrors)
+		syndromes, err := sampleSyndromes(l, g, 64, int64(100+d))
+		if err != nil {
+			return nil, err
+		}
+		mesh := sfq.NewWithKernel(g, sfq.Final, sfq.KernelBitplane)
+		batch := sfq.NewBatch(g, sfq.Final)
+		lanes := batch.Lanes()
+		// Rotating lane windows over the syndrome set, as in
+		// BenchmarkSFQMesh/batch.
+		wins := make([][][]bool, len(syndromes))
+		for i := range wins {
+			win := make([][]bool, lanes)
+			for j := range win {
+				win[j] = syndromes[(i+j)%len(syndromes)]
+			}
+			wins[i] = win
+		}
+		ss, sb := decodepool.NewScratch(), decodepool.NewScratch()
+		for wi, win := range wins {
+			corrs, err := batch.DecodeBatchInto(g, win, sb)
+			if err != nil {
+				return nil, fmt.Errorf("batch d=%d window %d: %w", d, wi, err)
+			}
+			for j, syn := range win {
+				want, err := mesh.DecodeInto(g, syn, ss)
+				if err != nil {
+					return nil, fmt.Errorf("scalar d=%d window %d: %w", d, wi, err)
+				}
+				if fmt.Sprint(want.Qubits) != fmt.Sprint(corrs[j].Qubits) {
+					return nil, fmt.Errorf("d=%d window %d lane %d: corrections diverge: scalar %v, batch %v",
+						d, wi, j, want.Qubits, corrs[j].Qubits)
+				}
+				if got := batch.LaneStats(j).Cycles; got != mesh.Stats().Cycles {
+					return nil, fmt.Errorf("d=%d window %d lane %d: cycles diverge: scalar %d, batch %d",
+						d, wi, j, mesh.Stats().Cycles, got)
+				}
+			}
+		}
+		cycles := 0
+		for _, syn := range syndromes {
+			if _, err := mesh.DecodeInto(g, syn, ss); err != nil {
+				return nil, err
+			}
+			cycles += mesh.Stats().Cycles
+		}
+		scalar, err := measure(iters, syndromes, func(syn []bool) error {
+			_, err := mesh.DecodeInto(g, syn, ss)
+			return err
+		})
+		if err != nil {
+			return nil, fmt.Errorf("scalar d=%d: %w", d, err)
+		}
+		// Time the batch kernel over enough windows to complete at least
+		// iters individual decodes, then normalize by lanes.
+		calls := (iters + lanes - 1) / lanes
+		bat, err := measureWindows(calls, wins, func(win [][]bool) error {
+			_, err := batch.DecodeBatchInto(g, win, sb)
+			return err
+		})
+		if err != nil {
+			return nil, fmt.Errorf("batch d=%d: %w", d, err)
+		}
+		batNs := bat.NsPerDecode / float64(lanes)
+		row := BatchRow{
+			Distance:             d,
+			Lanes:                lanes,
+			Variant:              sfq.Final.Name(),
+			Iters:                calls * lanes,
+			ScalarNsPerDecode:    scalar.NsPerDecode,
+			BatchNsPerDecode:     batNs,
+			Speedup:              scalar.NsPerDecode / batNs,
+			ScalarDecodesPerSec:  1e9 / scalar.NsPerDecode,
+			BatchDecodesPerSec:   1e9 / batNs,
+			CyclesPerDecode:      float64(cycles) / float64(len(syndromes)),
+			BatchAllocsPerDecode: bat.AllocsPerDecode / float64(lanes),
+		}
+		rows = append(rows, row)
+		fmt.Printf("sfq batch   d=%-3d scalar %9.0f ns/decode | batch %9.0f ns/decode (%d lanes) | %.2fx  (%.0f vs %.0f decodes/sec)\n",
+			d, row.ScalarNsPerDecode, row.BatchNsPerDecode, lanes, row.Speedup,
+			row.ScalarDecodesPerSec, row.BatchDecodesPerSec)
+	}
+	return rows, nil
+}
+
+// measureWindows is measure for batch windows: iters calls over the
+// window set after a warm-up pass; per-call metrics (callers normalize
+// by lane count).
+func measureWindows(iters int, wins [][][]bool, decode func(win [][]bool) error) (Row, error) {
+	for _, win := range wins {
+		if err := decode(win); err != nil {
+			return Row{}, err
+		}
+	}
+	var ms0, ms1 runtime.MemStats
+	runtime.GC()
+	runtime.ReadMemStats(&ms0)
+	start := time.Now()
+	for i := 0; i < iters; i++ {
+		if err := decode(wins[i%len(wins)]); err != nil {
+			return Row{}, err
+		}
+	}
+	elapsed := time.Since(start)
+	runtime.ReadMemStats(&ms1)
+	return Row{
+		Iters:           iters,
+		NsPerDecode:     float64(elapsed.Nanoseconds()) / float64(iters),
+		AllocsPerDecode: float64(ms1.Mallocs-ms0.Mallocs) / float64(iters),
+		BytesPerDecode:  float64(ms1.TotalAlloc-ms0.TotalAlloc) / float64(iters),
+	}, nil
 }
 
 // sampleSyndromes draws the benchmark's fixed syndrome set (dephasing at

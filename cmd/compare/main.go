@@ -1,10 +1,15 @@
 // Command compare runs every decoder in the repository head to head on
 // identical lifetime workloads: the SFQ mesh (the paper's contribution),
 // the software greedy reference, exact minimum-weight perfect matching,
-// union-find, exact maximum likelihood (d = 3 only) and the trained
-// neural decoder (d = 3 only). This extends the paper's accuracy
-// discussion (§VIII "Comparison to existing approximation techniques")
-// with a single reproducible table.
+// union-find, exact maximum likelihood (small codes only — bounded by
+// mld.MaxDataQubits) and the trained neural decoder (every distance).
+// This extends the paper's accuracy discussion (§VIII "Comparison to
+// existing approximation techniques") with a single reproducible table.
+//
+// Trained decoders (mld coset tables, neural MLP training) are built
+// once per (decoder, d, p, seed) and shared by all trial shards of that
+// row: both decode by read-only table lookups / stateless forward
+// passes, so sharing is safe and the rows parallelize like the rest.
 //
 // All rows run concurrently on the sharded Monte-Carlo engine. Every
 // decoder at a given distance uses the same engine point ID, so the
@@ -26,6 +31,7 @@ import (
 	"os/signal"
 	"strconv"
 	"strings"
+	"sync"
 	"text/tabwriter"
 
 	"repro/internal/decoder"
@@ -42,6 +48,41 @@ import (
 	"repro/internal/stats"
 	"repro/internal/surface"
 )
+
+// trainedKey identifies one expensive-to-build decoder instance. Rows
+// are parameterized by (d, p, seed), so two sweeps over the same cell
+// reuse the instance instead of retraining.
+type trainedKey struct {
+	name string
+	d    int
+	p    float64
+	seed int64
+}
+
+// trainedCache hands out shared trained decoders. Build runs under the
+// lock, so concurrent shards of one row train exactly once and the
+// rest block until the instance is ready.
+type trainedCache struct {
+	mu   sync.Mutex
+	decs map[trainedKey]decoder.Decoder
+}
+
+func (c *trainedCache) get(key trainedKey, build func() (decoder.Decoder, error)) (decoder.Decoder, error) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if dec, ok := c.decs[key]; ok {
+		return dec, nil
+	}
+	dec, err := build()
+	if err != nil {
+		return nil, err
+	}
+	if c.decs == nil {
+		c.decs = map[trainedKey]decoder.Decoder{}
+	}
+	c.decs[key] = dec
+	return dec, nil
+}
 
 func main() {
 	distances := flag.String("distances", "3,5,7", "code distances")
@@ -85,6 +126,7 @@ func main() {
 		specs = append(specs, stats.LifetimeSpec(int64(d), *cycles, shardSize, build))
 	}
 	pool := sfq.NewPool(sfq.Final)
+	cache := &trainedCache{}
 	for _, d := range ds {
 		d := d
 		g := pool.Graph(d, lattice.ZErrors)
@@ -101,16 +143,21 @@ func main() {
 		add(d, "union-find", "almost-linear (offline)", 0, func() (decoder.Decoder, error) {
 			return unionfind.New(), nil
 		})
-		if d == 3 {
-			// Single-shard points: building these decoders is expensive
-			// (coset tables, MLP training), so pay it once.
-			add(d, "ml-exact", "exact maximum likelihood", *cycles, func() (decoder.Decoder, error) {
-				return mld.New(g, *p)
-			})
-			add(d, "neural", "greedy + trained MLP stage", *cycles, func() (decoder.Decoder, error) {
-				return neural.New(g, neural.TrainConfig{P: *p, Samples: 80000, Seed: *seed})
+		// Trained decoders: the cache builds one shared instance per
+		// (name, d, p, seed), so these rows shard in parallel like the
+		// rest and repeated -distances entries never retrain.
+		if g.Lattice().NumData() <= mld.MaxDataQubits {
+			add(d, "ml-exact", "exact maximum likelihood", 0, func() (decoder.Decoder, error) {
+				return cache.get(trainedKey{"ml-exact", d, *p, *seed}, func() (decoder.Decoder, error) {
+					return mld.New(g, *p)
+				})
 			})
 		}
+		add(d, "neural", "greedy + trained MLP stage", 0, func() (decoder.Decoder, error) {
+			return cache.get(trainedKey{"neural", d, *p, *seed}, func() (decoder.Decoder, error) {
+				return neural.New(g, neural.TrainConfig{P: *p, Samples: 80000, Seed: *seed})
+			})
+		})
 	}
 
 	var reg *obs.Registry

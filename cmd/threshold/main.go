@@ -8,7 +8,7 @@
 //
 //	threshold [-variant final] [-cycles 20000] [-distances 3,5,7,9]
 //	          [-rates 0.01,...,0.1] [-workers 0] [-seed 1]
-//	          [-relwidth 0] [-progress]
+//	          [-relwidth 0] [-progress] [-batch]
 //
 // Sweeps run on the sharded Monte-Carlo engine (internal/mc): points
 // and trial shards execute in parallel, results are bit-identical for
@@ -71,6 +71,7 @@ func main() {
 	doPlot := flag.Bool("plot", false, "render the curves as an ASCII log-log chart")
 	channel := flag.String("channel", "dephasing", "error channel: dephasing or depolarizing")
 	relWidth := flag.Float64("relwidth", 0, "stop a point once its 95% CI is tighter than this fraction of PL (0 = run all cycles)")
+	batch := flag.Bool("batch", false, "decode trials through the SWAR batch kernel (bit-identical results, higher throughput)")
 	showProgress := flag.Bool("progress", false, "live progress line on stderr")
 	obsAddr := flag.String("obs", "", "serve /metrics, /metrics.json, /manifest.json and /debug/pprof on this address (e.g. :9090)")
 	flag.Parse()
@@ -98,12 +99,16 @@ func main() {
 		Cycles:     *cycles,
 		NewChannel: func(p float64) (noise.Channel, error) { return noise.NewDephasing(p) },
 		NewDecoderZ: func(d int) decoder.Decoder {
+			if *batch {
+				return pool.GetBatch(d, lattice.ZErrors)
+			}
 			return pool.Get(d, lattice.ZErrors)
 		},
 		Seed:           *seed,
 		Workers:        *workers,
 		TargetRelWidth: *relWidth,
 		FreeDecoder:    pool.Release,
+		Batch:          *batch,
 	}
 	if *obsAddr != "" {
 		srv, err := obs.ServeDefault(*obsAddr, map[string]any{
@@ -128,6 +133,9 @@ func main() {
 	case "depolarizing":
 		cfg.NewChannel = func(p float64) (noise.Channel, error) { return noise.NewDepolarizing(p) }
 		cfg.NewDecoderX = func(d int) decoder.Decoder {
+			if *batch {
+				return pool.GetBatch(d, lattice.XErrors)
+			}
 			return pool.Get(d, lattice.XErrors)
 		}
 	default:

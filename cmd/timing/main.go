@@ -11,7 +11,7 @@
 // Usage:
 //
 //	timing [-cycles 4000] [-distances 3,5,7,9] [-rates 0.01,...]
-//	       [-hist] [-seed 1] [-workers 0] [-obs :9090]
+//	       [-hist] [-seed 1] [-workers 0] [-obs :9090] [-batch]
 //
 // After the Table IV summary, the command closes the loop between the
 // measured cycles-to-solution distributions and the §III backlog model:
@@ -78,6 +78,7 @@ func main() {
 	workers := flag.Int("workers", 0, "concurrent trial shards (0 = GOMAXPROCS)")
 	obsAddr := flag.String("obs", "", "serve /metrics, /metrics.json, /manifest.json and /debug/pprof on this address (e.g. :9090)")
 	tGen := flag.Float64("tgen", 400, "syndrome generation cycle time in ns for the backlog comparison")
+	batch := flag.Bool("batch", false, "decode trials through the SWAR batch kernel (bit-identical results, higher throughput)")
 	flag.Parse()
 
 	var ds []int
@@ -122,11 +123,15 @@ func main() {
 		Cycles:     *cycles,
 		NewChannel: func(p float64) (noise.Channel, error) { return noise.NewDephasing(p) },
 		NewDecoderZ: func(d int) decoder.Decoder {
+			if *batch {
+				return pool.GetBatch(d, lattice.ZErrors)
+			}
 			return pool.Get(d, lattice.ZErrors)
 		},
 		FreeDecoder: pool.Release,
 		Seed:        *seed,
 		Workers:     *workers,
+		Batch:       *batch,
 		Observer: func(d int, p float64) func(lattice.ErrorType, sfq.Stats) {
 			ms := samples[d]
 			return func(e lattice.ErrorType, st sfq.Stats) { ms.observe(st) }

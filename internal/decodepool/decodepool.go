@@ -87,6 +87,64 @@ func Decode(dec decoder.Decoder, g *lattice.Graph, syn []bool, s *Scratch) (deco
 	return dec.Decode(g, syn)
 }
 
+// BatchDecoder is the batched extension of the pooled path: a decoder
+// that advances several independent syndromes per call (the SWAR mesh
+// kernel decodes BatchWidth of them in the same machine words).
+// DecodeBatchInto must return one Correction per syndrome, in order,
+// each bit-identical to what a one-at-a-time DecodeInto would produce;
+// the Corrections and the returned slice alias the scratch's batch
+// buffers and are valid until the next decode through the same scratch.
+type BatchDecoder interface {
+	decoder.Decoder
+	// BatchWidth reports how many syndromes one call advances
+	// concurrently (callers size their batches to a multiple of it).
+	BatchWidth() int
+	DecodeBatchInto(g *lattice.Graph, syns [][]bool, s *Scratch) ([]decoder.Correction, error)
+}
+
+// DecodeBatch decodes the syndromes through dec's native batch path
+// when it implements BatchDecoder (and s is non-nil), and otherwise
+// loops Decode per syndrome, copying each result into the scratch's
+// shared batch buffer — a per-call Decode reuses its own buffers, so
+// earlier corrections must be captured before the next call clobbers
+// them. Both paths follow the BatchDecoder ownership rules.
+func DecodeBatch(dec decoder.Decoder, g *lattice.Graph, syns [][]bool, s *Scratch) ([]decoder.Correction, error) {
+	if bd, ok := dec.(BatchDecoder); ok && s != nil {
+		return bd.DecodeBatchInto(g, syns, s)
+	}
+	var q []int
+	var spans [][2]int32
+	if s != nil {
+		q = s.TakeBatchQubits()
+		spans = s.BatchSpans(len(syns))
+	} else {
+		spans = make([][2]int32, len(syns))
+	}
+	for i, syn := range syns {
+		c, err := Decode(dec, g, syn, s)
+		if err != nil {
+			if s != nil {
+				s.PutBatchQubits(q)
+			}
+			return nil, err
+		}
+		start := int32(len(q))
+		q = append(q, c.Qubits...)
+		spans[i] = [2]int32{start, int32(len(q))}
+	}
+	var corr []decoder.Correction
+	if s != nil {
+		s.PutBatchQubits(q)
+		corr = s.BatchCorrections(len(syns))
+	} else {
+		corr = make([]decoder.Correction, len(syns))
+	}
+	for i, sp := range spans {
+		corr[i] = decoder.Correction{Qubits: q[sp[0]:sp[1]:sp[1]]}
+	}
+	return corr, nil
+}
+
 // Geometry holds the immutable decode tables of one matching graph:
 // all-pairs check distances, boundary distances, the minimum-length
 // error chains realizing them (flattened), and the union-find decoding
@@ -237,6 +295,13 @@ type Scratch struct {
 	hot    []int // hot-check list of the current call
 	qubits []int // correction output buffer
 
+	// Batch-decode buffers (see BatchDecoder): one shared qubit arena
+	// all corrections of a batch append into, the per-syndrome
+	// [start,end) spans over it, and the Correction views handed back.
+	batchQ     []int
+	batchSpans [][2]int32
+	batchCorr  []decoder.Correction
+
 	states map[string]any // per-decoder private state, keyed by decoder
 
 	// Telemetry (see Instrument): nil obsHist means uninstrumented.
@@ -305,6 +370,36 @@ func (s *Scratch) TakeQubits() []int { return s.qubits[:0] }
 func (s *Scratch) PutQubits(q []int) decoder.Correction {
 	s.qubits = q
 	return decoder.Correction{Qubits: q}
+}
+
+// TakeBatchQubits hands out the batch correction arena, emptied. Batch
+// decoders append every lane's correction qubits to it and pass the
+// result to PutBatchQubits.
+func (s *Scratch) TakeBatchQubits() []int { return s.batchQ[:0] }
+
+// PutBatchQubits records the (possibly re-grown) batch arena so the
+// next batch reuses its capacity.
+func (s *Scratch) PutBatchQubits(q []int) { s.batchQ = q }
+
+// BatchSpans returns an n-element span buffer ([start,end) offsets into
+// the batch arena, one per syndrome), reusing capacity. Valid until the
+// next BatchSpans call on this scratch.
+func (s *Scratch) BatchSpans(n int) [][2]int32 {
+	if cap(s.batchSpans) < n {
+		s.batchSpans = make([][2]int32, n)
+	}
+	s.batchSpans = s.batchSpans[:n]
+	return s.batchSpans
+}
+
+// BatchCorrections returns an n-element Correction buffer, reusing
+// capacity. Valid until the next BatchCorrections call on this scratch.
+func (s *Scratch) BatchCorrections(n int) []decoder.Correction {
+	if cap(s.batchCorr) < n {
+		s.batchCorr = make([]decoder.Correction, n)
+	}
+	s.batchCorr = s.batchCorr[:n]
+	return s.batchCorr
 }
 
 // State returns the per-decoder private state stored under key,

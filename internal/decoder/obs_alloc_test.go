@@ -4,12 +4,14 @@ import (
 	"testing"
 
 	"repro/internal/decodepool"
+	"repro/internal/decoder"
 	"repro/internal/decoder/greedy"
 	"repro/internal/decoder/mwpm"
 	"repro/internal/decoder/unionfind"
 	"repro/internal/lattice"
 	"repro/internal/noise"
 	"repro/internal/obs"
+	"repro/internal/sfq"
 )
 
 // Attaching telemetry to a scratch must not break the zero-allocation
@@ -46,6 +48,42 @@ func TestInstrumentedDecodeIntoZeroAllocSteadyState(t *testing.T) {
 			if avg != 0 {
 				t.Errorf("%s d=9 every=%d: %v allocs per instrumented decode, want 0", dec.Name(), every, avg)
 			}
+		}
+	}
+}
+
+// The batched decode entry point must hold the same zero-allocation
+// steady state with telemetry attached, on both of its paths: the
+// fallback loop over an IntoDecoder (which samples wall-clock latency
+// through the instrumented scratch) and the SWAR batch kernel's native
+// path (which records per-lane cycle histograms into its own flushed
+// recorder).
+func TestInstrumentedBatchDecodeZeroAllocSteadyState(t *testing.T) {
+	if decodepool.RaceEnabled {
+		t.Skip("allocation accounting is not meaningful under -race")
+	}
+	l := lattice.MustNew(9)
+	g := l.MatchingGraph(lattice.ZErrors)
+	rng := noise.NewRand(44)
+	syns := make([][]bool, 12)
+	for i := range syns {
+		syns[i] = randomSyndrome(rng, l, g, 0.05)
+	}
+	for _, dec := range []decoder.Decoder{greedy.New(), sfq.NewBatch(g, sfq.Final)} {
+		s := decodepool.NewScratch()
+		s.Instrument(obs.NewHistogram(), obs.Default().Counter("decoder_test_batch_decodes_total"), 1)
+		for i := 0; i < 4; i++ { // warm-up grows the arenas to steady state
+			if _, err := decodepool.DecodeBatch(dec, g, syns, s); err != nil {
+				t.Fatalf("%s: warm-up: %v", dec.Name(), err)
+			}
+		}
+		avg := testing.AllocsPerRun(64, func() {
+			if _, err := decodepool.DecodeBatch(dec, g, syns, s); err != nil {
+				t.Fatalf("%s: %v", dec.Name(), err)
+			}
+		})
+		if avg != 0 {
+			t.Errorf("%s d=9: %v allocs per instrumented batch call, want 0", dec.Name(), avg)
 		}
 	}
 }

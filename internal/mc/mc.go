@@ -68,6 +68,25 @@ type ShardFunc func(rng *rand.Rand, t int) (Outcome, error)
 // Trial implements Shard.
 func (f ShardFunc) Trial(rng *rand.Rand, t int) (Outcome, error) { return f(rng, t) }
 
+// BatchShard is a Shard that can advance several trials per call —
+// e.g. a simulator whose decoder packs independent syndromes into SWAR
+// lanes. The engine uses it only when Config.Batch is set and
+// BatchSize exceeds 1; results must be bit-identical either way, which
+// the reproducibility contract makes possible: each trial of a batch
+// receives its own counter-based stream, positioned exactly as the
+// scalar path would position it.
+type BatchShard interface {
+	Shard
+	// BatchSize reports the shard's native batch width. A width of 1
+	// (or less) disables chunking for this shard.
+	BatchSize() int
+	// TrialBatch runs trials lo, lo+1, …, lo+len(rngs)-1. rngs[i] is
+	// positioned at the start of trial lo+i's private stream; out[i]
+	// receives its outcome. len(out) == len(rngs); the final chunk of a
+	// shard may be narrower than BatchSize.
+	TrialBatch(rngs []*rand.Rand, lo int, out []Outcome) error
+}
+
 // PointSpec describes one point of a sweep.
 type PointSpec struct {
 	// ID keys the point's random streams (with RootSeed). Use DeriveID
@@ -134,6 +153,12 @@ type Config struct {
 	// should be wrapped with AsyncProgress, which hands reports to a
 	// dedicated goroutine and never blocks the engine.
 	Progress func(Progress)
+	// Batch routes shards that implement BatchShard through their
+	// chunked TrialBatch path (trial streams and tallies are unchanged,
+	// so results stay bit-identical with Batch on or off — the
+	// determinism regression tests assert it). Shards that don't
+	// implement BatchShard, or whose BatchSize is 1, run scalar.
+	Batch bool
 	// Obs, when non-nil, receives engine telemetry: the mc_trials_total
 	// and mc_failures_total counters and the mc_trial_ns wall-clock
 	// latency histogram. Each shard records into a private obs.Local
@@ -402,6 +427,14 @@ func (e *engine) runShard(ctx context.Context, sp PointSpec, idle chan Shard, po
 			e.obsFailures.Add(int64(out.failures))
 		}
 	}()
+	if e.cfg.Batch {
+		if bs, ok := sh.(BatchShard); ok {
+			if w := bs.BatchSize(); w > 1 {
+				e.runShardChunks(ctx, sp, bs, w, rec, lo, hi, &out, &trialsDone)
+				return
+			}
+		}
+	}
 	src := NewStream(e.cfg.RootSeed, sp.ID, int64(lo))
 	rng := rand.New(src)
 	for t := lo; t < hi; t++ {
@@ -429,4 +462,60 @@ func (e *engine) runShard(ctx context.Context, sp PointSpec, idle chan Shard, po
 		trialsDone++
 	}
 	return out
+}
+
+// runShardChunks is the BatchShard inner loop of runShard: trials
+// [lo, hi) advance w at a time, each trial of a chunk driven by its own
+// counter-based stream reset exactly as the scalar loop would reset it,
+// so batching never perturbs the randomness. Trial timing is observed
+// as the chunk's wall clock split evenly across its trials — the
+// per-trial mean and totals stay comparable with the scalar path, the
+// within-chunk spread is genuinely unobservable.
+func (e *engine) runShardChunks(ctx context.Context, sp PointSpec, bs BatchShard, w int, rec *obs.Local, lo, hi int, out *shardTally, trialsDone *int) {
+	srcs := make([]*Stream, w)
+	rngs := make([]*rand.Rand, w)
+	for i := range srcs {
+		srcs[i] = NewStream(e.cfg.RootSeed, sp.ID, int64(lo+i))
+		rngs[i] = rand.New(srcs[i])
+	}
+	outs := make([]Outcome, w)
+	sinceCheck := 0
+	for t := lo; t < hi; t += w {
+		if sinceCheck >= cancelCheckEvery {
+			sinceCheck = 0
+			if ctx.Err() != nil {
+				out.err = ctx.Err()
+				return
+			}
+		}
+		n := w
+		if t+n > hi {
+			n = hi - t
+		}
+		for i := 0; i < n; i++ {
+			srcs[i].Reset(e.cfg.RootSeed, sp.ID, int64(t+i))
+		}
+		var start time.Time
+		if rec != nil {
+			start = time.Now()
+		}
+		if err := bs.TrialBatch(rngs[:n], t, outs[:n]); err != nil {
+			out.err = fmt.Errorf("trials %d..%d: %w", t, t+n-1, err)
+			return
+		}
+		if rec != nil {
+			per := uint64(time.Since(start)) / uint64(n)
+			for i := 0; i < n; i++ {
+				rec.Observe(per)
+			}
+		}
+		for i := 0; i < n; i++ {
+			if outs[i].Failed {
+				out.failures++
+			}
+			out.aux += outs[i].Aux
+		}
+		sinceCheck += n
+		*trialsDone += n
+	}
 }

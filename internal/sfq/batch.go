@@ -1,0 +1,936 @@
+package sfq
+
+import (
+	"fmt"
+	"math/bits"
+
+	"repro/internal/decodepool"
+	"repro/internal/decoder"
+	"repro/internal/lattice"
+	"repro/internal/obs"
+)
+
+// BatchMesh is the SWAR-batched bit-plane kernel: up to
+// MaxBatchLanes(d) independent decoder meshes packed d-major into the
+// same []uint64 planes (see batchGeom), advanced by one shared
+// wavefront step per clock. Every shift-and-mask therefore progresses
+// B in-flight decodes per instruction.
+//
+// Lanes never interact — the lane masks stop every shift at the lane
+// seam and all cross-plane operations are pure bitwise combinations —
+// so each lane evolves exactly as a scalar bit-plane mesh would.
+// Termination is per lane: each lane keeps its own hot counter, reset
+// countdown, retry count and rotated grant priority, is checked against
+// the scalar kernel's stall/watchdog conditions between steps, and when
+// it finishes its correction and Stats are extracted, the lane is
+// scrubbed, and the next pending syndrome is loaded into it while the
+// other lanes keep stepping. Dynamic refill keeps all lanes busy for
+// the whole batch, which is what makes throughput approach B× rather
+// than B/avg-vs-max. The conformance suite pins corrections and
+// per-lane Stats bit-identical to the scalar kernel.
+//
+// The per-lane quiescence test leans on one invariant: every wavefront
+// `any` flag is the exact OR of its current planes (signals are always
+// accumulated with true ORs — including the initial grow emission — and
+// lane scrubs clear plane bits and flag bits together), so
+// `any & laneBits[l]` precisely answers "does lane l have a signal in
+// flight".
+//
+// A BatchMesh is reusable across DecodeBatchInto calls but not safe for
+// concurrent use. Meshes wider than one word (side > 64, d ≥ 32) fall
+// back to a private scalar bit-plane mesh decoded lane-at-a-time.
+type BatchMesh struct {
+	g       *lattice.Graph
+	variant Variant
+	geo     *meshGeom
+	bg      *batchGeom
+	lanes   int
+
+	// MaxCycles bounds each lane's decode, as Mesh.MaxCycles does.
+	MaxCycles  int
+	maxRetries int
+
+	// Shared planes, one word per row, all lanes interleaved.
+	hot, errOut, fired, sentPair, granted []uint64
+	growFrom, reqDirs, grants             [4][]uint64
+	growW, reqW, grantW, pairW, pairBW    wavefront
+	sh                                    [4][]uint64
+	tmpA, tmpB                            []uint64
+
+	// Per-lane control state.
+	laneSyn       []int // syndrome index decoding in lane l, -1 when idle
+	laneHot       []int // hot modules left in lane l
+	laneCountdown []int // lane-local globalReset input-blocking countdown
+	laneRetries   []int // stall-recovery resets spent by lane l
+	lanePrio      []int // lane-local rotated grant priority offset
+	laneStats     []Stats
+	anyPrio       int // lanes with a nonzero priority offset (slow-path gate)
+
+	// In-flight batch bookkeeping (valid only inside DecodeBatchInto).
+	syns   [][]bool
+	spans  [][2]int32
+	q      []int
+	next   int
+	active int
+
+	statsBuf []Stats // per-syndrome Stats of the last batch
+	lastN    int
+	stat     Stats // Stats of the last single-syndrome adapter decode
+
+	scalarMesh *Mesh    // side > 64 fallback
+	one        [][]bool // single-syndrome adapter buffer
+	ownScratch *decodepool.Scratch
+
+	obsCycles *obs.Local
+
+	// Pool bookkeeping, mirroring Mesh.
+	owner  *Pool
+	pooled bool
+}
+
+// NewBatch builds a SWAR batch mesh for the matching graph at the
+// maximum lane width for its distance.
+func NewBatch(g *lattice.Graph, v Variant) *BatchMesh {
+	return NewBatchWithLanes(g, v, MaxBatchLanes(g.Lattice().Distance()))
+}
+
+// NewBatchWithLanes builds a batch mesh with an explicit lane count;
+// widths outside [1, MaxBatchLanes(d)] are clamped to the maximum.
+// Narrow widths exist for tests and for callers bounding batch latency.
+func NewBatchWithLanes(g *lattice.Graph, v Variant, lanes int) *BatchMesh {
+	geo := geomFor(g)
+	if max := MaxBatchLanes(geo.d); lanes < 1 || lanes > max {
+		lanes = max
+	}
+	b := &BatchMesh{
+		g:          g,
+		variant:    v,
+		geo:        geo,
+		MaxCycles:  200 * geo.m,
+		maxRetries: 3,
+	}
+	b.obsCycles = obs.NewLocal(obsFlushEvery,
+		obs.Default().Histogram(fmt.Sprintf("sfq_decode_cycles_d%d", geo.d)))
+	if geo.m > 64 {
+		b.scalarMesh = NewWithKernel(g, v, KernelBitplane)
+		b.lanes = 1
+		return b
+	}
+	b.bg = batchGeomFor(g, lanes)
+	b.lanes = lanes
+	rows := geo.rows
+	// One backing array for all planes, as newPlaneState lays out.
+	backing := make([]uint64, 63*rows)
+	next := func() []uint64 {
+		p := backing[:rows:rows]
+		backing = backing[rows:]
+		return p
+	}
+	b.hot, b.errOut, b.fired, b.sentPair, b.granted = next(), next(), next(), next(), next()
+	for d := 0; d < 4; d++ {
+		b.growFrom[d], b.reqDirs[d], b.grants[d] = next(), next(), next()
+		b.sh[d] = next()
+	}
+	for _, w := range []*wavefront{&b.growW, &b.reqW, &b.grantW, &b.pairW, &b.pairBW} {
+		for d := 0; d < 4; d++ {
+			w.cur[d], w.nxt[d] = next(), next()
+		}
+	}
+	b.tmpA, b.tmpB = next(), next()
+	b.laneSyn = make([]int, lanes)
+	b.laneHot = make([]int, lanes)
+	b.laneCountdown = make([]int, lanes)
+	b.laneRetries = make([]int, lanes)
+	b.lanePrio = make([]int, lanes)
+	b.laneStats = make([]Stats, lanes)
+	for l := range b.laneSyn {
+		b.laneSyn[l] = -1
+	}
+	return b
+}
+
+// Name implements decoder.Decoder.
+func (b *BatchMesh) Name() string { return "sfq-batch-" + b.variant.Name() }
+
+// Variant returns the mesh's design variant.
+func (b *BatchMesh) Variant() Variant { return b.variant }
+
+// Lanes returns how many syndromes one DecodeBatchInto call advances
+// concurrently.
+func (b *BatchMesh) Lanes() int { return b.lanes }
+
+// BatchWidth implements decodepool.BatchDecoder.
+func (b *BatchMesh) BatchWidth() int { return b.lanes }
+
+// Stats returns the statistics of the most recent single-syndrome
+// Decode/DecodeInto call. For batched decodes use LaneStats.
+func (b *BatchMesh) Stats() Stats { return b.stat }
+
+// BatchStats returns the per-syndrome statistics of the last
+// DecodeBatchInto call, indexed like its syndromes. The slice is valid
+// until the next decode.
+func (b *BatchMesh) BatchStats() []Stats { return b.statsBuf[:b.lastN] }
+
+// LaneStats returns the statistics of syndrome i of the last batch.
+func (b *BatchMesh) LaneStats(i int) Stats { return b.statsBuf[i] }
+
+// Reset returns the mesh to its idle state; pools call it before
+// parking so no stale decode state crosses owners.
+func (b *BatchMesh) Reset() {
+	if b.scalarMesh != nil {
+		b.scalarMesh.Reset()
+	} else {
+		b.resetAll()
+	}
+	b.stat = Stats{}
+	b.lastN = 0
+}
+
+// FlushObs merges pending telemetry into the shared registry
+// histograms (one cycle sample was recorded per lane decode).
+func (b *BatchMesh) FlushObs() {
+	if b.scalarMesh != nil {
+		b.scalarMesh.FlushObs()
+		return
+	}
+	b.obsCycles.Flush()
+}
+
+// compatible mirrors Mesh.compatible: pooled batch meshes accept any
+// structurally identical graph.
+func (b *BatchMesh) compatible(g *lattice.Graph) bool {
+	if g == b.g {
+		return true
+	}
+	return g.ErrorType() == b.g.ErrorType() &&
+		g.Lattice().Distance() == b.g.Lattice().Distance() &&
+		g.NumChecks() == b.g.NumChecks()
+}
+
+// Decode implements decoder.Decoder on the batch mesh (one lane used).
+// The returned correction is private to the caller.
+func (b *BatchMesh) Decode(g *lattice.Graph, syn []bool) (decoder.Correction, error) {
+	if b.ownScratch == nil {
+		b.ownScratch = decodepool.NewScratch()
+	}
+	c, err := b.DecodeInto(g, syn, b.ownScratch)
+	if err != nil {
+		return decoder.Correction{}, err
+	}
+	return decoder.Correction{Qubits: append([]int(nil), c.Qubits...)}, nil
+}
+
+// DecodeInto implements decodepool.IntoDecoder: a single-syndrome
+// decode through lane 0, zero allocations in steady state. The
+// correction aliases the scratch's batch buffer and is valid until the
+// next decode through it.
+func (b *BatchMesh) DecodeInto(g *lattice.Graph, syn []bool, s *decodepool.Scratch) (decoder.Correction, error) {
+	if b.one == nil {
+		b.one = make([][]bool, 1)
+	}
+	b.one[0] = syn
+	cs, err := b.DecodeBatchInto(g, b.one, s)
+	b.one[0] = nil
+	if err != nil {
+		return decoder.Correction{}, err
+	}
+	b.stat = b.statsBuf[0]
+	return cs[0], nil
+}
+
+// DecodeBatchInto decodes the syndromes through the lane-packed kernel,
+// refilling lanes from the pending queue as they finish, and returns
+// one Correction per syndrome (same order). Corrections and the
+// returned slice alias the scratch's batch buffers and are valid until
+// the next decode through the same scratch; per-syndrome Stats are
+// available via BatchStats/LaneStats. Zero heap allocations in steady
+// state.
+func (b *BatchMesh) DecodeBatchInto(g *lattice.Graph, syns [][]bool, s *decodepool.Scratch) ([]decoder.Correction, error) {
+	if !b.compatible(g) {
+		return nil, fmt.Errorf("sfq: batch mesh bound to a different matching graph")
+	}
+	nc := b.g.NumChecks()
+	for i, syn := range syns {
+		if len(syn) != nc {
+			return nil, fmt.Errorf("sfq: syndrome %d has %d checks, graph has %d", i, len(syn), nc)
+		}
+	}
+	n := len(syns)
+	if cap(b.statsBuf) < n {
+		b.statsBuf = make([]Stats, n)
+	} else {
+		b.statsBuf = b.statsBuf[:n]
+	}
+	b.lastN = n
+	spans := s.BatchSpans(n)
+	if b.scalarMesh != nil {
+		q := s.TakeBatchQubits()
+		for i, syn := range syns {
+			start := int32(len(q))
+			var err error
+			q, err = b.scalarMesh.decodeAppend(syn, q)
+			if err != nil {
+				s.PutBatchQubits(q)
+				return nil, err
+			}
+			spans[i] = [2]int32{start, int32(len(q))}
+			b.statsBuf[i] = b.scalarMesh.stats
+		}
+		s.PutBatchQubits(q)
+		return batchCorrections(s, q, spans), nil
+	}
+	b.resetAll()
+	b.syns, b.spans = syns, spans
+	b.q = s.TakeBatchQubits()
+	for l := 0; l < b.lanes && b.next < n; l++ {
+		b.loadLaneNext(l)
+	}
+	for b.active > 0 {
+		// Per-lane scalar control flow, checked between every step in
+		// the scalar kernel's order: terminal, stall recovery, watchdog.
+		for l := range b.laneSyn {
+			if b.laneSyn[l] < 0 {
+				continue
+			}
+			if b.laneHot[l] == 0 && b.pairW.curAny&b.bg.laneBits[l] == 0 && b.laneCountdown[l] == 0 {
+				b.finalizeLane(l)
+				continue
+			}
+			if b.laneCountdown[l] == 0 && b.laneQuiescent(l) {
+				st := &b.laneStats[l]
+				if b.variant.Reset && b.laneRetries[l] < b.maxRetries {
+					b.laneRetries[l]++
+					st.Retries++
+					b.setLanePrio(l, b.laneRetries[l])
+					b.laneGlobalReset(l)
+				} else if b.variant.Boundary {
+					b.drainLane(l)
+					b.finalizeLane(l)
+					continue
+				} else {
+					st.Unresolved = b.laneHot[l]
+					b.finalizeLane(l)
+					continue
+				}
+			}
+			if b.laneStats[l].Cycles >= b.MaxCycles {
+				if b.variant.Boundary {
+					b.drainLane(l)
+				} else {
+					b.laneStats[l].Unresolved = b.laneHot[l]
+				}
+				b.finalizeLane(l)
+			}
+		}
+		if b.active == 0 {
+			break
+		}
+		b.step()
+	}
+	q := b.q
+	s.PutBatchQubits(q)
+	b.q, b.syns, b.spans = nil, nil, nil
+	return batchCorrections(s, q, spans), nil
+}
+
+// batchCorrections materializes the per-syndrome Correction views over
+// the shared qubit buffer. Views are built only after all appends are
+// done, so buffer re-growth mid-batch cannot invalidate earlier spans.
+func batchCorrections(s *decodepool.Scratch, q []int, spans [][2]int32) []decoder.Correction {
+	corr := s.BatchCorrections(len(spans))
+	for i, sp := range spans {
+		corr[i] = decoder.Correction{Qubits: q[sp[0]:sp[1]:sp[1]]}
+	}
+	return corr
+}
+
+// resetAll clears every plane and lane control.
+func (b *BatchMesh) resetAll() {
+	clearPlane(b.hot)
+	clearPlane(b.errOut)
+	clearPlane(b.fired)
+	clearPlane(b.sentPair)
+	clearPlane(b.granted)
+	for d := 0; d < 4; d++ {
+		clearPlane(b.growFrom[d])
+		clearPlane(b.reqDirs[d])
+		clearPlane(b.grants[d])
+	}
+	for _, w := range []*wavefront{&b.growW, &b.reqW, &b.grantW, &b.pairW, &b.pairBW} {
+		w.clearCur()
+		w.nxtAny = 1
+		w.clearNext()
+	}
+	for l := range b.laneSyn {
+		b.laneSyn[l] = -1
+		b.laneHot[l] = 0
+		b.laneCountdown[l] = 0
+		b.laneRetries[l] = 0
+		b.lanePrio[l] = 0
+		b.laneStats[l] = Stats{}
+	}
+	b.anyPrio = 0
+	b.next = 0
+	b.active = 0
+}
+
+// loadLaneNext loads the next pending syndrome into idle lane l.
+// Zero-hot syndromes finalize immediately (the scalar kernel never
+// clocks the mesh for them); the first syndrome with hot checks is
+// loaded and its grow wavefronts emitted into the current planes —
+// exactly the pre-loop state of a scalar decode, so a lane loaded at
+// global step T evolves identically to a scalar decode at local step 0.
+func (b *BatchMesh) loadLaneNext(l int) {
+	geo := b.geo
+	for b.next < len(b.syns) {
+		idx := b.next
+		b.next++
+		syn := b.syns[idx]
+		lane0 := uint(l * geo.m)
+		hot := 0
+		for ci, h := range syn {
+			if !h {
+				continue
+			}
+			cell := geo.cellOf[ci]
+			b.hot[cell/geo.m] |= uint64(1) << (lane0 + uint(cell%geo.m))
+			hot++
+		}
+		if hot == 0 {
+			off := int32(len(b.q))
+			b.spans[idx] = [2]int32{off, off}
+			b.statsBuf[idx] = Stats{}
+			b.obsCycles.Observe(0)
+			continue
+		}
+		b.laneSyn[l] = idx
+		b.laneHot[l] = hot
+		b.laneStats[l] = Stats{}
+		// Emit grows in all four directions at every hot module of this
+		// lane. The OR into curAny is exact (not a flag) — per-lane
+		// quiescence tests depend on it.
+		lane := b.bg.laneBits[l]
+		var acc uint64
+		for d := 0; d < 4; d++ {
+			cur := b.growW.cur[d]
+			for k, h := range b.hot {
+				hl := h & lane
+				cur[k] |= hl
+				acc |= hl
+			}
+		}
+		b.growW.curAny |= acc
+		b.active++
+		return
+	}
+}
+
+// finalizeLane extracts lane l's finished correction and Stats, records
+// its telemetry sample (one per lane decode), scrubs the lane's bits
+// out of every plane, and refills the lane from the pending queue.
+func (b *BatchMesh) finalizeLane(l int) {
+	idx := b.laneSyn[l]
+	start := int32(len(b.q))
+	b.extractLane(l)
+	b.spans[idx] = [2]int32{start, int32(len(b.q))}
+	b.statsBuf[idx] = b.laneStats[l]
+	b.obsCycles.Observe(uint64(b.laneStats[l].Cycles))
+	b.scrubLane(l)
+	b.laneSyn[l] = -1
+	b.active--
+	b.loadLaneNext(l)
+}
+
+// extractLane appends lane l's correction to the batch qubit buffer in
+// ascending cell order — the order the scalar kernels scan errOut.
+func (b *BatchMesh) extractLane(l int) {
+	geo := b.geo
+	shift := uint(l * geo.m)
+	for r := 0; r < geo.rows; r++ {
+		w := b.errOut[r] >> shift & b.bg.laneLow
+		base := r * geo.m
+		for w != 0 {
+			c := bits.TrailingZeros64(w)
+			w &= w - 1
+			if q0 := geo.dataQ[base+c]; q0 >= 0 {
+				b.q = append(b.q, q0)
+			}
+		}
+	}
+}
+
+// maskPlane clears the bits outside mask from every word of the plane.
+func maskPlane(p []uint64, mask uint64) {
+	for i := range p {
+		p[i] &= mask
+	}
+}
+
+// maskLane clears one lane's bits from the in-flight planes, keeping
+// curAny an exact OR of the remaining plane contents.
+func (w *wavefront) maskLane(lane uint64) {
+	if w.curAny&lane == 0 {
+		return
+	}
+	for d := range w.cur {
+		maskPlane(w.cur[d], ^lane)
+	}
+	w.curAny &^= lane
+}
+
+// scrubLane erases every trace of lane l so the lane is ready for the
+// next syndrome. Next-cycle planes need no scrubbing: they hold only
+// two-cycles-ago state that clearNext wipes before any phase reads it.
+func (b *BatchMesh) scrubLane(l int) {
+	lane := b.bg.laneBits[l]
+	mask := ^lane
+	maskPlane(b.hot, mask)
+	maskPlane(b.errOut, mask)
+	maskPlane(b.fired, mask)
+	maskPlane(b.sentPair, mask)
+	maskPlane(b.granted, mask)
+	for d := 0; d < 4; d++ {
+		maskPlane(b.growFrom[d], mask)
+		maskPlane(b.reqDirs[d], mask)
+		maskPlane(b.grants[d], mask)
+	}
+	b.growW.maskLane(lane)
+	b.reqW.maskLane(lane)
+	b.grantW.maskLane(lane)
+	b.pairW.maskLane(lane)
+	b.pairBW.maskLane(lane)
+	b.laneHot[l] = 0
+	b.laneCountdown[l] = 0
+	b.laneRetries[l] = 0
+	b.setLanePrio(l, 0)
+}
+
+// laneGlobalReset is the per-lane globalReset: everything but the
+// lane's pair propagation and error outputs is cleared and the lane's
+// inputs block for ResetDepth cycles.
+func (b *BatchMesh) laneGlobalReset(l int) {
+	lane := b.bg.laneBits[l]
+	mask := ^lane
+	for d := 0; d < 4; d++ {
+		maskPlane(b.growFrom[d], mask)
+		maskPlane(b.reqDirs[d], mask)
+		maskPlane(b.grants[d], mask)
+	}
+	maskPlane(b.fired, mask)
+	maskPlane(b.sentPair, mask)
+	maskPlane(b.granted, mask)
+	b.growW.maskLane(lane)
+	b.reqW.maskLane(lane)
+	b.grantW.maskLane(lane)
+	// pair planes and errOut survive by design.
+	b.laneCountdown[l] = ResetDepth
+}
+
+// setLanePrio updates a lane's rotated grant priority, maintaining the
+// count of lanes away from the fixed hardware order (the fast-path gate
+// in moveReqs).
+func (b *BatchMesh) setLanePrio(l, v int) {
+	if (b.lanePrio[l] == 0) != (v == 0) {
+		if v == 0 {
+			b.anyPrio--
+		} else {
+			b.anyPrio++
+		}
+	}
+	b.lanePrio[l] = v
+}
+
+// laneQuiescent reports whether lane l has no signal of any kind in
+// flight. Exact because the any flags are exact ORs (see type comment).
+func (b *BatchMesh) laneQuiescent(l int) bool {
+	return (b.growW.curAny|b.reqW.curAny|b.grantW.curAny|b.pairW.curAny)&b.bg.laneBits[l] == 0
+}
+
+// step advances every active lane one clock. The shared phases need no
+// per-lane blocking: a lane mid-reset has empty grow/req/grant planes
+// and latches (laneGlobalReset cleared them), so the input phases are
+// natural no-ops for it, while pair signals keep propagating — exactly
+// the scalar kernel's blocked branch.
+func (b *BatchMesh) step() {
+	b.growW.clearNext()
+	b.reqW.clearNext()
+	b.grantW.clearNext()
+	b.pairW.clearNext()
+	b.pairBW.clearNext()
+
+	// Empty-wavefront phases are skipped outright — exact, since a phase
+	// fed an all-zero wavefront writes nothing (the any flags are exact).
+	if b.growW.curAny != 0 {
+		b.moveGrows()
+	}
+	if b.reqW.curAny != 0 {
+		b.moveReqs()
+	}
+	if b.grantW.curAny != 0 {
+		b.moveGrants()
+	}
+	var done uint64
+	if b.pairW.curAny != 0 {
+		done = b.movePairs()
+	}
+	b.fireIntermediates()
+	b.completeHandshakes()
+
+	for l, cd := range b.laneCountdown {
+		if cd == 0 {
+			continue
+		}
+		b.laneCountdown[l] = cd - 1
+		if cd == 1 {
+			// The lane's blocking is over; its surviving hot modules
+			// grow again next cycle.
+			lane := b.bg.laneBits[l]
+			var acc uint64
+			for d := 0; d < 4; d++ {
+				nxt := b.growW.nxt[d]
+				for k, h := range b.hot {
+					hl := h & lane
+					nxt[k] |= hl
+					acc |= hl
+				}
+			}
+			b.growW.nxtAny |= acc
+		}
+	}
+
+	b.growW.swap()
+	b.reqW.swap()
+	b.grantW.swap()
+	b.pairW.swap()
+	b.pairBW.swap()
+	for l, idx := range b.laneSyn {
+		if idx >= 0 {
+			b.laneStats[l].Cycles++
+		}
+	}
+	if done != 0 && b.variant.Reset {
+		for l := range b.laneSyn {
+			if done&(uint64(1)<<uint(l)) != 0 {
+				b.laneGlobalReset(l)
+				b.laneStats[l].Resets++
+			}
+		}
+	}
+}
+
+// moveGrows is planeState.moveGrows over the lane-packed planes.
+func (b *BatchMesh) moveGrows() {
+	bg, v := b.bg, b.variant
+	for d := 0; d < 4; d++ {
+		bg.shiftInto(b.sh[d], b.growW.cur[d], Dir(d))
+	}
+	// Pass 1: latch interior arrivals by entry side.
+	for d := 0; d < 4; d++ {
+		sh := b.sh[d]
+		gf := b.growFrom[Dir(d).Opposite()]
+		for k, in := range bg.interior {
+			gf[k] |= sh[k] & in
+		}
+	}
+	// Pass 2: propagate into territory no opposite front has swept.
+	for d := 0; d < 4; d++ {
+		sh := b.sh[d]
+		gf := b.growFrom[d]
+		nxt := b.growW.nxt[d]
+		var acc uint64
+		for k, in := range bg.interior {
+			g := sh[k] & in &^ gf[k]
+			nxt[k] |= g
+			acc |= g
+		}
+		b.growW.nxtAny |= acc
+	}
+	if !v.Boundary {
+		return
+	}
+	for d := 0; d < 4; d++ {
+		e := Dir(d).Opposite()
+		sh := b.sh[d]
+		for k, bd := range bg.boundary {
+			fb := sh[k] & bd &^ b.fired[k]
+			if fb == 0 {
+				continue
+			}
+			b.fired[k] |= fb
+			b.reqDirs[e][k] |= fb
+			if v.ReqGrant {
+				b.reqW.nxt[e][k] |= fb
+				b.reqW.nxtAny |= fb
+			} else {
+				b.sentPair[k] |= fb
+				b.pairW.nxt[e][k] |= fb
+				b.pairW.nxtAny |= fb
+				b.pairBW.nxt[e][k] |= fb
+				b.pairBW.nxtAny |= fb
+			}
+		}
+	}
+}
+
+// moveReqs is planeState.moveReqs with a per-lane grant priority: the
+// rotated retry offset is lane-local state, so when any lane is mid
+// retry the grant policy runs lane-by-lane (the fast path — all lanes
+// at fixed hardware priority — stays whole-word).
+func (b *BatchMesh) moveReqs() {
+	bg := b.bg
+	for d := 0; d < 4; d++ {
+		bg.shiftInto(b.sh[d], b.reqW.cur[d], Dir(d))
+		sh := b.sh[d]
+		nxt := b.reqW.nxt[d]
+		var acc uint64
+		for k, in := range bg.interior {
+			mv := sh[k] & in
+			pass := mv &^ b.hot[k]
+			sh[k] = mv & b.hot[k]
+			nxt[k] |= pass
+			acc |= pass
+		}
+		b.reqW.nxtAny |= acc
+	}
+	for k := range bg.interior {
+		any := b.sh[0][k] | b.sh[1][k] | b.sh[2][k] | b.sh[3][k]
+		elig := any & b.hot[k] &^ b.granted[k]
+		if elig == 0 {
+			continue
+		}
+		if b.anyPrio == 0 {
+			var taken uint64
+			for _, e := range grantPrio {
+				c := b.sh[e.Opposite()][k] & elig &^ taken
+				if c != 0 {
+					b.grantW.nxt[e][k] |= c
+					b.grantW.nxtAny |= c
+					taken |= c
+				}
+			}
+		} else {
+			for l, lane := range bg.laneBits {
+				el := elig & lane
+				if el == 0 {
+					continue
+				}
+				base := b.lanePrio[l]
+				if base == 0 {
+					var taken uint64
+					for _, e := range grantPrio {
+						c := b.sh[e.Opposite()][k] & el &^ taken
+						if c != 0 {
+							b.grantW.nxt[e][k] |= c
+							b.grantW.nxtAny |= c
+							taken |= c
+						}
+					}
+					continue
+				}
+				for cls := 0; cls < 4; cls++ {
+					ecls := el & bg.classMask[cls][k]
+					if ecls == 0 {
+						continue
+					}
+					off := (base + cls) % 4
+					var taken uint64
+					for j := 0; j < 4; j++ {
+						e := grantPrio[(j+off)%4]
+						c := b.sh[e.Opposite()][k] & ecls &^ taken
+						if c != 0 {
+							b.grantW.nxt[e][k] |= c
+							b.grantW.nxtAny |= c
+							taken |= c
+						}
+					}
+				}
+			}
+		}
+		b.granted[k] |= elig
+	}
+}
+
+// moveGrants is planeState.moveGrants over the lane-packed planes.
+func (b *BatchMesh) moveGrants() {
+	bg := b.bg
+	for _, d := range pairOrder {
+		bg.shiftInto(b.tmpA, b.grantW.cur[d], d)
+		e := d.Opposite()
+		nxt := b.grantW.nxt[d]
+		var acc uint64
+		for k, in := range bg.interior {
+			mv := b.tmpA[k]
+			if mv == 0 {
+				continue
+			}
+			mvI := mv & in
+			cons := mvI & b.fired[k] & b.reqDirs[e][k] &^ b.grants[e][k]
+			b.grants[e][k] |= cons
+			pass := mvI &^ cons
+			nxt[k] |= pass
+			acc |= pass
+			bc := mv & bg.boundary[k] & b.fired[k] & b.reqDirs[e][k] &^ b.sentPair[k]
+			if bc != 0 {
+				b.sentPair[k] |= bc
+				b.pairW.nxt[e][k] |= bc
+				b.pairW.nxtAny |= bc
+				b.pairBW.nxt[e][k] |= bc
+				b.pairBW.nxtAny |= bc
+			}
+		}
+		b.grantW.nxtAny |= acc
+	}
+}
+
+// movePairs is planeState.movePairs with per-lane accounting: pair
+// terminations decrement the owning lane's hot counter and Stats, and
+// the returned mask has bit l set when lane l completed a pairing this
+// cycle (its per-lane pairingDone).
+func (b *BatchMesh) movePairs() (done uint64) {
+	bg := b.bg
+	for _, d := range pairOrder {
+		bg.shiftInto(b.tmpA, b.pairW.cur[d], d)
+		bg.shiftInto(b.tmpB, b.pairBW.cur[d], d)
+		nxt, nxtB := b.pairW.nxt[d], b.pairBW.nxt[d]
+		var acc, accB uint64
+		for k, in := range bg.interior {
+			mv := b.tmpA[k] & in
+			if mv == 0 {
+				continue
+			}
+			b.errOut[k] ^= mv
+			hits := mv & b.hot[k]
+			if hits != 0 {
+				b.hot[k] &^= hits
+				for l, lane := range bg.laneBits {
+					hl := hits & lane
+					if hl == 0 {
+						continue
+					}
+					nh := bits.OnesCount64(hl)
+					b.laneHot[l] -= nh
+					b.laneStats[l].Pairings += nh
+					b.laneStats[l].BoundaryPairings += bits.OnesCount64(hl & b.tmpB[k])
+					done |= uint64(1) << uint(l)
+				}
+			}
+			pass := mv &^ hits
+			nxt[k] |= pass
+			acc |= pass
+			bp := b.tmpB[k] & pass
+			nxtB[k] |= bp
+			accB |= bp
+		}
+		b.pairW.nxtAny |= acc
+		b.pairBW.nxtAny |= accB
+	}
+	return done
+}
+
+// fireIntermediates is planeState.fireIntermediates over the
+// lane-packed planes. Lanes mid-reset have empty growFrom latches, so
+// they contribute nothing, matching the scalar blocked branch.
+func (b *BatchMesh) fireIntermediates() {
+	bg, v := b.bg, b.variant
+	gfN, gfE, gfS, gfW := b.growFrom[North], b.growFrom[East], b.growFrom[South], b.growFrom[West]
+	for k, in := range bg.interior {
+		elig := in &^ b.fired[k] &^ b.hot[k]
+		if elig == 0 {
+			continue
+		}
+		cWE := elig & gfW[k] & gfE[k]
+		rem := elig &^ cWE
+		cNS := rem & gfN[k] & gfS[k]
+		rem &^= cNS
+		cNW := rem & gfN[k] & gfW[k]
+		rem &^= cNW
+		cNE := rem & gfN[k] & gfE[k]
+		firedNew := cWE | cNS | cNW | cNE
+		if firedNew == 0 {
+			continue
+		}
+		b.fired[k] |= firedNew
+		setN := cNS | cNW | cNE
+		setS := cNS
+		setE := cWE | cNE
+		setW := cWE | cNW
+		b.reqDirs[North][k] |= setN
+		b.reqDirs[South][k] |= setS
+		b.reqDirs[East][k] |= setE
+		b.reqDirs[West][k] |= setW
+		if v.ReqGrant {
+			b.reqW.nxt[North][k] |= setN
+			b.reqW.nxt[South][k] |= setS
+			b.reqW.nxt[East][k] |= setE
+			b.reqW.nxt[West][k] |= setW
+			b.reqW.nxtAny |= firedNew
+		} else {
+			b.sentPair[k] |= firedNew
+			b.errOut[k] ^= firedNew
+			b.pairW.nxt[North][k] |= setN
+			b.pairW.nxt[South][k] |= setS
+			b.pairW.nxt[East][k] |= setE
+			b.pairW.nxt[West][k] |= setW
+			b.pairW.nxtAny |= firedNew
+		}
+	}
+}
+
+// completeHandshakes is planeState.completeHandshakes over the
+// lane-packed planes.
+func (b *BatchMesh) completeHandshakes() {
+	if !b.variant.ReqGrant {
+		return
+	}
+	bg := b.bg
+	for k, in := range bg.interior {
+		pend := (b.reqDirs[0][k] &^ b.grants[0][k]) |
+			(b.reqDirs[1][k] &^ b.grants[1][k]) |
+			(b.reqDirs[2][k] &^ b.grants[2][k]) |
+			(b.reqDirs[3][k] &^ b.grants[3][k])
+		ready := (b.fired[k] &^ b.sentPair[k]) & in &^ pend
+		if ready == 0 {
+			continue
+		}
+		b.sentPair[k] |= ready
+		b.errOut[k] ^= ready
+		for d := 0; d < 4; d++ {
+			p := ready & b.reqDirs[d][k]
+			b.pairW.nxt[d][k] |= p
+			b.pairW.nxtAny |= p
+		}
+	}
+}
+
+// drainLane force-pairs lane l's remaining hot modules with their
+// nearest boundary — planeState.drainToBoundary confined to one lane,
+// same ascending cell order, charging the lane's own Stats.
+func (b *BatchMesh) drainLane(l int) {
+	geo := b.geo
+	st := &b.laneStats[l]
+	shift := uint(l * geo.m)
+	for r := 0; r < geo.rows; r++ {
+		w := b.hot[r] >> shift & b.bg.laneLow
+		for w != 0 {
+			c := bits.TrailingZeros64(w)
+			w &= w - 1
+			i := r*geo.m + c
+			d, hops := geo.drainDir(i)
+			for j := geo.neighbor(i, d); j >= 0 && geo.kind[j] == cellInterior; j = geo.neighbor(j, d) {
+				b.errOut[j/geo.m] ^= uint64(1) << (shift + uint(j%geo.m))
+			}
+			b.hot[r] &^= uint64(1) << (shift + uint(c))
+			b.laneHot[l]--
+			st.Fallbacks++
+			st.Pairings++
+			st.BoundaryPairings++
+			st.Cycles += 3*hops + ResetDepth
+		}
+	}
+}
+
+var (
+	_ decoder.Decoder         = (*BatchMesh)(nil)
+	_ decodepool.IntoDecoder  = (*BatchMesh)(nil)
+	_ decodepool.BatchDecoder = (*BatchMesh)(nil)
+)

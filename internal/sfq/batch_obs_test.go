@@ -1,0 +1,75 @@
+package sfq
+
+import (
+	"testing"
+
+	"repro/internal/decodepool"
+	"repro/internal/lattice"
+	"repro/internal/obs"
+)
+
+// Every lane decode through the batch kernel — including lanes whose
+// syndrome is empty — lands exactly one observation in the shared per-d
+// cycle histogram, and returning the mesh to its pool flushes the local
+// recorder, so the pool boundary is the exactly-once point. A rejected
+// double Put must not replay samples.
+func TestBatchMeshCycleTelemetry(t *testing.T) {
+	p := NewPool(Final)
+	g := p.Graph(3, lattice.XErrors)
+	hist := obs.Default().Histogram("sfq_decode_cycles_d3")
+	before := hist.Count()
+
+	b := p.GetBatch(3, lattice.XErrors)
+	s := decodepool.NewScratch()
+	m := g.NumChecks()
+	decodes := 0
+	for w := 0; w < 3; w++ {
+		syns := make([][]bool, 2*b.Lanes()+1)
+		for i := range syns {
+			syn := make([]bool, m)
+			if i%3 != 2 { // leave every third lane empty
+				syn[0] = true
+				syn[1+i%(m-1)] = true
+			}
+			syns[i] = syn
+		}
+		if _, err := b.DecodeBatchInto(g, syns, s); err != nil {
+			t.Fatal(err)
+		}
+		decodes += len(syns)
+	}
+	p.PutBatch(b)
+	if got := hist.Count() - before; got != uint64(decodes) {
+		t.Fatalf("histogram grew by %d after PutBatch, want %d (one per lane decode)", got, decodes)
+	}
+
+	// The mesh is parked now; a double Put is rejected and must not
+	// flush anything new.
+	p.PutBatch(b)
+	if got := hist.Count() - before; got != uint64(decodes) {
+		t.Fatalf("double PutBatch replayed samples: histogram grew to %d, want %d", got, decodes)
+	}
+}
+
+// The single-decode adapters share the batch kernel's recorder: Decode
+// and DecodeInto each record one sample, flushed by FlushObs.
+func TestBatchMeshAdapterTelemetry(t *testing.T) {
+	g := lattice.MustNew(3).MatchingGraph(lattice.XErrors)
+	hist := obs.Default().Histogram("sfq_decode_cycles_d3")
+	before := hist.Count()
+
+	b := NewBatch(g, Final)
+	s := decodepool.NewScratch()
+	syn := make([]bool, g.NumChecks())
+	syn[0], syn[1] = true, true
+	const decodes = 10
+	for i := 0; i < decodes; i++ {
+		if _, err := b.DecodeInto(g, syn, s); err != nil {
+			t.Fatal(err)
+		}
+	}
+	b.FlushObs()
+	if got := hist.Count() - before; got != decodes {
+		t.Fatalf("histogram grew by %d, want %d", got, decodes)
+	}
+}

@@ -1,0 +1,153 @@
+package sfq
+
+import (
+	"sync"
+
+	"repro/internal/lattice"
+)
+
+// batchGeom is the d-major lane layout of the SWAR batch kernel: B
+// independent mesh instances packed side by side in the same []uint64
+// planes, lane l occupying bits [l·m, l·m+m) of every row word. A
+// batched plane is one word per row (the layout exists only for meshes
+// with side ≤ 64), so a single shift-and-mask advances all B lanes at
+// once while the lane masks keep wavefronts from bleeding across
+// instances. Cell i of lane l lives at word i/m, bit l·m + i%m.
+//
+// Like meshGeom, a batchGeom depends only on (distance, error type,
+// lanes) and is computed once and shared read-only.
+type batchGeom struct {
+	geo   *meshGeom
+	lanes int
+
+	laneBits []uint64 // per-lane mask of every row word: laneLow << (l·m)
+	allLanes uint64   // OR of laneBits
+	laneLow  uint64   // (1<<m)-1, the lane-0 mask
+
+	// Lane-safe horizontal shift masks. An East shift (<<1) must not
+	// carry a bit into the next lane's column 0, so eastMask clears the
+	// lowest bit of every lane; West (>>1) symmetrically clears the
+	// highest.
+	eastMask uint64
+	westMask uint64
+
+	// Lane-replicated copies of the scalar plane masks (one word per
+	// row). classMask replicates the scalar cell index residue (r·m+c)%4
+	// into every lane, so the rotated grant priority matches the scalar
+	// kernel per lane.
+	interior  []uint64
+	boundary  []uint64
+	classMask [4][]uint64
+}
+
+// MaxBatchLanes returns how many independent distance-d meshes fit side
+// by side in one 64-bit word: ⌊64/(2d+1)⌋, floored at 1 (meshes wider
+// than a word fall back to scalar decoding inside BatchMesh).
+func MaxBatchLanes(d int) int {
+	side := 2*d + 1
+	if side > 64 {
+		return 1
+	}
+	return 64 / side
+}
+
+type batchGeomKey struct {
+	d     int
+	e     lattice.ErrorType
+	lanes int
+}
+
+var (
+	batchGeomMu    sync.RWMutex
+	batchGeomCache = map[batchGeomKey]*batchGeom{}
+)
+
+// batchGeomFor returns the memoized lane geometry of g at the given
+// width, building it on first use. Racing builders construct private
+// tables; the first one stored wins.
+func batchGeomFor(g *lattice.Graph, lanes int) *batchGeom {
+	k := batchGeomKey{d: g.Lattice().Distance(), e: g.ErrorType(), lanes: lanes}
+	batchGeomMu.RLock()
+	bg := batchGeomCache[k]
+	batchGeomMu.RUnlock()
+	if bg != nil {
+		return bg
+	}
+	built := buildBatchGeom(g, lanes)
+	batchGeomMu.Lock()
+	if exist, ok := batchGeomCache[k]; ok {
+		built = exist
+	} else {
+		batchGeomCache[k] = built
+	}
+	batchGeomMu.Unlock()
+	return built
+}
+
+func buildBatchGeom(g *lattice.Graph, lanes int) *batchGeom {
+	geo := geomFor(g)
+	bg := &batchGeom{geo: geo, lanes: lanes}
+	m := geo.m
+	bg.laneLow = (uint64(1) << uint(m)) - 1
+	bg.laneBits = make([]uint64, lanes)
+	var lowBits, highBits uint64
+	for l := 0; l < lanes; l++ {
+		shift := uint(l * m)
+		bg.laneBits[l] = bg.laneLow << shift
+		bg.allLanes |= bg.laneBits[l]
+		lowBits |= uint64(1) << shift
+		highBits |= uint64(1) << (shift + uint(m) - 1)
+	}
+	bg.eastMask = bg.allLanes &^ lowBits
+	bg.westMask = bg.allLanes &^ highBits
+
+	bg.interior = make([]uint64, geo.rows)
+	bg.boundary = make([]uint64, geo.rows)
+	for k := range bg.classMask {
+		bg.classMask[k] = make([]uint64, geo.rows)
+	}
+	for i, kd := range geo.kind {
+		r, c := i/m, i%m
+		var bit uint64
+		for l := 0; l < lanes; l++ {
+			bit |= uint64(1) << uint(l*m+c)
+		}
+		switch kd {
+		case cellInterior:
+			bg.interior[r] |= bit
+		case cellBoundary:
+			bg.boundary[r] |= bit
+		}
+		bg.classMask[i%4][r] |= bit
+	}
+	return bg
+}
+
+// laneBit returns the plane word index and bit of cell i in lane l.
+func (bg *batchGeom) laneBit(l, i int) (word int, bit uint64) {
+	m := bg.geo.m
+	return i / m, uint64(1) << uint(l*m+i%m)
+}
+
+// shiftInto writes src advanced one hop in direction d into dst,
+// per lane: vertical shifts are whole-row word moves (lanes travel
+// together), horizontal shifts mask out the bit that would cross a lane
+// seam. dst must not alias src.
+func (bg *batchGeom) shiftInto(dst, src []uint64, d Dir) {
+	switch d {
+	case North: // row r receives row r+1
+		copy(dst, src[1:])
+		dst[len(dst)-1] = 0
+	case South: // row r receives row r-1
+		copy(dst[1:], src[:len(src)-1])
+		dst[0] = 0
+	case East: // column c receives column c-1, per lane
+		for r, v := range src {
+			dst[r] = v << 1 & bg.eastMask
+		}
+	case West: // column c receives column c+1, per lane
+		for r, v := range src {
+			dst[r] = v >> 1 & bg.westMask
+		}
+	}
+}

@@ -24,10 +24,11 @@ type Pool struct {
 	variant Variant
 	kernel  Kernel
 
-	mu     sync.Mutex
-	graphs map[poolKey]*lattice.Graph
-	free   map[poolKey][]*Mesh
-	stats  PoolStats
+	mu        sync.Mutex
+	graphs    map[poolKey]*lattice.Graph
+	free      map[poolKey][]*Mesh
+	freeBatch map[batchPoolKey][]*BatchMesh
+	stats     PoolStats
 }
 
 // PoolStats is a pool's cumulative accounting. Hits + Misses == Gets,
@@ -48,6 +49,15 @@ type poolKey struct {
 	e lattice.ErrorType
 }
 
+// batchPoolKey keys the batch free lists by (d, e, lane width): batch
+// meshes of different widths have different plane layouts and must
+// never mix.
+type batchPoolKey struct {
+	d     int
+	e     lattice.ErrorType
+	lanes int
+}
+
 // Process-wide pool telemetry, aggregated across all pools.
 var (
 	poolGets        = obs.Default().Counter("sfq_pool_gets_total")
@@ -66,10 +76,11 @@ func NewPool(v Variant) *Pool { return NewPoolWithKernel(v, DefaultKernel) }
 // NewPoolWithKernel returns a pool with an explicit stepping kernel.
 func NewPoolWithKernel(v Variant, k Kernel) *Pool {
 	return &Pool{
-		variant: v,
-		kernel:  k,
-		graphs:  map[poolKey]*lattice.Graph{},
-		free:    map[poolKey][]*Mesh{},
+		variant:   v,
+		kernel:    k,
+		graphs:    map[poolKey]*lattice.Graph{},
+		free:      map[poolKey][]*Mesh{},
+		freeBatch: map[batchPoolKey][]*BatchMesh{},
 	}
 }
 
@@ -172,11 +183,86 @@ func (p *Pool) Put(m *Mesh) {
 	}
 }
 
+// GetBatch returns an idle SWAR batch mesh for (d, e) at the maximum
+// lane width for d, reusing a previously PutBatch mesh when one is
+// available. Batch meshes always run the bit-plane stepping regardless
+// of the pool's scalar kernel, and share the pool's accounting.
+func (p *Pool) GetBatch(d int, e lattice.ErrorType) *BatchMesh {
+	k := batchPoolKey{d: d, e: e, lanes: MaxBatchLanes(d)}
+	p.mu.Lock()
+	p.stats.Gets++
+	p.stats.Outstanding++
+	poolGets.Inc()
+	poolOutstanding.Add(1)
+	if list := p.freeBatch[k]; len(list) > 0 {
+		b := list[len(list)-1]
+		list[len(list)-1] = nil
+		p.freeBatch[k] = list[:len(list)-1]
+		b.pooled = false
+		p.stats.Hits++
+		p.mu.Unlock()
+		poolHits.Inc()
+		return b
+	}
+	p.stats.Misses++
+	g := p.graphLocked(poolKey{d: d, e: e})
+	p.mu.Unlock()
+	poolMisses.Inc()
+	b := NewBatchWithLanes(g, p.variant, k.lanes)
+	b.owner = p
+	return b
+}
+
+// PutBatch resets the batch mesh, flushes its pending telemetry (the
+// histogram holds one cycle sample per lane decode), and parks it,
+// under the same exactly-once rules as Put.
+func (p *Pool) PutBatch(b *BatchMesh) {
+	if b == nil || b.variant != p.variant {
+		p.mu.Lock()
+		p.stats.Foreign++
+		p.mu.Unlock()
+		poolForeign.Inc()
+		return
+	}
+	b.Reset()
+	b.FlushObs()
+	k := batchPoolKey{d: b.geo.d, e: b.geo.e, lanes: b.lanes}
+	p.mu.Lock()
+	switch {
+	case b.pooled && b.owner == p:
+		p.stats.DoublePuts++
+		p.mu.Unlock()
+		poolDoublePuts.Inc()
+		return
+	case b.owner != nil && b.owner != p:
+		p.stats.Foreign++
+		p.mu.Unlock()
+		poolForeign.Inc()
+		return
+	}
+	wasOurs := b.owner == p
+	b.owner = p
+	b.pooled = true
+	p.freeBatch[k] = append(p.freeBatch[k], b)
+	p.stats.Puts++
+	if wasOurs {
+		p.stats.Outstanding--
+	}
+	p.mu.Unlock()
+	poolPuts.Inc()
+	if wasOurs {
+		poolOutstanding.Add(-1)
+	}
+}
+
 // Release adapts Put to the func(decoder.Decoder) release hooks of the
-// sweep layers: mesh decoders return to the pool, anything else is
-// ignored.
+// sweep layers: mesh decoders (scalar or batched) return to the pool,
+// anything else is ignored.
 func (p *Pool) Release(dec decoder.Decoder) {
-	if m, ok := dec.(*Mesh); ok {
+	switch m := dec.(type) {
+	case *Mesh:
 		p.Put(m)
+	case *BatchMesh:
+		p.PutBatch(m)
 	}
 }

@@ -95,6 +95,13 @@ type CurveConfig struct {
 	// The harness serializes calls within a point, but observers for
 	// distinct points may run concurrently.
 	Observer func(d int, p float64) func(lattice.ErrorType, sfq.Stats)
+	// Batch routes trials through the shards' SWAR batch path
+	// (surface.Simulator.RunTrialBatch) when the configured decoders are
+	// sfq.BatchMesh instances — several independent cycles decode in the
+	// same machine words per call. Trial streams are unchanged, so
+	// results are bit-identical with Batch on or off (asserted by
+	// TestCurvesBatchDeterminism). Ignored for non-batch decoders.
+	Batch bool
 	// Obs, when non-nil, receives sweep telemetry: the engine's trial
 	// counters and latency histograms (see mc.Config.Obs) and the
 	// simulators' decode-latency samples (see surface.Config.Obs).
@@ -173,6 +180,7 @@ func CurvesContext(ctx context.Context, cfg CurveConfig) ([]Point, error) {
 			return WilsonInterval(k, n, 1.96)
 		},
 		Progress: cfg.Progress,
+		Batch:    cfg.Batch,
 		Obs:      cfg.Obs,
 	}, specs)
 	if err != nil {
@@ -242,7 +250,8 @@ func ReleaseDecoders(free func(decoder.Decoder)) func(mc.Shard) {
 // lifetimeShard runs single-cycle lifetime trials on a private
 // simulator.
 type lifetimeShard struct {
-	sim *surface.Simulator
+	sim   *surface.Simulator
+	bouts []surface.BatchOutcome // TrialBatch's reusable outcome buffer
 }
 
 // Trial implements mc.Shard.
@@ -254,6 +263,27 @@ func (sh *lifetimeShard) Trial(rng *rand.Rand, _ int) (mc.Outcome, error) {
 		return mc.Outcome{}, err
 	}
 	return mc.Outcome{Failed: res.LogicalErrors > 0, Aux: int64(res.Forced)}, nil
+}
+
+// BatchSize implements mc.BatchShard: the simulator's SWAR lane width
+// (1 when its decoders cannot batch, which disables chunking).
+func (sh *lifetimeShard) BatchSize() int { return sh.sim.BatchWidth() }
+
+// TrialBatch implements mc.BatchShard: each trial of the chunk is one
+// independent cycle on its own frame and its own stream, bit-identical
+// to the scalar Trial path.
+func (sh *lifetimeShard) TrialBatch(rngs []*rand.Rand, _ int, out []mc.Outcome) (err error) {
+	if cap(sh.bouts) < len(rngs) {
+		sh.bouts = make([]surface.BatchOutcome, len(rngs))
+	}
+	bouts := sh.bouts[:len(rngs)]
+	if err := sh.sim.RunTrialBatch(rngs, bouts); err != nil {
+		return err
+	}
+	for i, bo := range bouts {
+		out[i] = mc.Outcome{Failed: bo.Failed, Aux: int64(bo.Forced)}
+	}
+	return nil
 }
 
 // PseudoThreshold estimates the physical rate where PL = p for one

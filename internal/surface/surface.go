@@ -77,6 +77,10 @@ type Simulator struct {
 	// one worker (one Monte-Carlo shard), so a single scratch makes the
 	// whole decode loop allocation-free in steady state.
 	scratch *decodepool.Scratch
+
+	// batchFrames are the per-lane residual frames of RunTrialBatch
+	// (each lane is an independent one-cycle trial), grown on first use.
+	batchFrames []*pauli.Frame
 }
 
 // plane bundles everything needed to decode one error type.
@@ -84,13 +88,15 @@ type plane struct {
 	etype lattice.ErrorType
 	graph *lattice.Graph
 	dec   decoder.Decoder
-	mesh  *sfq.Mesh // non-nil when dec is an SFQ mesh
+	mesh  *sfq.Mesh      // non-nil when dec is a scalar SFQ mesh
+	bmesh *sfq.BatchMesh // non-nil when dec is a SWAR batch mesh
 	ext   *stabilizer.Extractor
 	cut   []int // data qubits whose parity flags a logical flip
 	op    pauli.Op
 
-	syn  []bool // reusable syndrome buffer
-	left []bool // reusable post-correction syndrome buffer
+	syn  []bool   // reusable syndrome buffer
+	left []bool   // reusable post-correction syndrome buffer
+	bsyn [][]bool // per-lane syndrome buffers of the batch path
 }
 
 // New validates the configuration and builds a simulator.
@@ -133,8 +139,11 @@ func New(cfg Config) (*Simulator, error) {
 			syn:  make([]bool, g.NumChecks()),
 			left: make([]bool, g.NumChecks()),
 		}
-		if mesh, ok := dec.(*sfq.Mesh); ok {
-			p.mesh = mesh
+		switch m := dec.(type) {
+		case *sfq.Mesh:
+			p.mesh = m
+		case *sfq.BatchMesh:
+			p.bmesh = m
 		}
 		if cfg.UseCircuits {
 			p.ext = stabilizer.NewExtractor(g)
@@ -227,6 +236,12 @@ func (s *Simulator) decodePlane(p *plane, res *Result) (bool, error) {
 		if err == nil && s.cfg.Observer != nil {
 			s.cfg.Observer(p.etype, p.mesh.Stats())
 		}
+	} else if p.bmesh != nil {
+		// A batch mesh on the scalar path decodes through lane 0.
+		corr, err = p.bmesh.DecodeInto(p.graph, syn, s.scratch)
+		if err == nil && s.cfg.Observer != nil {
+			s.cfg.Observer(p.etype, p.bmesh.Stats())
+		}
 	} else {
 		// Routes through the zero-allocation DecodeInto path when the
 		// decoder supports it; corr then aliases s.scratch and is consumed
@@ -236,31 +251,132 @@ func (s *Simulator) decodePlane(p *plane, res *Result) (bool, error) {
 	if err != nil {
 		return false, fmt.Errorf("surface: %s on %v checks: %w", p.dec.Name(), p.etype, err)
 	}
-	for _, q := range corr.Qubits {
-		s.residual.Apply(q, p.op)
+	forced := 0
+	flipped := s.finishPlane(p, s.residual, corr.Qubits, &forced)
+	res.Forced += forced
+	return flipped, nil
+}
+
+// finishPlane applies a correction to one frame, force-completes
+// anything the decoder left unresolved, and reports whether the plane's
+// logical operator flipped (normalizing the frame when it did). It is
+// the shared tail of the scalar and batched decode paths.
+func (s *Simulator) finishPlane(p *plane, f *pauli.Frame, qubits []int, forced *int) bool {
+	for _, q := range qubits {
+		f.Apply(q, p.op)
 	}
 	// Ablation variants (and any buggy decoder) may leave checks hot;
 	// the evaluation harness completes them with boundary chains so the
 	// residual is always stabilizer-trivial and PL stays well defined.
-	left := p.graph.SyndromeInto(s.residual, p.left)
+	left := p.graph.SyndromeInto(f, p.left)
 	for i, hot := range left {
 		if !hot {
 			continue
 		}
 		for _, q := range p.graph.BoundaryPathQubits(i) {
-			s.residual.Apply(q, p.op)
+			f.Apply(q, p.op)
 		}
-		res.Forced++
+		*forced++
 	}
-	if par := parity(s.residual, p.cut, p.etype); par == 1 {
+	if par := parity(f, p.cut, p.etype); par == 1 {
 		// Normalize the residual by the logical operator so each
 		// logical flip is counted once.
 		for _, q := range s.l.LogicalSupport(p.etype) {
-			s.residual.Apply(q, p.op)
+			f.Apply(q, p.op)
 		}
-		return true, nil
+		return true
 	}
-	return false, nil
+	return false
+}
+
+// BatchOutcome is one lane's result of RunTrialBatch: one independent
+// cycle simulated on a private frame.
+type BatchOutcome struct {
+	Failed bool // the logical state flipped this cycle
+	Forced int  // hot checks force-completed to a boundary by the harness
+}
+
+// BatchWidth reports how many independent one-cycle trials
+// RunTrialBatch advances per call: the smallest lane width across the
+// simulator's batch-mesh planes. It is 1 — batching unavailable — when
+// any configured decoder is not an sfq.BatchMesh or when syndromes are
+// extracted through stabilizer circuits.
+func (s *Simulator) BatchWidth() int {
+	if s.cfg.UseCircuits {
+		return 1
+	}
+	w := 0
+	for _, p := range s.planes {
+		if p.bmesh == nil {
+			return 1
+		}
+		if lw := p.bmesh.Lanes(); w == 0 || lw < w {
+			w = lw
+		}
+	}
+	if w == 0 {
+		return 1
+	}
+	return w
+}
+
+// RunTrialBatch simulates len(rngs) independent one-cycle trials, lane
+// i driven by rngs[i] on its own residual frame, decoding every plane's
+// syndromes in one batched SWAR call. Lane i's outcome is bit-identical
+// to Reset + SetRand(rngs[i]) + Run(1) on the scalar path: each lane
+// samples its channel from its own stream, and the batch kernel is
+// conformance-pinned to the scalar kernel. outs must have len(rngs)
+// elements; Run's cumulative counters are not touched.
+func (s *Simulator) RunTrialBatch(rngs []*rand.Rand, outs []BatchOutcome) error {
+	w := len(rngs)
+	if len(outs) != w {
+		return fmt.Errorf("surface: %d outcomes for %d trial streams", len(outs), w)
+	}
+	s.ensureBatch(w)
+	for i := 0; i < w; i++ {
+		f := s.batchFrames[i]
+		f.Clear()
+		s.cfg.Channel.Sample(rngs[i], f, s.data)
+		outs[i] = BatchOutcome{}
+	}
+	for _, p := range s.planes {
+		if p.bmesh == nil {
+			return fmt.Errorf("surface: %v plane decoder %s cannot batch", p.etype, p.dec.Name())
+		}
+		for i := 0; i < w; i++ {
+			p.graph.SyndromeInto(s.batchFrames[i], p.bsyn[i])
+		}
+		corr, err := p.bmesh.DecodeBatchInto(p.graph, p.bsyn[:w], s.scratch)
+		if err != nil {
+			return fmt.Errorf("surface: %s on %v checks: %w", p.dec.Name(), p.etype, err)
+		}
+		for i := 0; i < w; i++ {
+			if s.cfg.Observer != nil {
+				s.cfg.Observer(p.etype, p.bmesh.LaneStats(i))
+			}
+			if s.finishPlane(p, s.batchFrames[i], corr[i].Qubits, &outs[i].Forced) {
+				outs[i].Failed = true
+			}
+		}
+	}
+	for i := 0; i < w; i++ {
+		if err := s.checkCleanFrame(s.batchFrames[i]); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// ensureBatch grows the per-lane frames and syndrome buffers to width w.
+func (s *Simulator) ensureBatch(w int) {
+	for len(s.batchFrames) < w {
+		s.batchFrames = append(s.batchFrames, pauli.NewFrame(s.l.NumQubits()))
+	}
+	for _, p := range s.planes {
+		for len(p.bsyn) < w {
+			p.bsyn = append(p.bsyn, make([]bool, p.graph.NumChecks()))
+		}
+	}
 }
 
 // parity returns the residual's error parity over the cut.
@@ -274,9 +390,11 @@ func parity(f *pauli.Frame, cut []int, e lattice.ErrorType) int {
 // checkClean verifies the invariant that after decoding (plus forced
 // completion and logical normalization) the residual frame is trivial on
 // every configured plane.
-func (s *Simulator) checkClean() error {
+func (s *Simulator) checkClean() error { return s.checkCleanFrame(s.residual) }
+
+func (s *Simulator) checkCleanFrame(f *pauli.Frame) error {
 	for _, p := range s.planes {
-		for i, hot := range p.graph.SyndromeInto(s.residual, p.left) {
+		for i, hot := range p.graph.SyndromeInto(f, p.left) {
 			if hot {
 				return fmt.Errorf("surface: residual leaves %v check %d hot after correction", p.etype, i)
 			}
