@@ -13,7 +13,10 @@
 # <=5% instrumentation-overhead guard on the decode hot path), and the
 # decode-hot-path benchmarks
 # (which also regenerate BENCH_pr2.json, BENCH_pr3.json and
-# BENCH_pr5.json). The race
+# BENCH_pr5.json), and finally the decode service gates: wire
+# conformance + a race-detector hammer over internal/serve, a FuzzFrame
+# smoke, and a live serve+loadgen run that regenerates BENCH_pr6.json.
+# The race
 # run sets
 # REPRO_MC_SHORT=1, which the statistical tests in internal/stats and
 # internal/mc honour by shrinking their trial budgets (their acceptance
@@ -43,10 +46,15 @@ go test -run='^$' -fuzz=FuzzBlossom -fuzztime=5s ./internal/match
 go test -run='^$' -fuzz=FuzzDecode -fuzztime=5s ./internal/decoder
 go test -run='^$' -fuzz='^FuzzMesh$' -fuzztime=5s ./internal/sfq
 go test -run='^$' -fuzz='^FuzzBatchMesh$' -fuzztime=5s ./internal/sfq
+go test -run='^$' -fuzz='^FuzzFrame$' -fuzztime=5s ./internal/serve
 
 echo "== mesh kernel conformance (short) =="
 REPRO_MC_SHORT=1 go test -run TestBitplaneConformance ./internal/sfq
 REPRO_MC_SHORT=1 go test -run TestBatchMeshConformance ./internal/sfq
+
+echo "== decode service: wire conformance + race hammer + backpressure =="
+REPRO_MC_SHORT=1 go test -run 'TestWireConformance|TestHTTPConformance' -count=1 ./internal/serve
+REPRO_MC_SHORT=1 go test -race -count=1 ./internal/serve
 
 echo "== batched sweep determinism (race, short trials) =="
 REPRO_MC_SHORT=1 go test -race -run TestCurvesBatchDeterminism -count=1 ./internal/stats
@@ -60,5 +68,31 @@ echo "== decode hot-path benchmarks =="
 go test -run='^$' -bench BenchmarkDecodeHotPath -benchtime 100x -benchmem .
 go test -run='^$' -bench BenchmarkSFQMesh -benchtime 100x -benchmem .
 go run ./cmd/bench -iters 2000 -out BENCH_pr2.json -mesh-out BENCH_pr3.json -batch-out BENCH_pr5.json
+
+echo "== decode service end to end: serve + loadgen (BENCH_pr6.json) =="
+# A live serve instance under open-loop Poisson load. -lanes 1 lowers
+# capacity so the calibrated R/2, R, 2R sweep straddles saturation in
+# about three seconds on any machine.
+SERVE_TMP=$(mktemp -d)
+SERVE_PID=""
+cleanup_serve() {
+	[ -n "$SERVE_PID" ] && kill "$SERVE_PID" 2>/dev/null || true
+	rm -rf "$SERVE_TMP"
+}
+trap cleanup_serve EXIT
+go build -o "$SERVE_TMP/serve" ./cmd/serve
+go build -o "$SERVE_TMP/loadgen" ./cmd/loadgen
+"$SERVE_TMP/serve" -d 9,13 -lanes 1 -addr-file "$SERVE_TMP/addr" &
+SERVE_PID=$!
+for _ in $(seq 50); do
+	[ -s "$SERVE_TMP/addr" ] && break
+	sleep 0.1
+done
+TCP_ADDR=$(awk '/^tcp /{print $2}' "$SERVE_TMP/addr")
+[ -n "$TCP_ADDR" ] || { echo "serve did not publish its address"; exit 1; }
+"$SERVE_TMP/loadgen" -addr "$TCP_ADDR" -d 13 -duration 1s -out BENCH_pr6.json
+kill "$SERVE_PID"
+wait "$SERVE_PID" 2>/dev/null || true
+SERVE_PID=""
 
 echo "CI OK"

@@ -18,10 +18,15 @@ import (
 	"text/tabwriter"
 
 	"repro/internal/backlog"
+	"repro/internal/knob"
 	"repro/internal/qprog"
 )
 
 func main() {
+	if err := knob.CheckEnv(); err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
 	table1 := flag.Bool("table1", false, "print the Table I benchmark characteristics")
 	trace := flag.Bool("trace", false, "print the Fig. 5 wall-clock trace")
 	sweep := flag.Bool("sweep", false, "print the Fig. 6 ratio sweep")

@@ -34,6 +34,7 @@ import (
 	"repro/internal/decoder/greedy"
 	"repro/internal/decoder/mwpm"
 	"repro/internal/decoder/unionfind"
+	"repro/internal/knob"
 	"repro/internal/lattice"
 	"repro/internal/noise"
 	"repro/internal/obs"
@@ -107,6 +108,10 @@ type BatchRow struct {
 }
 
 func main() {
+	if err := knob.CheckEnv(); err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
 	iters := flag.Int("iters", 2000, "timed decodes per (decoder, d, path) cell")
 	out := flag.String("out", "BENCH_pr2.json", "output JSON path (software decoders)")
 	meshOut := flag.String("mesh-out", "BENCH_pr3.json", "output JSON path (mesh kernels)")

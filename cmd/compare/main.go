@@ -40,6 +40,7 @@ import (
 	"repro/internal/decoder/mwpm"
 	"repro/internal/decoder/neural"
 	"repro/internal/decoder/unionfind"
+	"repro/internal/knob"
 	"repro/internal/lattice"
 	"repro/internal/mc"
 	"repro/internal/noise"
@@ -85,6 +86,10 @@ func (c *trainedCache) get(key trainedKey, build func() (decoder.Decoder, error)
 }
 
 func main() {
+	if err := knob.CheckEnv(); err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
 	distances := flag.String("distances", "3,5,7", "code distances")
 	p := flag.Float64("p", 0.03, "physical dephasing rate")
 	cycles := flag.Int("cycles", 20000, "syndrome cycles per decoder")

@@ -25,6 +25,7 @@ import (
 	"text/tabwriter"
 
 	"repro/internal/decoder"
+	"repro/internal/knob"
 	"repro/internal/lattice"
 	"repro/internal/noise"
 	"repro/internal/progress"
@@ -33,6 +34,10 @@ import (
 )
 
 func main() {
+	if err := knob.CheckEnv(); err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
 	cycles := flag.Int("cycles", 40000, "syndrome cycles per (d, p) point")
 	pth := flag.Float64("pth", 0.05, "accuracy threshold used by the model")
 	distances := flag.String("distances", "3,5,7,9", "code distances")

@@ -26,12 +26,17 @@ import (
 
 	"repro/internal/decoder"
 	"repro/internal/decoder/mwpm"
+	"repro/internal/knob"
 	"repro/internal/noise"
 	"repro/internal/rotated"
 	"repro/internal/stats"
 )
 
 func main() {
+	if err := knob.CheckEnv(); err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
 	distances := flag.String("distances", "3,5,7", "code distances")
 	p := flag.Float64("p", 0.03, "physical dephasing rate")
 	cycles := flag.Int("cycles", 20000, "syndrome cycles per point")

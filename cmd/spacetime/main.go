@@ -26,10 +26,15 @@ import (
 	"strings"
 	"text/tabwriter"
 
+	"repro/internal/knob"
 	"repro/internal/spacetime"
 )
 
 func main() {
+	if err := knob.CheckEnv(); err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
 	distances := flag.String("distances", "3,5,7", "code distances")
 	p := flag.Float64("p", 0.01, "data error rate per round")
 	qs := flag.String("qs", "0,0.005,0.01,0.02", "measurement flip rates")

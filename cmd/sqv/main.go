@@ -21,6 +21,7 @@ import (
 	"text/tabwriter"
 
 	"repro/internal/decoder"
+	"repro/internal/knob"
 	"repro/internal/lattice"
 	"repro/internal/noise"
 	"repro/internal/obs"
@@ -30,6 +31,10 @@ import (
 )
 
 func main() {
+	if err := knob.CheckEnv(); err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
 	qubits := flag.Int("qubits", 1024, "physical qubits")
 	p := flag.Float64("p", 1e-5, "physical error rate")
 	empirical := flag.Bool("empirical", false, "validate 1/(K·PL) with a Monte-Carlo stopping-time run")

@@ -14,10 +14,15 @@ import (
 	"os"
 	"text/tabwriter"
 
+	"repro/internal/knob"
 	"repro/internal/sfqchip"
 )
 
 func main() {
+	if err := knob.CheckEnv(); err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
 	cells := flag.Bool("cells", false, "print the Table II cell library")
 	distance := flag.Int("distance", 9, "code distance for the mesh footprint")
 	budget := flag.Float64("budget", 0.1, "power budget (W) for the co-location analysis")

@@ -28,6 +28,7 @@ import (
 	"text/tabwriter"
 
 	"repro/internal/decoder"
+	"repro/internal/knob"
 	"repro/internal/lattice"
 	"repro/internal/noise"
 	"repro/internal/obs"
@@ -62,6 +63,10 @@ func parseFloats(s string) ([]float64, error) {
 }
 
 func main() {
+	if err := knob.CheckEnv(); err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
 	variantName := flag.String("variant", "final", "design variant: baseline, resets, resets+boundaries, final")
 	cycles := flag.Int("cycles", 20000, "syndrome cycles per (d, p) point")
 	distances := flag.String("distances", "3,5,7,9", "code distances")

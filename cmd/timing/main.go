@@ -36,6 +36,7 @@ import (
 
 	"repro/internal/backlog"
 	"repro/internal/decoder"
+	"repro/internal/knob"
 	"repro/internal/lattice"
 	"repro/internal/noise"
 	"repro/internal/obs"
@@ -70,6 +71,10 @@ func (ms *meshSamples) observe(st sfq.Stats) {
 }
 
 func main() {
+	if err := knob.CheckEnv(); err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
 	cycles := flag.Int("cycles", 4000, "syndrome cycles per (d, p) point")
 	distances := flag.String("distances", "3,5,7,9", "code distances")
 	rates := flag.String("rates", "0.01,0.02,0.03,0.04,0.05,0.06,0.07,0.08,0.09,0.10", "physical error rates")

@@ -14,10 +14,15 @@ import (
 	"os"
 	"text/tabwriter"
 
+	"repro/internal/knob"
 	"repro/internal/tradeoff"
 )
 
 func main() {
+	if err := knob.CheckEnv(); err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
 	tgates := flag.Int("tgates", 100, "T gates in the algorithm")
 	cycle := flag.Float64("cycle", 400, "syndrome generation cycle (ns)")
 	fail := flag.Float64("fail", 0.5, "target total failure probability")

@@ -9,6 +9,8 @@ import (
 	"runtime/debug"
 	"strings"
 	"time"
+
+	"repro/internal/knob"
 )
 
 // Manifest records the provenance of one run so sweep artifacts stay
@@ -45,10 +47,11 @@ func NewManifest(config map[string]any) *Manifest {
 		Config:     config,
 	}
 	m.GitSHA, m.GitDirty = gitRevision()
-	// The kernel/engine environment knobs that change what a run
-	// measures; absent variables are omitted so the manifest records
-	// exactly what was set.
-	for _, k := range []string{"REPRO_SFQ_KERNEL", "REPRO_MC_SHORT", "GOMAXPROCS", "GOGC", "GODEBUG"} {
+	// The environment knobs that change what a run measures: every
+	// registered REPRO_* knob (the internal/knob registry is the single
+	// source of truth) plus the Go runtime knobs. Absent variables are
+	// omitted so the manifest records exactly what was set.
+	for _, k := range append(knob.Names(), "GOMAXPROCS", "GOGC", "GODEBUG") {
 		if v, ok := os.LookupEnv(k); ok {
 			m.Env[k] = v
 		}

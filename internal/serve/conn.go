@@ -1,0 +1,186 @@
+package serve
+
+import (
+	"bufio"
+	"encoding/binary"
+	"net"
+	"sync"
+	"time"
+)
+
+// srvConn is one framed-TCP connection: a reader goroutine that parses
+// and submits requests, and a writer goroutine that drains the
+// connection's response queue. The two meet in a small amount of
+// condition-variable state built around one invariant — every request
+// the reader admits (inflight++) produces exactly one response that the
+// writer consumes (inflight--), whether it came from a decode worker,
+// admission control, or a protocol error. The writer therefore knows
+// the connection is fully drained exactly when the reader has stopped,
+// inflight is zero, and the queue is empty; responses are never lost on
+// disconnect and never duplicated.
+type srvConn struct {
+	s  *Server
+	nc net.Conn
+
+	mu       sync.Mutex
+	cond     *sync.Cond
+	out      []*Response // delivered, not yet written (FIFO)
+	inflight int         // admitted, not yet written
+	readDone bool        // reader has exited
+	canceled bool        // server is draining: stop admitting
+	dead     bool        // a write failed: drain without writing
+}
+
+// ServeConn runs the framed protocol on nc until the peer disconnects
+// or the server drains, then closes nc. It blocks for the connection's
+// lifetime; Serve calls it from a per-connection goroutine, and tests
+// drive it directly over net.Pipe.
+func (s *Server) ServeConn(nc net.Conn) {
+	c := &srvConn{s: s, nc: nc}
+	c.cond = sync.NewCond(&c.mu)
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		nc.Close()
+		return
+	}
+	s.conns[c] = struct{}{}
+	s.mu.Unlock()
+	s.connGauge.Add(1)
+
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		c.writeLoop()
+	}()
+	c.readLoop()
+	wg.Wait()
+	nc.Close()
+
+	s.mu.Lock()
+	delete(s.conns, c)
+	s.mu.Unlock()
+	s.connGauge.Add(-1)
+}
+
+// cancelRead unblocks the connection's reader — both a blocked ReadFrame
+// (via the read deadline) and a reader parked at the in-flight window —
+// so Close can drain the connection without waiting for the peer.
+func (c *srvConn) cancelRead() {
+	c.nc.SetReadDeadline(time.Now())
+	c.mu.Lock()
+	c.canceled = true
+	c.cond.Broadcast()
+	c.mu.Unlock()
+}
+
+// deliver hands one response to the writer. It never blocks: responses
+// queue on the connection and the in-flight window bounds the queue, so
+// a slow reader on the other end cannot stall a decode worker.
+func (c *srvConn) deliver(r *Response) {
+	c.mu.Lock()
+	c.out = append(c.out, r)
+	c.cond.Broadcast()
+	c.mu.Unlock()
+}
+
+// readLoop parses frames and submits requests until the peer closes,
+// a protocol error occurs, or the server drains. The in-flight window
+// is enforced here: at Window admitted-but-unanswered requests the
+// reader stops, which stops consuming the socket, which backpressures
+// the client through TCP itself.
+func (c *srvConn) readLoop() {
+	br := bufio.NewReader(c.nc)
+	var buf []byte
+	var req Request
+	for {
+		t, payload, err := ReadFrame(br, buf)
+		buf = payload
+		if err != nil || t != MsgDecode {
+			break
+		}
+		perr := ParseRequest(payload, &req)
+		if perr != nil && len(payload) < 8 {
+			break // not even an ID to answer to
+		}
+
+		c.mu.Lock()
+		for c.inflight >= c.s.cfg.Window && !c.canceled && !c.dead {
+			c.cond.Wait()
+		}
+		if c.canceled || c.dead {
+			c.mu.Unlock()
+			break
+		}
+		c.inflight++
+		c.mu.Unlock()
+
+		if perr != nil {
+			// The frame was well-formed but the request was not: answer
+			// the ID with the parse error, then stop trusting the stream.
+			c.s.errTotal.Inc()
+			c.deliver(&Response{
+				ID:     binary.LittleEndian.Uint64(payload),
+				Status: StatusError,
+				Msg:    perr.Error(),
+			})
+			break
+		}
+		c.s.submit(req.D, req.EType, req.ID, req.Syndrome, c.deliver)
+	}
+	c.mu.Lock()
+	c.readDone = true
+	c.cond.Broadcast()
+	c.mu.Unlock()
+}
+
+// writeLoop writes responses in delivery order until the connection is
+// drained: reader stopped, no request in flight, queue empty. After a
+// write failure it keeps consuming (discarding) responses so the
+// drained condition is still reached and no worker blocks.
+func (c *srvConn) writeLoop() {
+	bw := bufio.NewWriter(c.nc)
+	var buf []byte
+	for {
+		c.mu.Lock()
+		for len(c.out) == 0 && !(c.readDone && c.inflight == 0) {
+			c.cond.Wait()
+		}
+		if len(c.out) == 0 {
+			c.mu.Unlock()
+			break
+		}
+		resp := c.out[0]
+		c.out[0] = nil
+		c.out = c.out[1:]
+		last := len(c.out) == 0
+		dead := c.dead
+		c.mu.Unlock()
+
+		if !dead {
+			b, err := AppendResponse(buf[:0], resp)
+			if err == nil {
+				buf = b
+				_, err = bw.Write(buf)
+			}
+			if err == nil && last {
+				// Flush only when the queue empties: back-to-back
+				// responses coalesce into one socket write.
+				err = bw.Flush()
+			}
+			if err != nil {
+				c.mu.Lock()
+				c.dead = true
+				c.cond.Broadcast()
+				c.mu.Unlock()
+			}
+		}
+
+		c.mu.Lock()
+		c.inflight--
+		c.cond.Broadcast()
+		c.mu.Unlock()
+	}
+	bw.Flush()
+}

@@ -1,0 +1,333 @@
+// Package serve is the streaming decode service: a stdlib-only network
+// front end over the SWAR batch decode machinery. Persistent TCP
+// connections (and a JSON HTTP endpoint) stream syndromes in; a lane
+// multiplexer coalesces concurrent in-flight requests into
+// sfq.BatchMesh lanes, so the per-instruction parallelism PR 5 built
+// for Monte-Carlo sweeps serves live traffic; and admission control is
+// driven by backlog.ModelForHistogram over the live service-latency
+// histograms — the paper's backlog model acting as a real SLO
+// controller rather than an offline analysis.
+//
+// The wire protocol is a fixed length-prefixed binary framing, chosen
+// over JSON for the hot path because one decode request at d = 9 is 145
+// syndrome bits: 19 bytes of payload next to ~600 of JSON. The codec is
+// strict and canonical — every parse error is explicit, hostile input
+// cannot allocate more than MaxFramePayload, and a frame that parses
+// re-encodes to identical bytes (FuzzFrame pins both properties).
+package serve
+
+import (
+	"bufio"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+
+	"repro/internal/lattice"
+)
+
+// Frame layout (all integers little-endian):
+//
+//	magic   uint16  0x5146 ("FQ")
+//	version uint8   1
+//	type    uint8   MsgDecode | MsgResult
+//	length  uint32  payload bytes (≤ MaxFramePayload)
+//	payload length bytes
+//
+// MsgDecode payload:
+//
+//	id      uint64  client-chosen request tag, echoed verbatim
+//	d       uint16  code distance
+//	etype   uint8   0 = Z errors, 1 = X errors
+//	pad     uint8   must be 0
+//	nchecks uint32  syndrome bit count
+//	bits    ⌈nchecks/8⌉ bytes, LSB-first; padding bits must be 0
+//
+// MsgResult payload:
+//
+//	id      uint64
+//	status  uint8   StatusOK | StatusShed | StatusError
+//	pad     uint8   must be 0
+//	cycles  uint32  mesh cycles consumed (0 unless StatusOK)
+//	then, for StatusOK:    nqubits uint32 + nqubits × uint32 qubit indices
+//	then, for StatusError: msglen  uint32 + msglen message bytes
+//	(StatusShed carries nothing further)
+const (
+	frameMagic   = 0x5146
+	frameVersion = 1
+	headerLen    = 8
+
+	// MaxFramePayload bounds one frame's payload: large enough for any
+	// surface-code distance this repository simulates (d = 181 is ~8 KiB
+	// of syndrome bits), small enough that a hostile length field cannot
+	// balloon allocation.
+	MaxFramePayload = 1 << 20
+)
+
+// MsgType tags a frame.
+type MsgType uint8
+
+// The wire message types.
+const (
+	MsgDecode MsgType = 1
+	MsgResult MsgType = 2
+)
+
+// Status is a response's disposition.
+type Status uint8
+
+// The response statuses.
+const (
+	// StatusOK carries a correction.
+	StatusOK Status = 0
+	// StatusShed means admission control rejected the request (queue
+	// full, or the backlog model predicts divergence at the current
+	// arrival rate). The request was not decoded; the client may retry.
+	StatusShed Status = 1
+	// StatusError carries a message (malformed request, unsupported
+	// distance, server draining).
+	StatusError Status = 2
+)
+
+// String names the status.
+func (s Status) String() string {
+	switch s {
+	case StatusOK:
+		return "ok"
+	case StatusShed:
+		return "shed"
+	case StatusError:
+		return "error"
+	}
+	return fmt.Sprintf("status(%d)", uint8(s))
+}
+
+// Request is one decode request.
+type Request struct {
+	ID       uint64
+	D        int
+	EType    lattice.ErrorType
+	Syndrome []bool
+}
+
+// Response is one decode response.
+type Response struct {
+	ID     uint64
+	Status Status
+	Cycles uint32  // mesh cycles the decode consumed (StatusOK only)
+	Qubits []int32 // correction data-qubit indices (StatusOK only)
+	Msg    string  // human-readable cause (StatusError only)
+}
+
+// Framing errors.
+var (
+	ErrBadMagic    = errors.New("serve: bad frame magic")
+	ErrBadVersion  = errors.New("serve: unsupported frame version")
+	ErrFrameTooBig = errors.New("serve: frame exceeds MaxFramePayload")
+)
+
+// putHeader appends a frame header.
+func putHeader(dst []byte, t MsgType, payloadLen int) []byte {
+	dst = binary.LittleEndian.AppendUint16(dst, frameMagic)
+	dst = append(dst, frameVersion, byte(t))
+	return binary.LittleEndian.AppendUint32(dst, uint32(payloadLen))
+}
+
+// AppendRequest appends req as a complete MsgDecode frame and returns
+// the extended buffer. Requests with more than MaxFramePayload of
+// syndrome, or an error type outside {Z, X}, are rejected.
+func AppendRequest(dst []byte, req *Request) ([]byte, error) {
+	if req.EType != lattice.ZErrors && req.EType != lattice.XErrors {
+		return dst, fmt.Errorf("serve: invalid error type %d", req.EType)
+	}
+	if req.D < 0 || req.D > 0xffff {
+		return dst, fmt.Errorf("serve: distance %d out of range", req.D)
+	}
+	n := len(req.Syndrome)
+	payload := 16 + (n+7)/8
+	if payload > MaxFramePayload {
+		return dst, ErrFrameTooBig
+	}
+	dst = putHeader(dst, MsgDecode, payload)
+	dst = binary.LittleEndian.AppendUint64(dst, req.ID)
+	dst = binary.LittleEndian.AppendUint16(dst, uint16(req.D))
+	dst = append(dst, byte(req.EType), 0)
+	dst = binary.LittleEndian.AppendUint32(dst, uint32(n))
+	var acc byte
+	for i, h := range req.Syndrome {
+		if h {
+			acc |= 1 << (uint(i) & 7)
+		}
+		if i&7 == 7 {
+			dst = append(dst, acc)
+			acc = 0
+		}
+	}
+	if n&7 != 0 {
+		dst = append(dst, acc)
+	}
+	return dst, nil
+}
+
+// ParseRequest decodes a MsgDecode payload into req, reusing
+// req.Syndrome's capacity. The parse is strict: any length mismatch,
+// nonzero pad, out-of-range error type, or set padding bit is an error,
+// so a payload that parses re-encodes byte-identically.
+func ParseRequest(payload []byte, req *Request) error {
+	if len(payload) < 16 {
+		return fmt.Errorf("serve: decode payload %d bytes, want >= 16", len(payload))
+	}
+	req.ID = binary.LittleEndian.Uint64(payload)
+	req.D = int(binary.LittleEndian.Uint16(payload[8:]))
+	et := payload[10]
+	if et > 1 {
+		return fmt.Errorf("serve: invalid error type %d", et)
+	}
+	req.EType = lattice.ErrorType(et)
+	if payload[11] != 0 {
+		return fmt.Errorf("serve: nonzero pad byte")
+	}
+	n := binary.LittleEndian.Uint32(payload[12:])
+	nb := (int64(n) + 7) / 8
+	if int64(len(payload)) != 16+nb {
+		return fmt.Errorf("serve: %d syndrome bits need %d payload bytes, got %d", n, 16+nb, len(payload))
+	}
+	bits := payload[16:]
+	if cap(req.Syndrome) < int(n) {
+		req.Syndrome = make([]bool, n)
+	}
+	req.Syndrome = req.Syndrome[:n]
+	for i := range req.Syndrome {
+		req.Syndrome[i] = bits[i>>3]&(1<<(uint(i)&7)) != 0
+	}
+	if n&7 != 0 && len(bits) > 0 {
+		if bits[len(bits)-1]>>(uint(n)&7) != 0 {
+			return fmt.Errorf("serve: nonzero syndrome padding bits")
+		}
+	}
+	return nil
+}
+
+// AppendResponse appends resp as a complete MsgResult frame and returns
+// the extended buffer.
+func AppendResponse(dst []byte, resp *Response) ([]byte, error) {
+	payload := 14
+	switch resp.Status {
+	case StatusOK:
+		payload += 4 + 4*len(resp.Qubits)
+	case StatusShed:
+	case StatusError:
+		payload += 4 + len(resp.Msg)
+	default:
+		return dst, fmt.Errorf("serve: invalid status %d", resp.Status)
+	}
+	if payload > MaxFramePayload {
+		return dst, ErrFrameTooBig
+	}
+	dst = putHeader(dst, MsgResult, payload)
+	dst = binary.LittleEndian.AppendUint64(dst, resp.ID)
+	dst = append(dst, byte(resp.Status), 0)
+	dst = binary.LittleEndian.AppendUint32(dst, resp.Cycles)
+	switch resp.Status {
+	case StatusOK:
+		dst = binary.LittleEndian.AppendUint32(dst, uint32(len(resp.Qubits)))
+		for _, q := range resp.Qubits {
+			dst = binary.LittleEndian.AppendUint32(dst, uint32(q))
+		}
+	case StatusError:
+		dst = binary.LittleEndian.AppendUint32(dst, uint32(len(resp.Msg)))
+		dst = append(dst, resp.Msg...)
+	}
+	return dst, nil
+}
+
+// ParseResponse decodes a MsgResult payload into resp, reusing
+// resp.Qubits' capacity. Strict and canonical, like ParseRequest.
+func ParseResponse(payload []byte, resp *Response) error {
+	if len(payload) < 14 {
+		return fmt.Errorf("serve: result payload %d bytes, want >= 14", len(payload))
+	}
+	resp.ID = binary.LittleEndian.Uint64(payload)
+	resp.Status = Status(payload[8])
+	if payload[9] != 0 {
+		return fmt.Errorf("serve: nonzero pad byte")
+	}
+	resp.Cycles = binary.LittleEndian.Uint32(payload[10:])
+	resp.Qubits = resp.Qubits[:0]
+	resp.Msg = ""
+	rest := payload[14:]
+	switch resp.Status {
+	case StatusOK:
+		if len(rest) < 4 {
+			return fmt.Errorf("serve: truncated qubit count")
+		}
+		n := binary.LittleEndian.Uint32(rest)
+		if int64(len(rest)) != 4+4*int64(n) {
+			return fmt.Errorf("serve: %d qubits need %d bytes, got %d", n, 4+4*int64(n), len(rest))
+		}
+		if cap(resp.Qubits) < int(n) {
+			resp.Qubits = make([]int32, 0, n)
+		}
+		for i := 0; i < int(n); i++ {
+			resp.Qubits = append(resp.Qubits, int32(binary.LittleEndian.Uint32(rest[4+4*i:])))
+		}
+	case StatusShed:
+		if len(rest) != 0 {
+			return fmt.Errorf("serve: %d trailing bytes after shed response", len(rest))
+		}
+	case StatusError:
+		if len(rest) < 4 {
+			return fmt.Errorf("serve: truncated error message length")
+		}
+		n := binary.LittleEndian.Uint32(rest)
+		if int64(len(rest)) != 4+int64(n) {
+			return fmt.Errorf("serve: %d-byte message needs %d bytes, got %d", n, 4+int64(n), len(rest))
+		}
+		resp.Msg = string(rest[4:])
+	default:
+		return fmt.Errorf("serve: invalid status %d", resp.Status)
+	}
+	return nil
+}
+
+// ReadFrame reads one frame from br, appending its payload into buf
+// (reusing capacity) and returning the message type and payload view.
+// io.EOF is returned verbatim on a clean end of stream; a stream that
+// ends mid-frame yields io.ErrUnexpectedEOF.
+func ReadFrame(br *bufio.Reader, buf []byte) (MsgType, []byte, error) {
+	var hdr [headerLen]byte
+	if _, err := io.ReadFull(br, hdr[:1]); err != nil {
+		return 0, buf[:0], err // io.EOF only possible here: clean close
+	}
+	if _, err := io.ReadFull(br, hdr[1:]); err != nil {
+		if err == io.EOF {
+			err = io.ErrUnexpectedEOF
+		}
+		return 0, buf[:0], err
+	}
+	if binary.LittleEndian.Uint16(hdr[:]) != frameMagic {
+		return 0, buf[:0], ErrBadMagic
+	}
+	if hdr[2] != frameVersion {
+		return 0, buf[:0], ErrBadVersion
+	}
+	t := MsgType(hdr[3])
+	if t != MsgDecode && t != MsgResult {
+		return 0, buf[:0], fmt.Errorf("serve: unknown frame type %d", hdr[3])
+	}
+	n := binary.LittleEndian.Uint32(hdr[4:])
+	if n > MaxFramePayload {
+		return 0, buf[:0], ErrFrameTooBig
+	}
+	if cap(buf) < int(n) {
+		buf = make([]byte, n)
+	}
+	buf = buf[:n]
+	if _, err := io.ReadFull(br, buf); err != nil {
+		if err == io.EOF {
+			err = io.ErrUnexpectedEOF
+		}
+		return 0, buf[:0], err
+	}
+	return t, buf, nil
+}

@@ -1,0 +1,221 @@
+package serve
+
+import (
+	"bufio"
+	"bytes"
+	"io"
+	"reflect"
+	"testing"
+
+	"repro/internal/lattice"
+	"repro/internal/mc"
+)
+
+// randRequest draws a request from a deterministic counter stream.
+func randRequest(seed, trial int64) *Request {
+	rng := mc.NewRand(seed, mc.DeriveID(0xf4a3e), trial)
+	n := rng.Intn(300)
+	req := &Request{
+		ID:       rng.Uint64(),
+		D:        rng.Intn(30) + 1,
+		EType:    lattice.ErrorType(rng.Intn(2)),
+		Syndrome: make([]bool, n),
+	}
+	for i := range req.Syndrome {
+		req.Syndrome[i] = rng.Intn(4) == 0
+	}
+	return req
+}
+
+func randResponse(seed, trial int64) *Response {
+	rng := mc.NewRand(seed, mc.DeriveID(0xf4a3f), trial)
+	resp := &Response{ID: rng.Uint64(), Status: Status(rng.Intn(3)), Cycles: 0}
+	switch resp.Status {
+	case StatusOK:
+		resp.Cycles = rng.Uint32()
+		resp.Qubits = make([]int32, rng.Intn(40))
+		for i := range resp.Qubits {
+			resp.Qubits[i] = rng.Int31()
+		}
+	case StatusError:
+		resp.Msg = string(rune('a'+rng.Intn(26))) + "-failure"
+	}
+	return resp
+}
+
+// TestFrameRoundTrip pins the codec: append → read → parse recovers
+// the exact request/response for a deterministic sample of both.
+func TestFrameRoundTrip(t *testing.T) {
+	var wire []byte
+	var reqs []*Request
+	var resps []*Response
+	for trial := int64(0); trial < 64; trial++ {
+		req := randRequest(11, trial)
+		resp := randResponse(11, trial)
+		var err error
+		wire, err = AppendRequest(wire, req)
+		if err != nil {
+			t.Fatal(err)
+		}
+		wire, err = AppendResponse(wire, resp)
+		if err != nil {
+			t.Fatal(err)
+		}
+		reqs, resps = append(reqs, req), append(resps, resp)
+	}
+	br := bufio.NewReader(bytes.NewReader(wire))
+	var buf []byte
+	var req Request
+	var resp Response
+	for i := 0; ; i++ {
+		mt, payload, err := ReadFrame(br, buf)
+		if err == io.EOF {
+			if i != 2*len(reqs) {
+				t.Fatalf("stream ended after %d frames, want %d", i, 2*len(reqs))
+			}
+			break
+		}
+		if err != nil {
+			t.Fatalf("frame %d: %v", i, err)
+		}
+		buf = payload
+		switch mt {
+		case MsgDecode:
+			if err := ParseRequest(payload, &req); err != nil {
+				t.Fatalf("frame %d: %v", i, err)
+			}
+			want := reqs[i/2]
+			if req.ID != want.ID || req.D != want.D || req.EType != want.EType ||
+				!reflect.DeepEqual(req.Syndrome, want.Syndrome) {
+				t.Fatalf("frame %d: request %+v, want %+v", i, req, *want)
+			}
+		case MsgResult:
+			if err := ParseResponse(payload, &resp); err != nil {
+				t.Fatalf("frame %d: %v", i, err)
+			}
+			want := resps[i/2]
+			if resp.ID != want.ID || resp.Status != want.Status || resp.Cycles != want.Cycles ||
+				resp.Msg != want.Msg || len(resp.Qubits) != len(want.Qubits) {
+				t.Fatalf("frame %d: response %+v, want %+v", i, resp, *want)
+			}
+			for j := range resp.Qubits {
+				if resp.Qubits[j] != want.Qubits[j] {
+					t.Fatalf("frame %d qubit %d: %d, want %d", i, j, resp.Qubits[j], want.Qubits[j])
+				}
+			}
+		}
+	}
+}
+
+// TestFrameRejects pins the strict-parse errors: truncation, bad magic,
+// bad version, oversized length, nonzero pad, set padding bits.
+func TestFrameRejects(t *testing.T) {
+	good, err := AppendRequest(nil, &Request{ID: 7, D: 3, Syndrome: []bool{true, false, true}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	read := func(b []byte) error {
+		_, _, err := ReadFrame(bufio.NewReader(bytes.NewReader(b)), nil)
+		return err
+	}
+	if err := read(good); err != nil {
+		t.Fatalf("canonical frame rejected: %v", err)
+	}
+	cases := []struct {
+		name   string
+		mut    func([]byte) []byte
+		accept func(error) bool
+	}{
+		{"bad magic", func(b []byte) []byte { b[0] ^= 0xff; return b },
+			func(e error) bool { return e == ErrBadMagic }},
+		{"bad version", func(b []byte) []byte { b[2] = 9; return b },
+			func(e error) bool { return e == ErrBadVersion }},
+		{"oversized length", func(b []byte) []byte {
+			b[4], b[5], b[6], b[7] = 0xff, 0xff, 0xff, 0xff
+			return b
+		}, func(e error) bool { return e == ErrFrameTooBig }},
+		{"truncated payload", func(b []byte) []byte { return b[:len(b)-1] },
+			func(e error) bool { return e == io.ErrUnexpectedEOF }},
+		{"truncated header", func(b []byte) []byte { return b[:4] },
+			func(e error) bool { return e == io.ErrUnexpectedEOF }},
+		{"unknown type", func(b []byte) []byte { b[3] = 42; return b },
+			func(e error) bool { return e != nil }},
+	}
+	for _, tc := range cases {
+		b := tc.mut(append([]byte(nil), good...))
+		if err := read(b); !tc.accept(err) {
+			t.Errorf("%s: error %v not the expected rejection", tc.name, err)
+		}
+	}
+
+	// Payload-level strictness, bypassing the frame header.
+	var req Request
+	payload := append([]byte(nil), good[headerLen:]...)
+	payload[11] = 1 // pad byte
+	if err := ParseRequest(payload, &req); err == nil {
+		t.Error("nonzero pad byte accepted")
+	}
+	payload = append([]byte(nil), good[headerLen:]...)
+	payload[len(payload)-1] |= 0x80 // padding bit beyond 3 syndrome bits
+	if err := ParseRequest(payload, &req); err == nil {
+		t.Error("set syndrome padding bit accepted")
+	}
+	if err := ParseRequest(good[headerLen:len(good)-1], &req); err == nil {
+		t.Error("short payload accepted")
+	}
+}
+
+// FuzzFrame throws hostile bytes at the reader/parser stack (must not
+// panic, must not over-allocate past MaxFramePayload) and checks the
+// canonical-form property on everything that parses: a payload the
+// strict parser accepts re-encodes to the identical bytes. ci.sh runs
+// this a short while on every build.
+func FuzzFrame(f *testing.F) {
+	for trial := int64(0); trial < 8; trial++ {
+		wire, err := AppendRequest(nil, randRequest(29, trial))
+		if err != nil {
+			f.Fatal(err)
+		}
+		wire, err = AppendResponse(wire, randResponse(29, trial))
+		if err != nil {
+			f.Fatal(err)
+		}
+		f.Add(wire)
+	}
+	f.Add([]byte{0x46, 0x51, 1, 1, 0xff, 0xff, 0xff, 0x7f})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		br := bufio.NewReader(bytes.NewReader(data))
+		var buf []byte
+		for {
+			mt, payload, err := ReadFrame(br, buf)
+			if err != nil {
+				return
+			}
+			buf = payload
+			switch mt {
+			case MsgDecode:
+				var req Request
+				if err := ParseRequest(payload, &req); err == nil {
+					out, err := AppendRequest(nil, &req)
+					if err != nil {
+						t.Fatalf("parsed request does not re-encode: %v", err)
+					}
+					if !bytes.Equal(out[headerLen:], payload) {
+						t.Fatalf("request not canonical:\n got %x\nwant %x", out[headerLen:], payload)
+					}
+				}
+			case MsgResult:
+				var resp Response
+				if err := ParseResponse(payload, &resp); err == nil {
+					out, err := AppendResponse(nil, &resp)
+					if err != nil {
+						t.Fatalf("parsed response does not re-encode: %v", err)
+					}
+					if !bytes.Equal(out[headerLen:], payload) {
+						t.Fatalf("response not canonical:\n got %x\nwant %x", out[headerLen:], payload)
+					}
+				}
+			}
+		}
+	})
+}

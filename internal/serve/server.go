@@ -1,0 +1,413 @@
+package serve
+
+import (
+	"fmt"
+	"net"
+	"sync"
+	"time"
+
+	"repro/internal/decodepool"
+	"repro/internal/lattice"
+	"repro/internal/obs"
+	"repro/internal/sfq"
+)
+
+// Config parameterizes a Server. The zero value of every field has a
+// usable default.
+type Config struct {
+	// Variant is the mesh design decoding requests. The zero value is
+	// sfq.Baseline — callers wanting the paper's complete design pass
+	// sfq.Final explicitly (cmd/serve does).
+	Variant sfq.Variant
+	// Distances are the code distances the server accepts (default
+	// {3, 5, 7, 9}). Each distance gets one queue per error type.
+	Distances []int
+	// Workers is the decode-worker count per (distance, error type)
+	// queue (default 1). Each worker owns one batch mesh.
+	Workers int
+	// Lanes fixes each worker's batch-mesh lane width. 0 (the default)
+	// draws maximum-width meshes from the pool; an explicit width builds
+	// private meshes, trading peak throughput for batch latency.
+	Lanes int
+	// QueueDepth is each (d, e) queue's capacity (default 64). A full
+	// queue sheds — the hard backpressure bound behind the model-driven
+	// controller.
+	QueueDepth int
+	// Window is the per-connection in-flight request cap (default 32).
+	// A connection at its window stops being read, pushing backpressure
+	// into the client's TCP send buffer.
+	Window int
+	// Enter and Exit override the controller's hysteresis bounds when
+	// both are nonzero (defaults 1.0 and 0.85).
+	Enter, Exit float64
+	// EvalEvery is the controller's re-evaluation period (default 50ms).
+	EvalEvery time.Duration
+	// Pool supplies decoder meshes (default: a fresh pool for Variant).
+	// Sharing a pool across servers shares its accounting.
+	Pool *sfq.Pool
+	// Registry receives the serve_* metrics (default obs.Default()).
+	// Tests pass a private registry to keep controller inputs isolated.
+	Registry *obs.Registry
+}
+
+// task is one admitted request in a decode queue. deliver is invoked
+// exactly once, from the decode worker, with a response the receiver
+// owns.
+type task struct {
+	id      uint64
+	syn     []bool
+	deliver func(*Response)
+}
+
+type queueKey struct {
+	d int
+	e lattice.ErrorType
+}
+
+type queue struct {
+	d  int
+	e  lattice.ErrorType
+	ch chan task
+}
+
+// Server is the decode service: admission control in front of
+// per-(distance, error type) queues, drained by workers that coalesce
+// queued requests into SWAR batch-mesh lanes. Create with New, attach
+// transports with Serve (framed TCP) and Handler (HTTP), stop with
+// Close.
+type Server struct {
+	cfg  Config
+	pool *sfq.Pool
+	reg  *obs.Registry
+
+	queues map[queueKey]*queue
+	ctl    *Controller
+	meter  arrivalMeter
+
+	decodeNs  *obs.Histogram
+	reqTotal  *obs.Counter
+	okTotal   *obs.Counter
+	shedTotal *obs.Counter
+	errTotal  *obs.Counter
+	shedGauge *obs.Gauge
+	ratioPpm  *obs.Gauge
+	connGauge *obs.Gauge
+
+	mu        sync.RWMutex
+	closed    bool
+	listeners []net.Listener
+	conns     map[*srvConn]struct{}
+
+	workers    sync.WaitGroup
+	connWG     sync.WaitGroup
+	tickerStop chan struct{}
+	tickerDone chan struct{}
+}
+
+// New builds and starts a server: its decode workers and controller
+// loop run until Close.
+func New(cfg Config) *Server {
+	if len(cfg.Distances) == 0 {
+		cfg.Distances = []int{3, 5, 7, 9}
+	}
+	if cfg.Workers <= 0 {
+		cfg.Workers = 1
+	}
+	if cfg.QueueDepth <= 0 {
+		cfg.QueueDepth = 64
+	}
+	if cfg.Window <= 0 {
+		cfg.Window = 32
+	}
+	if cfg.EvalEvery <= 0 {
+		cfg.EvalEvery = 50 * time.Millisecond
+	}
+	if cfg.Pool == nil {
+		cfg.Pool = sfq.NewPool(cfg.Variant)
+	}
+	if cfg.Registry == nil {
+		cfg.Registry = obs.Default()
+	}
+	s := &Server{
+		cfg:        cfg,
+		pool:       cfg.Pool,
+		reg:        cfg.Registry,
+		queues:     map[queueKey]*queue{},
+		conns:      map[*srvConn]struct{}{},
+		decodeNs:   cfg.Registry.Histogram("serve_decode_ns"),
+		reqTotal:   cfg.Registry.Counter("serve_requests_total"),
+		okTotal:    cfg.Registry.Counter("serve_ok_total"),
+		shedTotal:  cfg.Registry.Counter("serve_shed_total"),
+		errTotal:   cfg.Registry.Counter("serve_error_total"),
+		shedGauge:  cfg.Registry.Gauge("serve_shedding"),
+		ratioPpm:   cfg.Registry.Gauge("serve_backlog_ratio_ppm"),
+		connGauge:  cfg.Registry.Gauge("serve_conns"),
+		tickerStop: make(chan struct{}),
+		tickerDone: make(chan struct{}),
+	}
+	// Controller capacity: how many decodes the whole service advances
+	// concurrently when saturated — lanes × workers, summed over queues.
+	capacity := 0.0
+	for _, d := range cfg.Distances {
+		lanes := cfg.Lanes
+		if max := sfq.MaxBatchLanes(d); lanes < 1 || lanes > max {
+			lanes = max
+		}
+		for _, e := range []lattice.ErrorType{lattice.ZErrors, lattice.XErrors} {
+			q := &queue{d: d, e: e, ch: make(chan task, cfg.QueueDepth)}
+			s.queues[queueKey{d, e}] = q
+			for w := 0; w < cfg.Workers; w++ {
+				s.workers.Add(1)
+				go s.runWorker(q)
+			}
+			capacity += float64(lanes * cfg.Workers)
+		}
+	}
+	s.ctl = NewController(capacity)
+	if cfg.Enter != 0 && cfg.Exit != 0 {
+		s.ctl.Enter, s.ctl.Exit = cfg.Enter, cfg.Exit
+	}
+	go s.controlLoop()
+	return s
+}
+
+// Controller returns the server's admission controller (read-only use:
+// Shedding, Ratio).
+func (s *Server) Controller() *Controller { return s.ctl }
+
+// Pool returns the mesh pool backing the decode workers.
+func (s *Server) Pool() *sfq.Pool { return s.pool }
+
+// controlLoop re-evaluates the SLO controller on a fixed period, from
+// the live arrival-rate estimate and service-time histogram, and
+// mirrors its state into the serve_shedding / serve_backlog_ratio_ppm
+// gauges.
+func (s *Server) controlLoop() {
+	defer close(s.tickerDone)
+	t := time.NewTicker(s.cfg.EvalEvery)
+	defer t.Stop()
+	for {
+		select {
+		case <-s.tickerStop:
+			return
+		case now := <-t.C:
+			shedding := s.ctl.Update(s.meter.intervalNs(now), s.decodeNs.Snapshot())
+			if shedding {
+				s.shedGauge.Set(1)
+			} else {
+				s.shedGauge.Set(0)
+			}
+			s.ratioPpm.Set(int64(s.ctl.Ratio() * 1e6))
+		}
+	}
+}
+
+// submit runs admission control and, if the request is admitted,
+// enqueues it. deliver is invoked exactly once in every path —
+// synchronously for rejections, from a decode worker for admitted
+// requests — with a response the caller owns. The syndrome is copied,
+// so the caller may reuse its buffer immediately.
+func (s *Server) submit(d int, e lattice.ErrorType, id uint64, syn []bool, deliver func(*Response)) {
+	s.reqTotal.Inc()
+	s.mu.RLock()
+	if s.closed {
+		s.mu.RUnlock()
+		s.errTotal.Inc()
+		deliver(&Response{ID: id, Status: StatusError, Msg: "server draining"})
+		return
+	}
+	q := s.queues[queueKey{d, e}]
+	if q == nil {
+		s.mu.RUnlock()
+		s.errTotal.Inc()
+		deliver(&Response{ID: id, Status: StatusError,
+			Msg: fmt.Sprintf("unsupported distance %d (serving %v)", d, s.cfg.Distances)})
+		return
+	}
+	if want := s.pool.Graph(d, e).NumChecks(); len(syn) != want {
+		s.mu.RUnlock()
+		s.errTotal.Inc()
+		deliver(&Response{ID: id, Status: StatusError,
+			Msg: fmt.Sprintf("syndrome has %d checks, d=%d wants %d", len(syn), d, want)})
+		return
+	}
+	if s.ctl.Shedding() {
+		s.mu.RUnlock()
+		s.shedTotal.Inc()
+		deliver(&Response{ID: id, Status: StatusShed})
+		return
+	}
+	s.meter.tick(time.Now())
+	t := task{id: id, syn: append([]bool(nil), syn...), deliver: deliver}
+	select {
+	case q.ch <- t:
+		s.mu.RUnlock()
+	default:
+		// Queue full: the hard backpressure bound. The controller's
+		// model-driven shedding usually engages first; this path covers
+		// bursts faster than its evaluation period.
+		s.mu.RUnlock()
+		s.shedTotal.Inc()
+		deliver(&Response{ID: id, Status: StatusShed})
+	}
+}
+
+// Decode runs one request through admission and the decode pipeline,
+// blocking for its response. This is the synchronous path behind the
+// HTTP handler; the framed TCP path pipelines instead (see ServeConn).
+func (s *Server) Decode(d int, e lattice.ErrorType, id uint64, syn []bool) *Response {
+	ch := make(chan *Response, 1)
+	s.submit(d, e, id, syn, func(r *Response) { ch <- r })
+	return <-ch
+}
+
+// runWorker drains one queue: it blocks for a task, coalesces whatever
+// else is queued — without waiting — into up to one full batch of mesh
+// lanes, decodes the batch, and delivers every response. Coalescing is
+// opportunistic by design: an idle service decodes single requests at
+// scalar latency, a saturated one fills all lanes and rides the SWAR
+// kernel's per-instruction parallelism.
+func (s *Server) runWorker(q *queue) {
+	defer s.workers.Done()
+	g := s.pool.Graph(q.d, q.e)
+	var b *sfq.BatchMesh
+	if s.cfg.Lanes > 0 {
+		b = sfq.NewBatchWithLanes(g, s.cfg.Variant, s.cfg.Lanes)
+	} else {
+		b = s.pool.GetBatch(q.d, q.e)
+		defer s.pool.PutBatch(b)
+	}
+	scratch := decodepool.NewScratch()
+	tasks := make([]task, 0, b.Lanes())
+	syns := make([][]bool, 0, b.Lanes())
+	for {
+		t, ok := <-q.ch
+		if !ok {
+			return
+		}
+		tasks = append(tasks[:0], t)
+	coalesce:
+		for len(tasks) < b.Lanes() {
+			select {
+			case t2, ok := <-q.ch:
+				if !ok {
+					break coalesce
+				}
+				tasks = append(tasks, t2)
+			default:
+				break coalesce
+			}
+		}
+		s.decodeTasks(b, g, scratch, tasks, &syns)
+	}
+}
+
+// decodeTasks decodes one coalesced batch and delivers its responses.
+// Each response owns its qubit slice (the corrections alias the
+// worker's scratch, which the next batch reuses).
+func (s *Server) decodeTasks(b *sfq.BatchMesh, g *lattice.Graph, scratch *decodepool.Scratch, tasks []task, syns *[][]bool) {
+	*syns = (*syns)[:0]
+	for i := range tasks {
+		*syns = append(*syns, tasks[i].syn)
+	}
+	start := time.Now()
+	cs, err := decodepool.DecodeBatch(b, g, *syns, scratch)
+	if err != nil {
+		s.errTotal.Add(int64(len(tasks)))
+		for i := range tasks {
+			tasks[i].deliver(&Response{ID: tasks[i].id, Status: StatusError, Msg: err.Error()})
+		}
+		return
+	}
+	// The controller's service-time signal: wall-clock cost per request,
+	// so lane sharing shows up as the speedup it is.
+	perNs := uint64(time.Since(start).Nanoseconds()) / uint64(len(tasks))
+	for i := range tasks {
+		s.decodeNs.Observe(perNs)
+		resp := &Response{
+			ID:     tasks[i].id,
+			Status: StatusOK,
+			Cycles: uint32(b.LaneStats(i).Cycles),
+		}
+		if qs := cs[i].Qubits; len(qs) > 0 {
+			resp.Qubits = make([]int32, len(qs))
+			for j, qb := range qs {
+				resp.Qubits[j] = int32(qb)
+			}
+		}
+		s.okTotal.Inc()
+		tasks[i].deliver(resp)
+	}
+}
+
+// Serve accepts framed-TCP connections on ln until the listener closes
+// (Close closes every registered listener). It returns nil after a
+// graceful Close, the accept error otherwise.
+func (s *Server) Serve(ln net.Listener) error {
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		ln.Close()
+		return fmt.Errorf("serve: server is closed")
+	}
+	s.listeners = append(s.listeners, ln)
+	s.mu.Unlock()
+	for {
+		c, err := ln.Accept()
+		if err != nil {
+			s.mu.RLock()
+			closed := s.closed
+			s.mu.RUnlock()
+			if closed {
+				return nil
+			}
+			return err
+		}
+		s.connWG.Add(1)
+		go func() {
+			defer s.connWG.Done()
+			s.ServeConn(c)
+		}()
+	}
+}
+
+// Close drains and stops the server: admission switches to "draining"
+// errors, connection readers are unblocked, every already-admitted
+// request is decoded and its response delivered, and the decode workers
+// return their meshes to the pool. Close blocks until all of that is
+// done; after it returns, the pool's Outstanding count is back to its
+// pre-server value.
+func (s *Server) Close() error {
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		return nil
+	}
+	s.closed = true
+	lns := s.listeners
+	conns := make([]*srvConn, 0, len(s.conns))
+	for c := range s.conns {
+		conns = append(conns, c)
+	}
+	s.mu.Unlock()
+
+	close(s.tickerStop)
+	<-s.tickerDone
+	for _, ln := range lns {
+		ln.Close()
+	}
+	// Unblock every connection reader; writers then drain each
+	// connection's in-flight responses before closing it.
+	for _, c := range conns {
+		c.cancelRead()
+	}
+	s.connWG.Wait()
+	// No admissions can be in flight (they hold the read lock, and
+	// closed was set under the write lock), so the queues are safe to
+	// close; workers drain what remains and exit.
+	for _, q := range s.queues {
+		close(q.ch)
+	}
+	s.workers.Wait()
+	return nil
+}

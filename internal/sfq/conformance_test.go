@@ -3,10 +3,10 @@ package sfq
 import (
 	"fmt"
 	"math/rand"
-	"os"
 	"testing"
 
 	"repro/internal/decodepool"
+	"repro/internal/knob"
 	"repro/internal/lattice"
 	"repro/internal/pauli"
 )
@@ -17,7 +17,7 @@ import (
 // variant, error type, and syndrome thrown at them.
 
 func confShort() bool {
-	return testing.Short() || os.Getenv("REPRO_MC_SHORT") != ""
+	return testing.Short() || knob.Bool("REPRO_MC_SHORT")
 }
 
 // kernelPair builds a legacy and a bit-plane mesh over the same graph.

@@ -2,10 +2,10 @@ package sfq
 
 import (
 	"fmt"
-	"os"
 
 	"repro/internal/decodepool"
 	"repro/internal/decoder"
+	"repro/internal/knob"
 	"repro/internal/lattice"
 	"repro/internal/obs"
 )
@@ -68,12 +68,16 @@ func KernelByName(name string) (Kernel, bool) {
 }
 
 // DefaultKernel is what New uses; the REPRO_SFQ_KERNEL environment
-// variable ("legacy" or "bitplane") overrides it at process start.
+// variable ("legacy" or "bitplane") overrides it at process start. The
+// knob layer validates the value, so a typo'd kernel name panics at
+// startup instead of silently selecting the default.
 var DefaultKernel = kernelFromEnv()
 
 func kernelFromEnv() Kernel {
-	if k, ok := KernelByName(os.Getenv("REPRO_SFQ_KERNEL")); ok {
-		return k
+	if v := knob.String("REPRO_SFQ_KERNEL"); v != "" {
+		if k, ok := KernelByName(v); ok {
+			return k
+		}
 	}
 	return KernelBitplane
 }

@@ -9,7 +9,6 @@ import (
 	"context"
 	"math"
 	"math/rand"
-	"os"
 	"strings"
 	"testing"
 	"testing/quick"
@@ -18,6 +17,7 @@ import (
 	"repro/internal/decoder/greedy"
 	"repro/internal/decoder/mwpm"
 	"repro/internal/decoder/unionfind"
+	"repro/internal/knob"
 	"repro/internal/lattice"
 	"repro/internal/mc"
 	"repro/internal/noise"
@@ -28,7 +28,7 @@ import (
 // uses it), full otherwise. Only applied where statistical tolerances
 // scale with the sample size.
 func shortOr(full, short int) int {
-	if os.Getenv("REPRO_MC_SHORT") != "" {
+	if knob.Bool("REPRO_MC_SHORT") {
 		return short
 	}
 	return full

@@ -1,12 +1,12 @@
 package repro_test
 
 import (
-	"os"
 	"testing"
 	"time"
 
 	"repro/internal/decodepool"
 	"repro/internal/decoder/greedy"
+	"repro/internal/knob"
 	"repro/internal/lattice"
 	"repro/internal/obs"
 )
@@ -18,7 +18,7 @@ import (
 // ratios are too noisy for an always-on unit test; min-of-rounds with
 // interleaved measurement keeps the comparison stable when it does run.
 func TestObsOverheadGuard(t *testing.T) {
-	if os.Getenv("REPRO_OBS_GUARD") != "1" {
+	if !knob.Bool("REPRO_OBS_GUARD") {
 		t.Skip("timing guard; set REPRO_OBS_GUARD=1 to run")
 	}
 	if decodepool.RaceEnabled {
