@@ -7,15 +7,21 @@
 # under the race detector, a short native-fuzz smoke over the blossom
 # matcher, the decode dispatch, the SFQ mesh kernel pair, and the SWAR
 # batch kernel, short bit-plane/legacy and batch/scalar conformance
-# passes, a batched-vs-scalar sweep determinism gate under the race
+# passes, the two-level escalation gates (differential conformance
+# against pure mesh / pure MWPM, a FuzzTwoLevel smoke, and the
+# two-level sweep determinism test under the race detector), a
+# batched-vs-scalar sweep determinism gate under the race
 # detector, the telemetry gates (a dedicated
 # race pass over internal/obs, the live /metrics smoke scrape, and the
 # <=5% instrumentation-overhead guard on the decode hot path), and the
 # decode-hot-path benchmarks
 # (which also regenerate BENCH_pr2.json, BENCH_pr3.json and
 # BENCH_pr5.json), and finally the decode service gates: wire
-# conformance + a race-detector hammer over internal/serve, a FuzzFrame
-# smoke, and a live serve+loadgen run that regenerates BENCH_pr6.json.
+# conformance + a race-detector hammer over internal/serve (including
+# the escalation hammer), a FuzzFrame
+# smoke, a live serve+loadgen run in two-level mode that regenerates
+# BENCH_pr6.json, and the two-level accuracy-vs-latency frontier run
+# that regenerates BENCH_pr7.json.
 # The race
 # run sets
 # REPRO_MC_SHORT=1, which the statistical tests in internal/stats and
@@ -47,10 +53,16 @@ go test -run='^$' -fuzz=FuzzDecode -fuzztime=5s ./internal/decoder
 go test -run='^$' -fuzz='^FuzzMesh$' -fuzztime=5s ./internal/sfq
 go test -run='^$' -fuzz='^FuzzBatchMesh$' -fuzztime=5s ./internal/sfq
 go test -run='^$' -fuzz='^FuzzFrame$' -fuzztime=5s ./internal/serve
+go test -run='^$' -fuzz='^FuzzTwoLevel$' -fuzztime=5s ./internal/twolevel
 
 echo "== mesh kernel conformance (short) =="
 REPRO_MC_SHORT=1 go test -run TestBitplaneConformance ./internal/sfq
 REPRO_MC_SHORT=1 go test -run TestBatchMeshConformance ./internal/sfq
+REPRO_MC_SHORT=1 go test -run TestStatsExitPathParity ./internal/sfq
+
+echo "== two-level escalation: differential conformance + sweep determinism (race) =="
+REPRO_MC_SHORT=1 go test -run 'TestTwoLevelConformance|TestTwoLevelCounters' -count=1 ./internal/twolevel
+REPRO_MC_SHORT=1 go test -race -run TestCurvesTwoLevelDeterminism -count=1 ./internal/stats
 
 echo "== decode service: wire conformance + race hammer + backpressure =="
 REPRO_MC_SHORT=1 go test -run 'TestWireConformance|TestHTTPConformance' -count=1 ./internal/serve
@@ -82,7 +94,11 @@ cleanup_serve() {
 trap cleanup_serve EXIT
 go build -o "$SERVE_TMP/serve" ./cmd/serve
 go build -o "$SERVE_TMP/loadgen" ./cmd/loadgen
-"$SERVE_TMP/serve" -d 9,13 -lanes 1 -addr-file "$SERVE_TMP/addr" &
+# -escalate: the run exercises the full two-level service path — flags
+# on the wire, the bounded level-2 queue, and the merged two-tier
+# latency signal into admission control. -esc-hot 14 keeps the
+# escalation rate moderate at the loadgen workload's density.
+"$SERVE_TMP/serve" -d 9,13 -lanes 1 -escalate -esc-hot 14 -addr-file "$SERVE_TMP/addr" &
 SERVE_PID=$!
 for _ in $(seq 50); do
 	[ -s "$SERVE_TMP/addr" ] && break
@@ -94,5 +110,9 @@ TCP_ADDR=$(awk '/^tcp /{print $2}' "$SERVE_TMP/addr")
 kill "$SERVE_PID"
 wait "$SERVE_PID" 2>/dev/null || true
 SERVE_PID=""
+
+echo "== two-level frontier: accuracy vs latency (BENCH_pr7.json) =="
+go run ./cmd/compare -frontier -distances 7,9,11 -frontier-p 0.03,0.06,0.09 \
+	-cycles 2500 -seed 1 -out BENCH_pr7.json
 
 echo "CI OK"

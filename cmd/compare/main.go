@@ -96,6 +96,11 @@ func main() {
 	seed := flag.Int64("seed", 1, "random seed (shared across decoders)")
 	workers := flag.Int("workers", 0, "concurrent trial shards (0 = GOMAXPROCS)")
 	obsAddr := flag.String("obs", "", "serve /metrics, /metrics.json, /manifest.json and /debug/pprof on this address (e.g. :9090)")
+	frontier := flag.Bool("frontier", false, "run the two-level accuracy-vs-latency frontier instead of the decoder table")
+	frontierPs := flag.String("frontier-p", "0.04,0.08,0.12", "physical rates of the frontier sweep")
+	escHot := flag.Int("esc-hot", 0, "frontier escalation policy: hot-check count threshold (0 = ~30% of checks per distance)")
+	out := flag.String("out", "BENCH_pr7.json", "frontier artifact path")
+	strict := flag.Bool("strict", false, "exit nonzero if the frontier property fails at any distance")
 	flag.Parse()
 
 	var ds []int
@@ -105,6 +110,21 @@ func main() {
 			log.Fatal(err)
 		}
 		ds = append(ds, v)
+	}
+
+	if *frontier {
+		var fps []float64
+		for _, s := range strings.Split(*frontierPs, ",") {
+			v, err := strconv.ParseFloat(strings.TrimSpace(s), 64)
+			if err != nil {
+				log.Fatal(err)
+			}
+			fps = append(fps, v)
+		}
+		ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
+		defer stop()
+		runFrontier(ctx, ds, fps, *cycles, *seed, *escHot, *workers, *out, *strict)
+		return
 	}
 
 	type row struct {

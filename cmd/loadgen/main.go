@@ -54,7 +54,9 @@ type Row struct {
 	OK          int64   `json:"ok"`
 	Shed        int64   `json:"shed"`
 	Errors      int64   `json:"errors"`
+	Escalated   int64   `json:"escalated"` // OK responses flagged for level-2 re-decode
 	ShedRate    float64 `json:"shed_rate"`
+	EscRate     float64 `json:"esc_rate"` // Escalated / OK
 	P50Ns       uint64  `json:"p50_ns"`
 	P90Ns       uint64  `json:"p90_ns"`
 	P99Ns       uint64  `json:"p99_ns"`
@@ -143,8 +145,8 @@ func main() {
 	}
 	for i, rps := range rates {
 		row := runRate(clients, *d, e, syns, rps, *duration, *seed, int64(i))
-		log.Printf("offered %.0f/s: achieved %.0f/s ok, shed %.1f%%, p50 %s p99 %s",
-			row.OfferedRPS, row.AchievedRPS, 100*row.ShedRate,
+		log.Printf("offered %.0f/s: achieved %.0f/s ok, shed %.1f%%, escalated %.1f%%, p50 %s p99 %s",
+			row.OfferedRPS, row.AchievedRPS, 100*row.ShedRate, 100*row.EscRate,
 			time.Duration(row.P50Ns), time.Duration(row.P99Ns))
 		art.Rows = append(art.Rows, row)
 	}
@@ -214,7 +216,7 @@ func runRate(clients []*serve.Client, d int, e lattice.ErrorType, syns [][]bool,
 	rps float64, dur time.Duration, seed, point int64) Row {
 	rng := mc.NewRand(seed, mc.DeriveID(0xa881, uint64(point)), 0)
 	hist := obs.NewHistogram()
-	var ok, shed, errs atomic.Int64
+	var ok, shed, errs, escalated atomic.Int64
 	var wg sync.WaitGroup
 
 	start := time.Now()
@@ -248,6 +250,9 @@ func runRate(clients []*serve.Client, d int, e lattice.ErrorType, syns [][]bool,
 			case serve.StatusOK:
 				hist.Observe(uint64(time.Since(arrival)))
 				ok.Add(1)
+				if resp.Escalated {
+					escalated.Add(1)
+				}
 			case serve.StatusShed:
 				shed.Add(1)
 			default:
@@ -267,6 +272,7 @@ func runRate(clients []*serve.Client, d int, e lattice.ErrorType, syns [][]bool,
 		OK:          ok.Load(),
 		Shed:        shed.Load(),
 		Errors:      errs.Load(),
+		Escalated:   escalated.Load(),
 		P50Ns:       sum.P50,
 		P90Ns:       sum.P90,
 		P99Ns:       sum.P99,
@@ -275,6 +281,9 @@ func runRate(clients []*serve.Client, d int, e lattice.ErrorType, syns [][]bool,
 	}
 	if sent > 0 {
 		row.ShedRate = float64(row.Shed) / float64(sent)
+	}
+	if row.OK > 0 {
+		row.EscRate = float64(row.Escalated) / float64(row.OK)
 	}
 	return row
 }

@@ -10,6 +10,12 @@
 //	serve [-tcp 127.0.0.1:9000] [-http 127.0.0.1:9090] [-d 3,5,7,9]
 //	      [-variant final] [-workers 1] [-lanes 0] [-queue 64]
 //	      [-window 32] [-enter 1.0] [-exit 0.85] [-addr-file PATH]
+//	      [-escalate] [-esc-hot 4] [-esc-queue 256] [-esc-workers 1]
+//
+// -escalate turns on two-level decoding: responses still carry the
+// level-1 mesh correction at mesh latency, but suspect ones are flagged
+// on the wire and re-decoded asynchronously by exact MWPM, with the
+// two-tier latency mixture driving admission control.
 //
 // With -tcp/-http at ":0" the kernel picks the ports; -addr-file writes
 // the bound addresses ("tcp ADDR" and "http ADDR" lines) so scripts —
@@ -33,6 +39,7 @@ import (
 	"repro/internal/obs"
 	"repro/internal/serve"
 	"repro/internal/sfq"
+	"repro/internal/twolevel"
 )
 
 func main() {
@@ -55,6 +62,10 @@ func main() {
 	evalMs := flag.Int("eval-ms", 50, "controller evaluation period (ms)")
 	pprof := flag.Bool("pprof", true, "expose /debug/pprof on the HTTP listener")
 	addrFile := flag.String("addr-file", "", "write bound addresses to this file")
+	escalate := flag.Bool("escalate", false, "two-level mode: flag and asynchronously re-decode suspect corrections with exact MWPM")
+	escHot := flag.Int("esc-hot", 0, "escalate when the initial hot-check count reaches this (0 = stats triggers only)")
+	escQueue := flag.Int("esc-queue", 256, "escalation queue depth (full queue drops, never blocks level 1)")
+	escWorkers := flag.Int("esc-workers", 1, "level-2 MWPM workers")
 	flag.Parse()
 
 	v, ok := sfq.VariantByName(*variant)
@@ -73,17 +84,29 @@ func main() {
 	obs.Default().SetManifest(obs.NewManifest(map[string]any{
 		"variant": *variant, "distances": ds, "workers": *workers, "lanes": *lanes,
 		"queue": *queue, "window": *window, "enter": *enter, "exit": *exit,
+		"escalate": *escalate, "esc_hot": *escHot,
+		"esc_queue": *escQueue, "esc_workers": *escWorkers,
 	}))
+	var escPol *twolevel.Policy
+	if *escalate {
+		p := twolevel.DefaultPolicy()
+		p.HotThreshold = *escHot
+		escPol = &p
+	}
 	s := serve.New(serve.Config{
-		Variant:    v,
-		Distances:  ds,
-		Workers:    *workers,
-		Lanes:      *lanes,
-		QueueDepth: *queue,
-		Window:     *window,
-		Enter:      *enter,
-		Exit:       *exit,
-		EvalEvery:  time.Duration(*evalMs) * time.Millisecond,
+		Variant:        v,
+		Distances:      ds,
+		Workers:        *workers,
+		Lanes:          *lanes,
+		QueueDepth:     *queue,
+		Window:         *window,
+		Enter:          *enter,
+		Exit:           *exit,
+		EvalEvery:      time.Duration(*evalMs) * time.Millisecond,
+		Escalate:       *escalate,
+		EscalatePolicy: escPol,
+		EscQueueDepth:  *escQueue,
+		EscWorkers:     *escWorkers,
 	})
 
 	tcpLn, err := net.Listen("tcp", *tcpAddr)

@@ -140,6 +140,50 @@ func (h *Histogram) Snapshot() Snapshot {
 	return s
 }
 
+// Merge returns the snapshot of the combined observation streams:
+// counts and sums add, min/max widen, and buckets (kept sorted by lower
+// bound) sum pointwise. Merging snapshots of same-shaped histograms is
+// exact — the serve controller uses it to treat level-1 decode latency
+// and level-2 escalation latency as one service-time distribution.
+func (s Snapshot) Merge(o Snapshot) Snapshot {
+	if o.Count == 0 {
+		return s
+	}
+	if s.Count == 0 {
+		return o
+	}
+	out := Snapshot{
+		Count: s.Count + o.Count,
+		Sum:   s.Sum + o.Sum,
+		Min:   s.Min,
+		Max:   s.Max,
+	}
+	if o.Min < out.Min {
+		out.Min = o.Min
+	}
+	if o.Max > out.Max {
+		out.Max = o.Max
+	}
+	out.Buckets = make([]Bucket, 0, len(s.Buckets)+len(o.Buckets))
+	i, j := 0, 0
+	for i < len(s.Buckets) || j < len(o.Buckets) {
+		switch {
+		case j >= len(o.Buckets) || (i < len(s.Buckets) && s.Buckets[i].Lo < o.Buckets[j].Lo):
+			out.Buckets = append(out.Buckets, s.Buckets[i])
+			i++
+		case i >= len(s.Buckets) || o.Buckets[j].Lo < s.Buckets[i].Lo:
+			out.Buckets = append(out.Buckets, o.Buckets[j])
+			j++
+		default:
+			b := s.Buckets[i]
+			b.Count += o.Buckets[j].Count
+			out.Buckets = append(out.Buckets, b)
+			i, j = i+1, j+1
+		}
+	}
+	return out
+}
+
 // Mean returns the exact mean of the observed values (the sum is
 // tracked outside the buckets), or 0 for an empty snapshot.
 func (s Snapshot) Mean() float64 {

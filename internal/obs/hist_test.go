@@ -74,6 +74,23 @@ func TestMergeAssociative(t *testing.T) {
 	}
 }
 
+// Snapshot.Merge must agree exactly with Histogram.Merge: merging the
+// snapshots of two histograms yields the snapshot of the merged
+// histogram, from either side.
+func TestSnapshotMerge(t *testing.T) {
+	f := func(a, b []uint64) bool {
+		ha, hb := fill(a), fill(b)
+		sa, sb := ha.Snapshot(), hb.Snapshot()
+		ha.Merge(hb)
+		want := ha.Snapshot()
+		return reflect.DeepEqual(want, sa.Merge(sb)) &&
+			reflect.DeepEqual(want, sb.Merge(sa))
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
 // Quantile bounds: the extracted quantile never undershoots the exact
 // order statistic and overshoots by at most one bucket width (12.5%
 // relative, exact below 8).

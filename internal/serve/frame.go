@@ -47,7 +47,7 @@ import (
 //
 //	id      uint64
 //	status  uint8   StatusOK | StatusShed | StatusError
-//	pad     uint8   must be 0
+//	flags   uint8   FlagEscalated (StatusOK only); other bits must be 0
 //	cycles  uint32  mesh cycles consumed (0 unless StatusOK)
 //	then, for StatusOK:    nqubits uint32 + nqubits × uint32 qubit indices
 //	then, for StatusError: msglen  uint32 + msglen message bytes
@@ -89,6 +89,18 @@ const (
 	StatusError Status = 2
 )
 
+// Response flag bits (the byte after status in a MsgResult payload).
+const (
+	// FlagEscalated marks a StatusOK response whose mesh statistics
+	// tripped the server's escalation policy: the correction returned is
+	// the level-1 mesh answer, delivered at mesh latency, and the server
+	// has queued (or, under pressure, dropped) an asynchronous level-2
+	// re-decode. Clients treat the correction as lower-confidence.
+	FlagEscalated uint8 = 1 << 0
+
+	respFlagsKnown = FlagEscalated
+)
+
 // String names the status.
 func (s Status) String() string {
 	switch s {
@@ -112,11 +124,12 @@ type Request struct {
 
 // Response is one decode response.
 type Response struct {
-	ID     uint64
-	Status Status
-	Cycles uint32  // mesh cycles the decode consumed (StatusOK only)
-	Qubits []int32 // correction data-qubit indices (StatusOK only)
-	Msg    string  // human-readable cause (StatusError only)
+	ID        uint64
+	Status    Status
+	Escalated bool    // level-2 escalation triggered (StatusOK only)
+	Cycles    uint32  // mesh cycles the decode consumed (StatusOK only)
+	Qubits    []int32 // correction data-qubit indices (StatusOK only)
+	Msg       string  // human-readable cause (StatusError only)
 }
 
 // Framing errors.
@@ -224,9 +237,16 @@ func AppendResponse(dst []byte, resp *Response) ([]byte, error) {
 	if payload > MaxFramePayload {
 		return dst, ErrFrameTooBig
 	}
+	var flags uint8
+	if resp.Escalated {
+		if resp.Status != StatusOK {
+			return dst, fmt.Errorf("serve: escalated flag on %v response", resp.Status)
+		}
+		flags = FlagEscalated
+	}
 	dst = putHeader(dst, MsgResult, payload)
 	dst = binary.LittleEndian.AppendUint64(dst, resp.ID)
-	dst = append(dst, byte(resp.Status), 0)
+	dst = append(dst, byte(resp.Status), flags)
 	dst = binary.LittleEndian.AppendUint32(dst, resp.Cycles)
 	switch resp.Status {
 	case StatusOK:
@@ -249,9 +269,14 @@ func ParseResponse(payload []byte, resp *Response) error {
 	}
 	resp.ID = binary.LittleEndian.Uint64(payload)
 	resp.Status = Status(payload[8])
-	if payload[9] != 0 {
-		return fmt.Errorf("serve: nonzero pad byte")
+	flags := payload[9]
+	if flags&^respFlagsKnown != 0 {
+		return fmt.Errorf("serve: unknown response flags %#02x", flags)
 	}
+	if flags != 0 && resp.Status != StatusOK {
+		return fmt.Errorf("serve: response flags %#02x on %v status", flags, resp.Status)
+	}
+	resp.Escalated = flags&FlagEscalated != 0
 	resp.Cycles = binary.LittleEndian.Uint32(payload[10:])
 	resp.Qubits = resp.Qubits[:0]
 	resp.Msg = ""

@@ -33,6 +33,7 @@ func randResponse(seed, trial int64) *Response {
 	switch resp.Status {
 	case StatusOK:
 		resp.Cycles = rng.Uint32()
+		resp.Escalated = rng.Intn(3) == 0
 		resp.Qubits = make([]int32, rng.Intn(40))
 		for i := range resp.Qubits {
 			resp.Qubits[i] = rng.Int31()
@@ -95,6 +96,7 @@ func TestFrameRoundTrip(t *testing.T) {
 			}
 			want := resps[i/2]
 			if resp.ID != want.ID || resp.Status != want.Status || resp.Cycles != want.Cycles ||
+				resp.Escalated != want.Escalated ||
 				resp.Msg != want.Msg || len(resp.Qubits) != len(want.Qubits) {
 				t.Fatalf("frame %d: response %+v, want %+v", i, resp, *want)
 			}
@@ -162,6 +164,34 @@ func TestFrameRejects(t *testing.T) {
 	}
 	if err := ParseRequest(good[headerLen:len(good)-1], &req); err == nil {
 		t.Error("short payload accepted")
+	}
+
+	// Response flags: unknown bits and flags on non-OK statuses reject;
+	// the escalated flag round-trips on StatusOK.
+	var resp Response
+	okWire, err := AppendResponse(nil, &Response{ID: 9, Status: StatusOK, Escalated: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := ParseResponse(okWire[headerLen:], &resp); err != nil || !resp.Escalated {
+		t.Errorf("escalated response did not round-trip: %v %+v", err, resp)
+	}
+	bad := append([]byte(nil), okWire[headerLen:]...)
+	bad[9] = 0x82 // unknown flag bit
+	if err := ParseResponse(bad, &resp); err == nil {
+		t.Error("unknown response flag bit accepted")
+	}
+	shedWire, err := AppendResponse(nil, &Response{ID: 9, Status: StatusShed})
+	if err != nil {
+		t.Fatal(err)
+	}
+	bad = append([]byte(nil), shedWire[headerLen:]...)
+	bad[9] = FlagEscalated
+	if err := ParseResponse(bad, &resp); err == nil {
+		t.Error("escalated flag on shed response accepted")
+	}
+	if _, err := AppendResponse(nil, &Response{Status: StatusShed, Escalated: true}); err == nil {
+		t.Error("AppendResponse encoded escalated shed response")
 	}
 }
 

@@ -4,12 +4,14 @@ import (
 	"bufio"
 	"net"
 	"sync"
+	"sync/atomic"
 	"testing"
 	"time"
 
 	"repro/internal/lattice"
 	"repro/internal/obs"
 	"repro/internal/sfq"
+	"repro/internal/twolevel"
 )
 
 // TestHammerExactlyOnce is the concurrency workout ci.sh runs under
@@ -154,6 +156,122 @@ func TestHammerExactlyOnce(t *testing.T) {
 	}
 	if st.Gets == 0 {
 		t.Error("hammer never touched the pool; test is vacuous")
+	}
+}
+
+// TestHammerEscalation is the two-level variant of the hammer: an
+// aggressive policy flags most non-empty syndromes, a tiny escalation
+// queue forces drops under load, and clients disconnect abruptly with
+// flagged requests in flight. The books must still balance — exactly
+// one response per request on healthy connections, pool accounting
+// clean — and every flagged decode must be accounted as either a
+// completed level-2 escalation or a counted drop.
+func TestHammerEscalation(t *testing.T) {
+	const (
+		clients    = 5
+		perClient  = 100
+		disconnect = 2
+	)
+	n := confTrials(perClient, 30)
+	pool := sfq.NewPool(sfq.Final)
+	reg := obs.NewRegistry()
+	pol := twolevel.Policy{OnRetry: true, OnUnresolved: true, OnFallback: true, HotThreshold: 1}
+	s := New(Config{
+		Variant:        sfq.Final,
+		Distances:      []int{3, 5},
+		Window:         8,
+		QueueDepth:     16,
+		Pool:           pool,
+		Registry:       reg,
+		Escalate:       true,
+		EscalatePolicy: &pol,
+		EscQueueDepth:  4, // small on purpose: the drop path must be exercised
+		EscWorkers:     2,
+	})
+
+	var escalatedSeen, okSeen atomic.Int64
+	var wg sync.WaitGroup
+	for cl := 0; cl < clients; cl++ {
+		wg.Add(1)
+		go func(cl int) {
+			defer wg.Done()
+			d := 3 + 2*(cl%2)
+			syns := confSyndromes(d, lattice.ZErrors, 12)
+			cliEnd, srvEnd := net.Pipe()
+			go s.ServeConn(srvEnd)
+			c := NewClient(cliEnd)
+			defer c.Close()
+
+			quitter := cl < disconnect
+			var chans []<-chan *Response
+			for i := 0; i < n; i++ {
+				if quitter && i == n/2 {
+					c.Close()
+					return
+				}
+				ch, err := c.Send(&Request{D: d, EType: lattice.ZErrors, Syndrome: syns[i%len(syns)]})
+				if err != nil {
+					if quitter {
+						return
+					}
+					t.Errorf("client %d send %d: %v", cl, i, err)
+					return
+				}
+				chans = append(chans, ch)
+			}
+			for i, ch := range chans {
+				resp, ok := <-ch
+				if !ok {
+					t.Errorf("client %d: stream died at response %d: %v", cl, i, c.Err())
+					return
+				}
+				switch resp.Status {
+				case StatusOK:
+					okSeen.Add(1)
+					if resp.Escalated {
+						escalatedSeen.Add(1)
+					}
+				case StatusShed:
+					if resp.Escalated {
+						t.Errorf("client %d: escalated flag on shed response", cl)
+					}
+				default:
+					t.Errorf("client %d req %d: status %v (%s)", cl, i, resp.Status, resp.Msg)
+				}
+			}
+		}(cl)
+	}
+	wg.Wait()
+
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if escalatedSeen.Load() == 0 {
+		t.Fatal("no escalated response observed; hammer is vacuous")
+	}
+	if okSeen.Load() == escalatedSeen.Load() {
+		t.Error("every OK response escalated; corpus should mix verdicts")
+	}
+	// Every flagged response enqueued exactly one level-2 task or counted
+	// one drop, and Close drained the queue — so completions plus drops
+	// cover at least the escalations healthy clients observed (abrupt
+	// disconnectors may have contributed more).
+	done := reg.Counter("serve_escalations_total").Load()
+	dropped := reg.Counter("serve_escalate_dropped_total").Load()
+	if done+dropped < escalatedSeen.Load() {
+		t.Errorf("escalations done %d + dropped %d < observed flagged %d",
+			done, dropped, escalatedSeen.Load())
+	}
+	if done == 0 {
+		t.Error("level-2 workers completed nothing")
+	}
+	if reg.Histogram("serve_escalate_ns").Snapshot().Count != uint64(done) {
+		t.Error("escalate histogram count disagrees with escalations counter")
+	}
+
+	st := pool.Stats()
+	if st.Outstanding != 0 || st.DoublePuts != 0 || st.Foreign != 0 {
+		t.Errorf("pool accounting after escalation hammer: %+v", st)
 	}
 }
 

@@ -20,11 +20,12 @@ type httpRequest struct {
 
 // httpResponse is the JSON body of a /decode reply.
 type httpResponse struct {
-	ID     uint64  `json:"id"`
-	Status string  `json:"status"`
-	Cycles uint32  `json:"cycles,omitempty"`
-	Qubits []int32 `json:"qubits"`
-	Error  string  `json:"error,omitempty"`
+	ID        uint64  `json:"id"`
+	Status    string  `json:"status"`
+	Escalated bool    `json:"escalated,omitempty"`
+	Cycles    uint32  `json:"cycles,omitempty"`
+	Qubits    []int32 `json:"qubits"`
+	Error     string  `json:"error,omitempty"`
 }
 
 // Handler returns the server's HTTP surface:
@@ -82,11 +83,12 @@ func (s *Server) handleDecode(w http.ResponseWriter, r *http.Request) {
 
 	resp := s.Decode(hr.D, e, hr.ID, syn)
 	out := httpResponse{
-		ID:     resp.ID,
-		Status: resp.Status.String(),
-		Cycles: resp.Cycles,
-		Qubits: resp.Qubits,
-		Error:  resp.Msg,
+		ID:        resp.ID,
+		Status:    resp.Status.String(),
+		Escalated: resp.Escalated,
+		Cycles:    resp.Cycles,
+		Qubits:    resp.Qubits,
+		Error:     resp.Msg,
 	}
 	if out.Qubits == nil {
 		out.Qubits = []int32{}

@@ -6,10 +6,12 @@ import (
 	"sync"
 	"time"
 
+	"repro/internal/decoder/mwpm"
 	"repro/internal/decodepool"
 	"repro/internal/lattice"
 	"repro/internal/obs"
 	"repro/internal/sfq"
+	"repro/internal/twolevel"
 )
 
 // Config parameterizes a Server. The zero value of every field has a
@@ -48,6 +50,24 @@ type Config struct {
 	// Registry receives the serve_* metrics (default obs.Default()).
 	// Tests pass a private registry to keep controller inputs isolated.
 	Registry *obs.Registry
+	// Escalate enables two-level decoding: every response still carries
+	// the level-1 mesh correction at mesh latency, but requests whose
+	// mesh statistics trip the escalation policy are flagged
+	// (FlagEscalated) and re-decoded by exact MWPM on a bounded
+	// asynchronous queue — level-2 work never blocks the level-1 path.
+	// The level-2 latency feeds serve_escalate_ns, and the controller's
+	// service-time signal becomes the two-tier mixture, so escalation
+	// storms engage shedding like any other backlog source.
+	Escalate bool
+	// EscalatePolicy overrides the escalation trigger (default
+	// twolevel.DefaultPolicy()). Ignored unless Escalate is set.
+	EscalatePolicy *twolevel.Policy
+	// EscQueueDepth bounds the escalation queue (default 256). When the
+	// queue is full, escalations are dropped — counted in
+	// serve_escalate_dropped_total — rather than backpressuring decode.
+	EscQueueDepth int
+	// EscWorkers is the level-2 worker count (default 1).
+	EscWorkers int
 }
 
 // task is one admitted request in a decode queue. deliver is invoked
@@ -57,6 +77,14 @@ type task struct {
 	id      uint64
 	syn     []bool
 	deliver func(*Response)
+}
+
+// escTask is one queued level-2 re-decode. It owns syn: the level-1
+// response was already delivered when the task was enqueued, so nothing
+// else references the syndrome copy.
+type escTask struct {
+	g   *lattice.Graph
+	syn []bool
 }
 
 type queueKey struct {
@@ -84,7 +112,16 @@ type Server struct {
 	ctl    *Controller
 	meter  arrivalMeter
 
-	decodeNs  *obs.Histogram
+	escPol twolevel.Policy
+	escCh  chan escTask
+	escWG  sync.WaitGroup
+
+	decodeNs   *obs.Histogram
+	escalateNs *obs.Histogram
+	escTotal   *obs.Counter
+	escDropped *obs.Counter
+
+
 	reqTotal  *obs.Counter
 	okTotal   *obs.Counter
 	shedTotal *obs.Counter
@@ -163,6 +200,28 @@ func New(cfg Config) *Server {
 			capacity += float64(lanes * cfg.Workers)
 		}
 	}
+	if cfg.Escalate {
+		s.escPol = twolevel.DefaultPolicy()
+		if cfg.EscalatePolicy != nil {
+			s.escPol = *cfg.EscalatePolicy
+		}
+		depth := cfg.EscQueueDepth
+		if depth <= 0 {
+			depth = 256
+		}
+		workers := cfg.EscWorkers
+		if workers <= 0 {
+			workers = 1
+		}
+		s.escCh = make(chan escTask, depth)
+		s.escalateNs = cfg.Registry.Histogram("serve_escalate_ns")
+		s.escTotal = cfg.Registry.Counter("serve_escalations_total")
+		s.escDropped = cfg.Registry.Counter("serve_escalate_dropped_total")
+		for w := 0; w < workers; w++ {
+			s.escWG.Add(1)
+			go s.runEscWorker()
+		}
+	}
 	s.ctl = NewController(capacity)
 	if cfg.Enter != 0 && cfg.Exit != 0 {
 		s.ctl.Enter, s.ctl.Exit = cfg.Enter, cfg.Exit
@@ -191,7 +250,15 @@ func (s *Server) controlLoop() {
 		case <-s.tickerStop:
 			return
 		case now := <-t.C:
-			shedding := s.ctl.Update(s.meter.intervalNs(now), s.decodeNs.Snapshot())
+			// With escalation on, the controller sees the two-tier
+			// service-time mixture: level-1 mesh decodes plus level-2
+			// MWPM re-decodes in one distribution, so an escalation storm
+			// inflates the modeled backlog and engages shedding.
+			svc := s.decodeNs.Snapshot()
+			if s.escCh != nil {
+				svc = svc.Merge(s.escalateNs.Snapshot())
+			}
+			shedding := s.ctl.Update(s.meter.intervalNs(now), svc)
 			if shedding {
 				s.shedGauge.Set(1)
 			} else {
@@ -324,10 +391,13 @@ func (s *Server) decodeTasks(b *sfq.BatchMesh, g *lattice.Graph, scratch *decode
 	perNs := uint64(time.Since(start).Nanoseconds()) / uint64(len(tasks))
 	for i := range tasks {
 		s.decodeNs.Observe(perNs)
+		st := b.LaneStats(i)
+		escalate := s.escCh != nil && s.escPol.Escalate(st)
 		resp := &Response{
-			ID:     tasks[i].id,
-			Status: StatusOK,
-			Cycles: uint32(b.LaneStats(i).Cycles),
+			ID:        tasks[i].id,
+			Status:    StatusOK,
+			Escalated: escalate,
+			Cycles:    uint32(st.Cycles),
 		}
 		if qs := cs[i].Qubits; len(qs) > 0 {
 			resp.Qubits = make([]int32, len(qs))
@@ -337,6 +407,34 @@ func (s *Server) decodeTasks(b *sfq.BatchMesh, g *lattice.Graph, scratch *decode
 		}
 		s.okTotal.Inc()
 		tasks[i].deliver(resp)
+		if escalate {
+			// The response is out; the syndrome copy is now free to hand
+			// to level 2. A full queue drops the escalation rather than
+			// stalling this worker — level 1 never waits on level 2.
+			select {
+			case s.escCh <- escTask{g: g, syn: tasks[i].syn}:
+			default:
+				s.escDropped.Inc()
+			}
+		}
+	}
+}
+
+// runEscWorker drains the escalation queue: each task is re-decoded by
+// exact MWPM with worker-owned scratch, feeding the level-2 latency
+// histogram the controller and the backlog model consume.
+func (s *Server) runEscWorker() {
+	defer s.escWG.Done()
+	scratch := decodepool.NewScratch()
+	dec := mwpm.New()
+	for et := range s.escCh {
+		start := time.Now()
+		if _, err := dec.DecodeInto(et.g, et.syn, scratch); err != nil {
+			s.errTotal.Inc()
+			continue
+		}
+		s.escalateNs.Observe(uint64(time.Since(start).Nanoseconds()))
+		s.escTotal.Inc()
 	}
 }
 
@@ -409,5 +507,12 @@ func (s *Server) Close() error {
 		close(q.ch)
 	}
 	s.workers.Wait()
+	// Decode workers were the only escalation producers; drain level 2
+	// so every admitted escalation is decoded (or was counted dropped)
+	// before Close returns.
+	if s.escCh != nil {
+		close(s.escCh)
+		s.escWG.Wait()
+	}
 	return nil
 }

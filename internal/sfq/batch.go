@@ -298,12 +298,14 @@ func (b *BatchMesh) DecodeBatchInto(g *lattice.Graph, syns [][]bool, s *decodepo
 			}
 			if b.laneCountdown[l] == 0 && b.laneQuiescent(l) {
 				st := &b.laneStats[l]
+				st.Stalls++
 				if b.variant.Reset && b.laneRetries[l] < b.maxRetries {
 					b.laneRetries[l]++
 					st.Retries++
 					b.setLanePrio(l, b.laneRetries[l])
 					b.laneGlobalReset(l)
 				} else if b.variant.Boundary {
+					st.Unresolved = b.laneHot[l]
 					b.drainLane(l)
 					b.finalizeLane(l)
 					continue
@@ -314,10 +316,9 @@ func (b *BatchMesh) DecodeBatchInto(g *lattice.Graph, syns [][]bool, s *decodepo
 				}
 			}
 			if b.laneStats[l].Cycles >= b.MaxCycles {
+				b.laneStats[l].Unresolved = b.laneHot[l]
 				if b.variant.Boundary {
 					b.drainLane(l)
-				} else {
-					b.laneStats[l].Unresolved = b.laneHot[l]
 				}
 				b.finalizeLane(l)
 			}

@@ -173,12 +173,14 @@ func (ps *planeState) decodeAppend(syn []bool, q []int) ([]int, error) {
 		if m.resetCountdown == 0 && ps.quiescent() {
 			// Stalled with hot modules left: recover with a global
 			// reset and a rotated grant priority, or give up.
+			m.stats.Stalls++
 			if m.variant.Reset && retries < m.maxRetries {
 				retries++
 				m.stats.Retries++
 				m.priorityOffset = retries
 				ps.globalReset()
 			} else if m.variant.Boundary {
+				m.stats.Unresolved = m.hotCount
 				ps.drainToBoundary()
 				break
 			} else {
@@ -187,10 +189,9 @@ func (ps *planeState) decodeAppend(syn []bool, q []int) ([]int, error) {
 			}
 		}
 		if m.stats.Cycles >= m.MaxCycles {
+			m.stats.Unresolved = m.hotCount
 			if m.variant.Boundary {
 				ps.drainToBoundary()
-			} else {
-				m.stats.Unresolved = m.hotCount
 			}
 			break
 		}

@@ -26,9 +26,18 @@ type Stats struct {
 	BoundaryPairings int // pairings whose second endpoint was a boundary
 	Resets           int // global resets triggered by completed pairings
 	Retries          int // stall-recovery resets (rotated grant priority)
+	Stalls           int // quiescent stalls, incl. ones recovered by retry or drain
 	Fallbacks        int // hot modules drained to a boundary by the watchdog
-	Unresolved       int // hot modules left unpaired when the mesh gave up
+	Unresolved       int // hot modules the pairing protocol gave up on (drained
+	// by the watchdog when the variant has boundaries — see Fallbacks —
+	// or left hot otherwise)
 }
+
+// GaveUp reports whether the pairing protocol failed on any hot module:
+// either the watchdog drained chains to a boundary (Fallbacks) or hot
+// modules were left unpaired (Unresolved counts both cases). Escalation
+// policies use this as their "mesh is not confident" signal.
+func (s Stats) GaveUp() bool { return s.Unresolved > 0 }
 
 // TimeNs converts the cycle count to nanoseconds at the synthesized
 // full-circuit latency.
@@ -318,6 +327,7 @@ func (m *Mesh) legacyDecodeAppend(syn []bool, q []int) ([]int, error) {
 		if m.resetCountdown == 0 && m.quiescent() {
 			// Stalled with hot modules left: recover with a global
 			// reset and a rotated grant priority, or give up.
+			m.stats.Stalls++
 			if m.variant.Reset && retries < m.maxRetries {
 				retries++
 				m.stats.Retries++
@@ -327,7 +337,9 @@ func (m *Mesh) legacyDecodeAppend(syn []bool, q []int) ([]int, error) {
 				// Watchdog: drive every remaining hot module's chain
 				// straight to its nearest boundary. This keeps the
 				// final design live on grant deadlocks the handshake
-				// retries could not break.
+				// retries could not break. The drained modules still
+				// count as Unresolved: the protocol failed on them.
+				m.stats.Unresolved = m.countHot()
 				m.drainToBoundary()
 				break
 			} else {
@@ -336,10 +348,9 @@ func (m *Mesh) legacyDecodeAppend(syn []bool, q []int) ([]int, error) {
 			}
 		}
 		if m.stats.Cycles >= m.MaxCycles {
+			m.stats.Unresolved = m.countHot()
 			if m.variant.Boundary {
 				m.drainToBoundary()
-			} else {
-				m.stats.Unresolved = m.countHot()
 			}
 			break
 		}

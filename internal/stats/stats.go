@@ -13,12 +13,15 @@ import (
 	"sync"
 
 	"repro/internal/decoder"
+	"repro/internal/decoder/mwpm"
+	"repro/internal/decodepool"
 	"repro/internal/lattice"
 	"repro/internal/mc"
 	"repro/internal/noise"
 	"repro/internal/obs"
 	"repro/internal/sfq"
 	"repro/internal/surface"
+	"repro/internal/twolevel"
 )
 
 // Point is one measured (distance, physical rate) sample.
@@ -110,9 +113,50 @@ type CurveConfig struct {
 	// FreeDecoder, when non-nil, receives every decoder the factories
 	// built once the point owning it finishes. Pass sfq.Pool.Release so
 	// mesh decoders are recycled across points instead of rebuilt per
-	// shard. Calls may come from concurrent points; the hook must be
-	// safe for concurrent use.
+	// shard. Two-level wrappers are unwrapped first: the hook receives
+	// the level-1 mesh, never the wrapper. Calls may come from
+	// concurrent points; the hook must be safe for concurrent use.
 	FreeDecoder func(decoder.Decoder)
+	// TwoLevel, when non-nil, switches the sweep to two-level decoding:
+	// every sfq.Mesh / sfq.BatchMesh the decoder factories build is
+	// wrapped in a twolevel.Decoder, so instances the escalation policy
+	// flags re-decode through the accurate level-2 decoder. The verdict
+	// is a pure function of the kernel-conformance-pinned mesh Stats,
+	// so points stay bit-identical at any Workers/ShardSize/Batch shape
+	// (TestCurvesTwoLevelDeterminism). Non-mesh decoders pass through
+	// unwrapped.
+	TwoLevel *TwoLevelConfig
+}
+
+// TwoLevelConfig configures the sweep's two-level decoding mode.
+type TwoLevelConfig struct {
+	// Policy is the escalation policy applied to every level-1 decode.
+	Policy twolevel.Policy
+	// NewAccurate builds the level-2 decoder for a distance; nil uses
+	// exact MWPM. The factory is called once per point per plane, like
+	// the level-1 factories.
+	NewAccurate func(d int) decodepool.IntoDecoder
+}
+
+// wrap turns a factory-built mesh decoder into a two-level decoder.
+func (tc *TwoLevelConfig) wrap(d int, dec decoder.Decoder) decoder.Decoder {
+	if dec == nil {
+		return nil
+	}
+	var acc decodepool.IntoDecoder
+	if tc.NewAccurate != nil {
+		acc = tc.NewAccurate(d)
+	}
+	if acc == nil {
+		acc = mwpm.New()
+	}
+	switch m := dec.(type) {
+	case *sfq.Mesh:
+		return twolevel.New(m, acc, tc.Policy)
+	case *sfq.BatchMesh:
+		return twolevel.NewBatch(m, acc, tc.Policy)
+	}
+	return dec
 }
 
 // Curves runs the sweep and returns points ordered by the
@@ -160,6 +204,10 @@ func CurvesContext(ctx context.Context, cfg CurveConfig) ([]Point, error) {
 				}
 				if cfg.NewDecoderX != nil {
 					sc.DecoderX = cfg.NewDecoderX(d)
+				}
+				if cfg.TwoLevel != nil {
+					sc.DecoderZ = cfg.TwoLevel.wrap(d, sc.DecoderZ)
+					sc.DecoderX = cfg.TwoLevel.wrap(d, sc.DecoderX)
 				}
 				return sc, nil
 			}
@@ -241,6 +289,11 @@ func ReleaseDecoders(free func(decoder.Decoder)) func(mc.Shard) {
 	return func(sh mc.Shard) {
 		if ls, ok := sh.(*lifetimeShard); ok {
 			for _, dec := range ls.sim.Decoders() {
+				// Two-level wrappers are transparent to recycling: the
+				// pooled resource is the level-1 mesh inside.
+				if tl, ok := dec.(interface{ Level1() decoder.Decoder }); ok {
+					dec = tl.Level1()
+				}
 				free(dec)
 			}
 		}

@@ -18,6 +18,7 @@ import (
 	"repro/internal/pauli"
 	"repro/internal/sfq"
 	"repro/internal/stabilizer"
+	"repro/internal/twolevel"
 )
 
 // Config describes one lifetime experiment.
@@ -88,8 +89,9 @@ type plane struct {
 	etype lattice.ErrorType
 	graph *lattice.Graph
 	dec   decoder.Decoder
-	mesh  *sfq.Mesh      // non-nil when dec is a scalar SFQ mesh
-	bmesh *sfq.BatchMesh // non-nil when dec is a SWAR batch mesh
+	mesh  *sfq.Mesh         // non-nil when dec is a scalar SFQ mesh
+	bmesh *sfq.BatchMesh    // non-nil when dec is a SWAR batch mesh
+	tl    *twolevel.Decoder // non-nil when dec is a two-level decoder
 	ext   *stabilizer.Extractor
 	cut   []int // data qubits whose parity flags a logical flip
 	op    pauli.Op
@@ -144,6 +146,8 @@ func New(cfg Config) (*Simulator, error) {
 			p.mesh = m
 		case *sfq.BatchMesh:
 			p.bmesh = m
+		case *twolevel.Decoder:
+			p.tl = m
 		}
 		if cfg.UseCircuits {
 			p.ext = stabilizer.NewExtractor(g)
@@ -242,6 +246,13 @@ func (s *Simulator) decodePlane(p *plane, res *Result) (bool, error) {
 		if err == nil && s.cfg.Observer != nil {
 			s.cfg.Observer(p.etype, p.bmesh.Stats())
 		}
+	} else if p.tl != nil {
+		// Two-level: the observer sees the level-1 mesh statistics (the
+		// escalation verdict is a pure function of them).
+		corr, err = p.tl.DecodeInto(p.graph, syn, s.scratch)
+		if err == nil && s.cfg.Observer != nil {
+			s.cfg.Observer(p.etype, p.tl.MeshStats(0))
+		}
 	} else {
 		// Routes through the zero-allocation DecodeInto path when the
 		// decoder supports it; corr then aliases s.scratch and is consumed
@@ -307,10 +318,16 @@ func (s *Simulator) BatchWidth() int {
 	}
 	w := 0
 	for _, p := range s.planes {
-		if p.bmesh == nil {
+		var lw int
+		switch {
+		case p.bmesh != nil:
+			lw = p.bmesh.Lanes()
+		case p.tl != nil:
+			lw = p.tl.BatchWidth()
+		default:
 			return 1
 		}
-		if lw := p.bmesh.Lanes(); w == 0 || lw < w {
+		if w == 0 || lw < w {
 			w = lw
 		}
 	}
@@ -340,19 +357,29 @@ func (s *Simulator) RunTrialBatch(rngs []*rand.Rand, outs []BatchOutcome) error 
 		outs[i] = BatchOutcome{}
 	}
 	for _, p := range s.planes {
-		if p.bmesh == nil {
+		if p.bmesh == nil && p.tl == nil {
 			return fmt.Errorf("surface: %v plane decoder %s cannot batch", p.etype, p.dec.Name())
 		}
 		for i := 0; i < w; i++ {
 			p.graph.SyndromeInto(s.batchFrames[i], p.bsyn[i])
 		}
-		corr, err := p.bmesh.DecodeBatchInto(p.graph, p.bsyn[:w], s.scratch)
+		var corr []decoder.Correction
+		var err error
+		if p.tl != nil {
+			corr, err = p.tl.DecodeBatchInto(p.graph, p.bsyn[:w], s.scratch)
+		} else {
+			corr, err = p.bmesh.DecodeBatchInto(p.graph, p.bsyn[:w], s.scratch)
+		}
 		if err != nil {
 			return fmt.Errorf("surface: %s on %v checks: %w", p.dec.Name(), p.etype, err)
 		}
 		for i := 0; i < w; i++ {
 			if s.cfg.Observer != nil {
-				s.cfg.Observer(p.etype, p.bmesh.LaneStats(i))
+				if p.tl != nil {
+					s.cfg.Observer(p.etype, p.tl.MeshStats(i))
+				} else {
+					s.cfg.Observer(p.etype, p.bmesh.LaneStats(i))
+				}
 			}
 			if s.finishPlane(p, s.batchFrames[i], corr[i].Qubits, &outs[i].Forced) {
 				outs[i].Failed = true
