@@ -21,7 +21,15 @@
 # the escalation hammer), a FuzzFrame
 # smoke, a live serve+loadgen run in two-level mode that regenerates
 # BENCH_pr6.json, and the two-level accuracy-vs-latency frontier run
-# that regenerates BENCH_pr7.json.
+# that regenerates BENCH_pr7.json. PR 8 adds: W-word wide-kernel
+# conformance (all widths bit-identical to the scalar kernel) and a
+# FuzzWideBatch smoke, a race pass over the work-stealing scheduler
+# plus the steal-schedule sweep-determinism gate, and regeneration of
+# BENCH_pr8.json — cmd/bench hard-fails if the W=4 kernel is below
+# 1.5x the W=1 layout at d >= 9, allocates, drops below 0.8x ideal
+# scaling on rows with workers <= NumCPU, or produces a sweep
+# fingerprint that differs across any worker/steal/width schedule;
+# loadgen -sweep then appends the serve lane-fill/latency rows.
 # The race
 # run sets
 # REPRO_MC_SHORT=1, which the statistical tests in internal/stats and
@@ -52,6 +60,7 @@ go test -run='^$' -fuzz=FuzzBlossom -fuzztime=5s ./internal/match
 go test -run='^$' -fuzz=FuzzDecode -fuzztime=5s ./internal/decoder
 go test -run='^$' -fuzz='^FuzzMesh$' -fuzztime=5s ./internal/sfq
 go test -run='^$' -fuzz='^FuzzBatchMesh$' -fuzztime=5s ./internal/sfq
+go test -run='^$' -fuzz='^FuzzWideBatch$' -fuzztime=5s ./internal/sfq
 go test -run='^$' -fuzz='^FuzzFrame$' -fuzztime=5s ./internal/serve
 go test -run='^$' -fuzz='^FuzzTwoLevel$' -fuzztime=5s ./internal/twolevel
 
@@ -59,6 +68,11 @@ echo "== mesh kernel conformance (short) =="
 REPRO_MC_SHORT=1 go test -run TestBitplaneConformance ./internal/sfq
 REPRO_MC_SHORT=1 go test -run TestBatchMeshConformance ./internal/sfq
 REPRO_MC_SHORT=1 go test -run TestStatsExitPathParity ./internal/sfq
+REPRO_MC_SHORT=1 go test -run 'TestBatchMeshWidthConformance|TestBatchMeshWidthsAgree|TestBatchMeshWidthZeroAllocs' ./internal/sfq
+
+echo "== work-stealing scheduler: race pass + steal-schedule determinism =="
+go test -race -count=1 ./internal/sched
+REPRO_MC_SHORT=1 go test -race -run TestCurvesStealScheduleDeterminism -count=1 ./internal/stats
 
 echo "== two-level escalation: differential conformance + sweep determinism (race) =="
 REPRO_MC_SHORT=1 go test -run 'TestTwoLevelConformance|TestTwoLevelCounters' -count=1 ./internal/twolevel
@@ -79,7 +93,10 @@ REPRO_OBS_GUARD=1 go test -run TestObsOverheadGuard -count=1 .
 echo "== decode hot-path benchmarks =="
 go test -run='^$' -bench BenchmarkDecodeHotPath -benchtime 100x -benchmem .
 go test -run='^$' -bench BenchmarkSFQMesh -benchtime 100x -benchmem .
-go run ./cmd/bench -iters 2000 -out BENCH_pr2.json -mesh-out BENCH_pr3.json -batch-out BENCH_pr5.json
+# -allow-dirty: ci.sh runs on development trees; the manifest still
+# records git_dirty so the artifact is honest about its provenance.
+go run ./cmd/bench -iters 2000 -out BENCH_pr2.json -mesh-out BENCH_pr3.json \
+	-batch-out BENCH_pr5.json -wide-out BENCH_pr8.json -allow-dirty
 
 echo "== decode service end to end: serve + loadgen (BENCH_pr6.json) =="
 # A live serve instance under open-loop Poisson load. -lanes 1 lowers
@@ -110,6 +127,9 @@ TCP_ADDR=$(awk '/^tcp /{print $2}' "$SERVE_TMP/addr")
 kill "$SERVE_PID"
 wait "$SERVE_PID" 2>/dev/null || true
 SERVE_PID=""
+
+echo "== serve worker sweep: lane fill vs latency (BENCH_pr8.json serve_rows) =="
+"$SERVE_TMP/loadgen" -sweep -sweep-out BENCH_pr8.json -sweep-clients 64 -duration 1500ms
 
 echo "== two-level frontier: accuracy vs latency (BENCH_pr7.json) =="
 go run ./cmd/compare -frontier -distances 7,9,11 -frontier-p 0.03,0.06,0.09 \

@@ -116,10 +116,24 @@ func main() {
 	out := flag.String("out", "BENCH_pr2.json", "output JSON path (software decoders)")
 	meshOut := flag.String("mesh-out", "BENCH_pr3.json", "output JSON path (mesh kernels)")
 	batchOut := flag.String("batch-out", "BENCH_pr5.json", "output JSON path (scalar vs SWAR batch kernel)")
+	wideOut := flag.String("wide-out", "BENCH_pr8.json", "output JSON path (W-word kernel widths + multi-core scaling)")
+	scaleCycles := flag.Int("scale-cycles", 4000, "Monte-Carlo cycles per point in the scaling sweep")
+	allowDirty := flag.Bool("allow-dirty", false, "permit benchmarking an uncommitted tree (artifact still records git_dirty)")
 	obsAddr := flag.String("obs", "", "serve /metrics and /debug/pprof on this address while benchmarking (e.g. :9090)")
 	flag.Parse()
 
-	manifest := obs.NewManifest(map[string]any{"iters": *iters})
+	manifest := obs.NewManifest(map[string]any{
+		"iters":           *iters,
+		"scale_cycles":    *scaleCycles,
+		"sfq_batch_words": sfq.BatchWords,
+	})
+	if manifest.GitDirty && !*allowDirty {
+		fmt.Fprintf(os.Stderr,
+			"bench: working tree is dirty (uncommitted changes at %s) — a perf artifact from an "+
+				"unreproducible tree is worthless; commit first or rerun with -allow-dirty\n",
+			manifest.GitSHA)
+		os.Exit(1)
+	}
 	if *obsAddr != "" {
 		srv, err := obs.ServeDefault(*obsAddr, map[string]any{"iters": *iters})
 		if err != nil {
@@ -187,7 +201,21 @@ func main() {
 	if err := writeArtifact(*batchOut, BatchArtifact{Manifest: manifest, Rows: batchRows}); err != nil {
 		log.Fatal(err)
 	}
-	fmt.Printf("wrote %s (%d rows)\n", *batchOut, len(batchRows))
+	fmt.Printf("wrote %s (%d rows)\n\n", *batchOut, len(batchRows))
+
+	wideRows, err := benchWideKernel(*iters)
+	if err != nil {
+		log.Fatal(err)
+	}
+	scaleRows, err := benchScaling(*scaleCycles)
+	if err != nil {
+		log.Fatal(err)
+	}
+	wide := WideArtifact{Manifest: manifest, KernelRows: wideRows, ScalingRows: scaleRows}
+	if err := writeArtifact(*wideOut, wide); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("wrote %s (%d kernel rows, %d scaling rows)\n", *wideOut, len(wideRows), len(scaleRows))
 }
 
 // writeArtifact marshals one artifact with a trailing newline.

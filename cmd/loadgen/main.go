@@ -18,6 +18,13 @@
 //	loadgen -addr 127.0.0.1:9000 [-d 9] [-etype z] [-conns 4]
 //	        [-duration 2s] [-rates 1000,5000,10000] [-max-rate 50000]
 //	        [-density 0.08] [-seed 1] [-out BENCH_pr6.json]
+//
+// With -sweep, loadgen instead measures an in-process server at several
+// scheduler widths (workers × mixed-distance closed-loop traffic) and
+// appends lane-fill vs p99 rows to the BENCH_pr8.json artifact:
+//
+//	loadgen -sweep [-sweep-out BENCH_pr8.json] [-sweep-clients 16]
+//	        [-duration 2s] [-density 0.08] [-seed 1]
 package main
 
 import (
@@ -81,7 +88,16 @@ func main() {
 	density := flag.Float64("density", 0.08, "per-check hot probability of generated syndromes")
 	seed := flag.Int64("seed", 1, "root seed of the syndrome and arrival streams")
 	out := flag.String("out", "BENCH_pr6.json", "artifact path")
+	sweep := flag.Bool("sweep", false, "run the in-process multi-core sweep instead (workers × mixed-distance lane-fill/p99 rows)")
+	sweepOut := flag.String("sweep-out", "BENCH_pr8.json", "artifact the sweep appends its serve rows to")
+	sweepClients := flag.Int("sweep-clients", 16, "closed-loop requesters per sweep point")
 	flag.Parse()
+	if *sweep {
+		if err := runSweep(*sweepOut, *sweepClients, *duration, *density, *seed); err != nil {
+			log.Fatal(err)
+		}
+		return
+	}
 	if *addr == "" {
 		log.Fatal("-addr is required")
 	}

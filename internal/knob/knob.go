@@ -56,6 +56,11 @@ var defs = []Def{
 		Desc:    "override the SFQ mesh stepping kernel",
 		Allowed: []string{"legacy", "bitplane"},
 	},
+	{
+		Name:    "REPRO_SFQ_WIDTH",
+		Desc:    "plane width of the wide SWAR batch kernel in 64-bit words; auto picks from the CPU word size",
+		Allowed: []string{"auto", "1", "2", "4"},
+	},
 }
 
 // Defs returns the registered knobs, sorted by name.

@@ -35,6 +35,7 @@ import (
 	"time"
 
 	"repro/internal/obs"
+	"repro/internal/sched"
 )
 
 // Outcome is the result of one trial.
@@ -166,6 +167,14 @@ type Config struct {
 	// together on a live scrape — so results stay bit-identical and
 	// the hot loop stays allocation-free whether or not Obs is set.
 	Obs *obs.Registry
+	// ForceSteal makes the scheduler's workers steal before draining
+	// their own deques (see sched.Options.ForceSteal). Results are
+	// schedule-independent, so this only exists for the determinism and
+	// race tests to maximize cross-worker task migration.
+	ForceSteal bool
+	// SchedStats, when non-nil, receives the scheduler's counter
+	// snapshot when the run finishes.
+	SchedStats *sched.Stats
 }
 
 // Result is one point's aggregate tally.
@@ -184,7 +193,7 @@ type engine struct {
 	cfg       Config
 	workers   int
 	minTrials int
-	tasks     chan func()
+	pool      *sched.Pool
 	mu        sync.Mutex // serializes Progress callbacks
 
 	// Telemetry, nil unless cfg.Obs is set.
@@ -223,17 +232,11 @@ func Run(ctx context.Context, cfg Config, specs []PointSpec) ([]Result, error) {
 		e.obsTrials = cfg.Obs.Counter("mc_trials_total")
 		e.obsFailures = cfg.Obs.Counter("mc_failures_total")
 	}
-	e.tasks = make(chan func())
-	var workerWG sync.WaitGroup
-	for w := 0; w < e.workers; w++ {
-		workerWG.Add(1)
-		go func() {
-			defer workerWG.Done()
-			for task := range e.tasks {
-				task()
-			}
-		}()
-	}
+	// The work-stealing pool replaces the old fixed channel fan-out:
+	// every point's shards land in per-worker deques, and a worker that
+	// drains a cheap point steals from one still grinding through an
+	// expensive one, so mixed-cost sweeps keep every worker busy.
+	e.pool = sched.New(e.workers, sched.Options{ForceSteal: cfg.ForceSteal})
 	results := make([]Result, len(specs))
 	errs := make([]error, len(specs))
 	var pointWG sync.WaitGroup
@@ -245,8 +248,10 @@ func Run(ctx context.Context, cfg Config, specs []PointSpec) ([]Result, error) {
 		}(i)
 	}
 	pointWG.Wait()
-	close(e.tasks)
-	workerWG.Wait()
+	e.pool.Close()
+	if cfg.SchedStats != nil {
+		*cfg.SchedStats = e.pool.Stats()
+	}
 	if err := ctx.Err(); err != nil {
 		return nil, err
 	}
@@ -330,6 +335,27 @@ type shardTally struct {
 	err      error
 }
 
+// shardTask is one shard's slot in the scheduler: a preallocated
+// sched.Task whose Run executes trials [lo, hi) and writes the tally
+// into its own result slot, so submission allocates nothing per shard
+// beyond the batch's two slices.
+type shardTask struct {
+	e       *engine
+	ctx     context.Context
+	sp      *PointSpec
+	idle    chan Shard
+	pointNs *obs.Histogram
+	lo, hi  int
+	out     *shardTally
+	wg      *sync.WaitGroup
+}
+
+// Run implements sched.Task.
+func (t *shardTask) Run() {
+	defer t.wg.Done()
+	*t.out = t.e.runShard(t.ctx, *t.sp, t.idle, t.pointNs, t.lo, t.hi)
+}
+
 // runBatch fans trials [lo, hi) out over the worker pool and waits for
 // the whole batch. Shard errors are joined in shard order, so the
 // reported error set does not depend on scheduling.
@@ -348,28 +374,23 @@ func (e *engine) runBatch(ctx context.Context, sp PointSpec, idle chan Shard, po
 	}
 	n := (hi - lo + size - 1) / size
 	tallies := make([]shardTally, n)
+	tasks := make([]shardTask, n)
 	var wg sync.WaitGroup
-	for s, canceled := 0, false; s < n && !canceled; s++ {
+	wg.Add(n)
+	for s := 0; s < n; s++ {
 		a := lo + s*size
 		b := a + size
 		if b > hi {
 			b = hi
 		}
-		s, a, b := s, a, b
-		wg.Add(1)
-		task := func() {
-			defer wg.Done()
-			tallies[s] = e.runShard(ctx, sp, idle, pointNs, a, b)
+		tasks[s] = shardTask{
+			e: e, ctx: ctx, sp: &sp, idle: idle, pointNs: pointNs,
+			lo: a, hi: b, out: &tallies[s], wg: &wg,
 		}
-		select {
-		case e.tasks <- task:
-		case <-ctx.Done():
-			// Not submitted, so this slot is ours to write; stop
-			// submitting further shards.
-			wg.Done()
-			tallies[s].err = ctx.Err()
-			canceled = true
-		}
+		// Submission never blocks (deques are unbounded), so a canceled
+		// context is handled inside runShard: every shard checks ctx
+		// before acquiring state and reports ctx.Err() uniformly.
+		e.pool.Submit(&tasks[s])
 	}
 	wg.Wait()
 	var errs []error
@@ -395,6 +416,10 @@ func (e *engine) runBatch(ctx context.Context, sp PointSpec, idle chan Shard, po
 // finishes — the randomness streams are untouched, so results stay
 // bit-identical with and without Obs.
 func (e *engine) runShard(ctx context.Context, sp PointSpec, idle chan Shard, pointNs *obs.Histogram, lo, hi int) (out shardTally) {
+	if err := ctx.Err(); err != nil {
+		out.err = err
+		return
+	}
 	var sh Shard
 	select {
 	case sh = <-idle:

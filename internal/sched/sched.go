@@ -1,0 +1,284 @@
+// Package sched is a work-stealing task pool shared by the Monte-Carlo
+// engine and the decode service: per-worker deques of tasks, steal-half
+// when a worker runs dry, and park/unpark so idle workers cost nothing.
+//
+// The pool schedules; it never decides results. Both of its clients
+// keep their outputs bit-identical under any steal schedule by
+// construction — mc derives every trial's randomness from a
+// counter-based stream keyed by the trial index and merges tallies
+// commutatively, serve delivers each response through its own task —
+// so the scheduler is free to move work anywhere at any time. The
+// determinism regression tests run the same sweep across worker counts
+// and forced-steal schedules and assert identical verdicts.
+//
+// Hot paths do not allocate in steady state: deque rings and steal
+// scratch buffers grow to a high-water mark and are reused, tasks are
+// interface values over caller-owned structs, and parking uses one
+// condition variable. The zero-allocation regression tests pin this.
+package sched
+
+import (
+	"fmt"
+	"sync"
+	"sync/atomic"
+)
+
+// Task is one unit of work. Implementations are typically pointers to
+// preallocated structs so submission does not allocate.
+type Task interface {
+	Run()
+}
+
+// Options tunes a Pool.
+type Options struct {
+	// ForceSteal makes every worker try to steal from a victim before
+	// draining its own deque, maximizing cross-worker migration. It
+	// exists for the determinism and race tests, which use it to hammer
+	// the steal path far harder than natural imbalance would.
+	ForceSteal bool
+}
+
+// Stats is a snapshot of the pool's scheduling counters.
+type Stats struct {
+	Submitted uint64 // tasks accepted by Submit
+	Executed  uint64 // tasks completed
+	Steals    uint64 // successful steal events (≥1 task moved)
+	Stolen    uint64 // tasks moved by steals
+	Parks     uint64 // times a worker went to sleep
+}
+
+// deque is one worker's task ring. The owner pushes and pops at the
+// tail (LIFO keeps a worker on cache-warm work); thieves take from the
+// head, oldest first, which is where the coarsest-grained tasks sit.
+// A small mutex per deque is cheap here: tasks are shard- or
+// batch-sized (microseconds to milliseconds), so lock traffic is
+// negligible against task run time.
+type deque struct {
+	mu    sync.Mutex
+	buf   []Task
+	head  int // index of the oldest task
+	count int
+}
+
+func (d *deque) pushTail(t Task) {
+	d.mu.Lock()
+	if d.count == len(d.buf) {
+		d.grow()
+	}
+	d.buf[(d.head+d.count)%len(d.buf)] = t
+	d.count++
+	d.mu.Unlock()
+}
+
+// grow doubles the ring with the live tasks re-packed from index 0.
+// Called with d.mu held; allocates only until the high-water mark.
+func (d *deque) grow() {
+	n := len(d.buf) * 2
+	if n == 0 {
+		n = 8
+	}
+	buf := make([]Task, n)
+	for i := 0; i < d.count; i++ {
+		buf[i] = d.buf[(d.head+i)%len(d.buf)]
+	}
+	d.buf = buf
+	d.head = 0
+}
+
+func (d *deque) popTail() Task {
+	d.mu.Lock()
+	if d.count == 0 {
+		d.mu.Unlock()
+		return nil
+	}
+	d.count--
+	i := (d.head + d.count) % len(d.buf)
+	t := d.buf[i]
+	d.buf[i] = nil
+	d.mu.Unlock()
+	return t
+}
+
+// stealInto moves up to half of the deque (rounded up, at least one)
+// into scratch, oldest first, and returns the filled prefix. The
+// victim's lock is the only lock held, so thieves never deadlock
+// against each other.
+func (d *deque) stealInto(scratch []Task) []Task {
+	d.mu.Lock()
+	if d.count == 0 {
+		d.mu.Unlock()
+		return scratch[:0]
+	}
+	n := (d.count + 1) / 2
+	if n > cap(scratch) {
+		scratch = make([]Task, 0, n)
+	}
+	scratch = scratch[:n]
+	for i := 0; i < n; i++ {
+		j := (d.head + i) % len(d.buf)
+		scratch[i] = d.buf[j]
+		d.buf[j] = nil
+	}
+	d.head = (d.head + n) % len(d.buf)
+	d.count -= n
+	d.mu.Unlock()
+	return scratch
+}
+
+type worker struct {
+	dq      deque
+	scratch []Task // steal buffer, reused across steals
+}
+
+// Pool runs tasks on a fixed set of worker goroutines. Create with
+// New, feed with Submit, stop with Close. Submitting concurrently with
+// or after Close is a caller bug: such tasks may never run.
+type Pool struct {
+	opts    Options
+	workers []*worker
+
+	queued atomic.Int64 // tasks resident in deques
+	rr     atomic.Uint64
+
+	mu     sync.Mutex // guards parked/closed with cond
+	cond   *sync.Cond
+	parked int
+	closed bool
+	wg     sync.WaitGroup
+
+	submitted, executed, steals, stolen, parks atomic.Uint64
+}
+
+// New starts a pool with n workers (n < 1 is treated as 1).
+func New(n int, opts Options) *Pool {
+	if n < 1 {
+		n = 1
+	}
+	p := &Pool{opts: opts, workers: make([]*worker, n)}
+	p.cond = sync.NewCond(&p.mu)
+	for i := range p.workers {
+		p.workers[i] = &worker{}
+	}
+	for i := range p.workers {
+		p.wg.Add(1)
+		go p.run(i)
+	}
+	return p
+}
+
+// Workers returns the worker count.
+func (p *Pool) Workers() int { return len(p.workers) }
+
+// Submit queues t for execution. Round-robin placement spreads
+// submission bursts across the deques; stealing rebalances from there.
+func (p *Pool) Submit(t Task) {
+	if t == nil {
+		panic("sched: Submit(nil)")
+	}
+	w := p.workers[p.rr.Add(1)%uint64(len(p.workers))]
+	w.dq.pushTail(t)
+	p.submitted.Add(1)
+	p.queued.Add(1)
+	p.mu.Lock()
+	if p.parked > 0 {
+		p.cond.Signal()
+	}
+	p.mu.Unlock()
+}
+
+// Close stops the pool after running every queued task to completion
+// and blocks until all workers have exited. It is idempotent.
+func (p *Pool) Close() {
+	p.mu.Lock()
+	if !p.closed {
+		p.closed = true
+		p.cond.Broadcast()
+	}
+	p.mu.Unlock()
+	p.wg.Wait()
+	if n := p.queued.Load(); n != 0 {
+		// Tasks submitted concurrently with Close can strand; fail loud
+		// instead of silently dropping work.
+		panic(fmt.Sprintf("sched: pool closed with %d queued tasks (Submit raced Close)", n))
+	}
+}
+
+// Stats snapshots the scheduling counters.
+func (p *Pool) Stats() Stats {
+	return Stats{
+		Submitted: p.submitted.Load(),
+		Executed:  p.executed.Load(),
+		Steals:    p.steals.Load(),
+		Stolen:    p.stolen.Load(),
+		Parks:     p.parks.Load(),
+	}
+}
+
+// run is one worker's loop: own deque, then steal, then park.
+func (p *Pool) run(idx int) {
+	defer p.wg.Done()
+	self := p.workers[idx]
+	for {
+		var t Task
+		if p.opts.ForceSteal {
+			// Test schedule: migrate first, fall back to own work.
+			if t = p.steal(idx, self); t == nil {
+				t = self.dq.popTail()
+			}
+		} else {
+			if t = self.dq.popTail(); t == nil {
+				t = p.steal(idx, self)
+			}
+		}
+		if t != nil {
+			p.queued.Add(-1)
+			t.Run()
+			p.executed.Add(1)
+			continue
+		}
+		// Nothing anywhere: park until a submit or Close. The re-check
+		// of queued under the pool lock closes the submit/park race —
+		// Submit increments queued before signalling under the same
+		// lock, so a parker can never sleep through a wakeup.
+		p.mu.Lock()
+		for p.queued.Load() == 0 && !p.closed {
+			p.parked++
+			p.parks.Add(1)
+			p.cond.Wait()
+			p.parked--
+		}
+		closed := p.closed && p.queued.Load() == 0
+		p.mu.Unlock()
+		if closed {
+			return
+		}
+	}
+}
+
+// steal scans the other workers from idx+1 and takes half of the first
+// non-empty deque: one task is returned to run now, the rest land in
+// the thief's own deque.
+func (p *Pool) steal(idx int, self *worker) Task {
+	n := len(p.workers)
+	for off := 1; off < n; off++ {
+		v := p.workers[(idx+off)%n]
+		got := v.dq.stealInto(self.scratch[:0])
+		if cap(got) > cap(self.scratch) {
+			self.scratch = got[:0]
+		}
+		if len(got) == 0 {
+			continue
+		}
+		p.steals.Add(1)
+		p.stolen.Add(uint64(len(got)))
+		for _, t := range got[1:] {
+			self.dq.pushTail(t)
+		}
+		t := got[0]
+		for i := range got {
+			got[i] = nil
+		}
+		return t
+	}
+	return nil
+}

@@ -1,0 +1,180 @@
+package sched
+
+import (
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+// countTask is a preallocated task that bumps a shared counter; the
+// WaitGroup lets tests block until a submission wave has fully run.
+type countTask struct {
+	n  *atomic.Int64
+	wg *sync.WaitGroup
+}
+
+func (t *countTask) Run() {
+	t.n.Add(1)
+	t.wg.Done()
+}
+
+// slowTask holds its worker long enough for siblings to go idle and
+// steal the rest of a burst.
+type slowTask struct {
+	n  *atomic.Int64
+	wg *sync.WaitGroup
+}
+
+func (t *slowTask) Run() {
+	time.Sleep(200 * time.Microsecond)
+	t.n.Add(1)
+	t.wg.Done()
+}
+
+// submitWave pushes count preallocated tasks and waits for all to run.
+func submitWave(p *Pool, n *atomic.Int64, count int, slow bool) {
+	var wg sync.WaitGroup
+	wg.Add(count)
+	for i := 0; i < count; i++ {
+		if slow {
+			p.Submit(&slowTask{n: n, wg: &wg})
+		} else {
+			p.Submit(&countTask{n: n, wg: &wg})
+		}
+	}
+	wg.Wait()
+}
+
+// TestPoolRunsEverything submits several waves across worker counts and
+// checks every task executed exactly once.
+func TestPoolRunsEverything(t *testing.T) {
+	for _, workers := range []int{1, 2, 8} {
+		var n atomic.Int64
+		p := New(workers, Options{})
+		const total = 3 * 500
+		for wave := 0; wave < 3; wave++ {
+			submitWave(p, &n, 500, false)
+		}
+		p.Close()
+		if n.Load() != total {
+			t.Fatalf("workers=%d: ran %d tasks, want %d", workers, n.Load(), total)
+		}
+		st := p.Stats()
+		if st.Submitted != total || st.Executed != total {
+			t.Fatalf("workers=%d: stats %+v, want %d submitted and executed", workers, st, total)
+		}
+	}
+}
+
+// TestStealingMovesWork checks both steal schedules migrate tasks: the
+// natural one under a skewed burst (every 4th task is slow, so
+// round-robin piles all the slow work on one worker and the other
+// three run dry), and ForceSteal on every wave.
+func TestStealingMovesWork(t *testing.T) {
+	for _, force := range []bool{false, true} {
+		var n atomic.Int64
+		var wg sync.WaitGroup
+		p := New(4, Options{ForceSteal: force})
+		const count = 400
+		wg.Add(count)
+		for i := 0; i < count; i++ {
+			if i%4 == 0 {
+				p.Submit(&slowTask{n: &n, wg: &wg})
+			} else {
+				p.Submit(&countTask{n: &n, wg: &wg})
+			}
+		}
+		wg.Wait()
+		st := p.Stats()
+		p.Close()
+		if st.Steals == 0 {
+			t.Fatalf("forceSteal=%v: no steals over %d skewed tasks on 4 workers", force, n.Load())
+		}
+		if st.Stolen < st.Steals {
+			t.Fatalf("forceSteal=%v: stolen %d < steals %d", force, st.Stolen, st.Steals)
+		}
+	}
+}
+
+// TestParkAndWake checks idle workers park and later waves still run.
+func TestParkAndWake(t *testing.T) {
+	var n atomic.Int64
+	p := New(2, Options{})
+	submitWave(p, &n, 10, false)
+	// Let both workers drain and park.
+	deadline := time.Now().Add(2 * time.Second)
+	for p.Stats().Parks == 0 {
+		if time.Now().After(deadline) {
+			t.Fatal("workers never parked while idle")
+		}
+		time.Sleep(time.Millisecond)
+	}
+	submitWave(p, &n, 10, false)
+	p.Close()
+	if n.Load() != 20 {
+		t.Fatalf("ran %d tasks, want 20", n.Load())
+	}
+}
+
+// TestCloseDrainsQueued checks Close runs tasks still sitting in deques
+// (parked submissions included) before returning, and is idempotent.
+func TestCloseDrainsQueued(t *testing.T) {
+	var n atomic.Int64
+	var wg sync.WaitGroup
+	p := New(2, Options{})
+	const count = 200
+	wg.Add(count)
+	for i := 0; i < count; i++ {
+		p.Submit(&slowTask{n: &n, wg: &wg})
+	}
+	p.Close()
+	p.Close()
+	if n.Load() != count {
+		t.Fatalf("Close returned with %d of %d tasks run", n.Load(), count)
+	}
+}
+
+// TestSubmitNilPanics pins the nil-task guard.
+func TestSubmitNilPanics(t *testing.T) {
+	p := New(1, Options{})
+	defer p.Close()
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Submit(nil) did not panic")
+		}
+	}()
+	p.Submit(nil)
+}
+
+// TestSteadyStateZeroAllocs pins the hot path: once deque rings and
+// steal scratch have grown to their high-water mark, submit/run/steal
+// cycles allocate nothing. Tasks are preallocated, as the contract
+// requires.
+func TestSteadyStateZeroAllocs(t *testing.T) {
+	var n atomic.Int64
+	var wg sync.WaitGroup
+	for _, force := range []bool{false, true} {
+		p := New(4, Options{ForceSteal: force})
+		const burst = 64
+		tasks := make([]countTask, burst)
+		for i := range tasks {
+			tasks[i] = countTask{n: &n, wg: &wg}
+		}
+		wave := func() {
+			wg.Add(burst)
+			for i := range tasks {
+				p.Submit(&tasks[i])
+			}
+			wg.Wait()
+		}
+		// Warm-up: grow rings and scratch to their high-water mark.
+		for i := 0; i < 8; i++ {
+			wave()
+		}
+		if allocs := testing.AllocsPerRun(32, wave); allocs != 0 {
+			t.Errorf("forceSteal=%v: %.1f allocs per %d-task wave, want 0", force, allocs, burst)
+		}
+		p.Close()
+	}
+}

@@ -3,13 +3,15 @@ package serve
 import (
 	"fmt"
 	"net"
+	"runtime"
 	"sync"
 	"time"
 
-	"repro/internal/decoder/mwpm"
 	"repro/internal/decodepool"
+	"repro/internal/decoder/mwpm"
 	"repro/internal/lattice"
 	"repro/internal/obs"
+	"repro/internal/sched"
 	"repro/internal/sfq"
 	"repro/internal/twolevel"
 )
@@ -24,9 +26,17 @@ type Config struct {
 	// Distances are the code distances the server accepts (default
 	// {3, 5, 7, 9}). Each distance gets one queue per error type.
 	Distances []int
-	// Workers is the decode-worker count per (distance, error type)
-	// queue (default 1). Each worker owns one batch mesh.
+	// Workers bounds how many drain tasks one (distance, error type)
+	// queue runs concurrently (default 1). Each drain slot owns one
+	// batch mesh. The slots of every queue share one work-stealing
+	// scheduler pool (see PoolWorkers), so the bound is a per-queue
+	// fairness cap, not a thread count.
 	Workers int
+	// PoolWorkers sizes the shared work-stealing scheduler pool that
+	// executes every queue's drain tasks (default GOMAXPROCS). One pool
+	// serves all (distance, error type) queues, so mixed-distance
+	// traffic saturates the machine without per-queue idle threads.
+	PoolWorkers int
 	// Lanes fixes each worker's batch-mesh lane width. 0 (the default)
 	// draws maximum-width meshes from the pool; an explicit width builds
 	// private meshes, trading peak throughput for batch latency.
@@ -96,6 +106,33 @@ type queue struct {
 	d  int
 	e  lattice.ErrorType
 	ch chan task
+
+	// Drain bookkeeping: up to Config.Workers drain tasks run at once
+	// per queue, spawned on demand by kick and retired by the
+	// exit-recheck protocol in drainTask.Run. active counts running
+	// drains; free holds the idle preallocated drain slots (each owns a
+	// mesh and scratch); cond wakes Close when active reaches zero.
+	mu     sync.Mutex
+	cond   *sync.Cond
+	active int
+	free   []*drainTask
+	drains []*drainTask // all slots, for mesh return on Close
+}
+
+// drainTask is one preallocated drain slot of a queue: a sched.Task
+// that coalesces queued requests into batch-mesh lanes until the queue
+// is empty, then parks itself back on the queue's free list. The slot
+// owns its mesh, scratch and coalescing buffers, so a drain allocates
+// nothing per batch.
+type drainTask struct {
+	s      *Server
+	q      *queue
+	g      *lattice.Graph
+	b      *sfq.BatchMesh
+	pooled bool // mesh came from the shared pool (return on Close)
+	scr    *decodepool.Scratch
+	tasks  []task
+	syns   [][]bool
 }
 
 // Server is the decode service: admission control in front of
@@ -104,9 +141,10 @@ type queue struct {
 // transports with Serve (framed TCP) and Handler (HTTP), stop with
 // Close.
 type Server struct {
-	cfg  Config
-	pool *sfq.Pool
-	reg  *obs.Registry
+	cfg   Config
+	pool  *sfq.Pool
+	reg   *obs.Registry
+	sched *sched.Pool
 
 	queues map[queueKey]*queue
 	ctl    *Controller
@@ -117,10 +155,10 @@ type Server struct {
 	escWG  sync.WaitGroup
 
 	decodeNs   *obs.Histogram
+	batchLanes *obs.Histogram
 	escalateNs *obs.Histogram
 	escTotal   *obs.Counter
 	escDropped *obs.Counter
-
 
 	reqTotal  *obs.Counter
 	okTotal   *obs.Counter
@@ -135,7 +173,6 @@ type Server struct {
 	listeners []net.Listener
 	conns     map[*srvConn]struct{}
 
-	workers    sync.WaitGroup
 	connWG     sync.WaitGroup
 	tickerStop chan struct{}
 	tickerDone chan struct{}
@@ -159,6 +196,9 @@ func New(cfg Config) *Server {
 	if cfg.EvalEvery <= 0 {
 		cfg.EvalEvery = 50 * time.Millisecond
 	}
+	if cfg.PoolWorkers <= 0 {
+		cfg.PoolWorkers = runtime.GOMAXPROCS(0)
+	}
 	if cfg.Pool == nil {
 		cfg.Pool = sfq.NewPool(cfg.Variant)
 	}
@@ -171,7 +211,9 @@ func New(cfg Config) *Server {
 		reg:        cfg.Registry,
 		queues:     map[queueKey]*queue{},
 		conns:      map[*srvConn]struct{}{},
+		sched:      sched.New(cfg.PoolWorkers, sched.Options{}),
 		decodeNs:   cfg.Registry.Histogram("serve_decode_ns"),
+		batchLanes: cfg.Registry.Histogram("serve_batch_lanes"),
 		reqTotal:   cfg.Registry.Counter("serve_requests_total"),
 		okTotal:    cfg.Registry.Counter("serve_ok_total"),
 		shedTotal:  cfg.Registry.Counter("serve_shed_total"),
@@ -192,10 +234,21 @@ func New(cfg Config) *Server {
 		}
 		for _, e := range []lattice.ErrorType{lattice.ZErrors, lattice.XErrors} {
 			q := &queue{d: d, e: e, ch: make(chan task, cfg.QueueDepth)}
+			q.cond = sync.NewCond(&q.mu)
 			s.queues[queueKey{d, e}] = q
+			g := s.pool.Graph(d, e)
 			for w := 0; w < cfg.Workers; w++ {
-				s.workers.Add(1)
-				go s.runWorker(q)
+				dt := &drainTask{s: s, q: q, g: g, scr: decodepool.NewScratch()}
+				if cfg.Lanes > 0 {
+					dt.b = sfq.NewBatchWithLanes(g, cfg.Variant, cfg.Lanes)
+				} else {
+					dt.b = s.pool.GetBatch(d, e)
+					dt.pooled = true
+				}
+				dt.tasks = make([]task, 0, dt.b.Lanes())
+				dt.syns = make([][]bool, 0, dt.b.Lanes())
+				q.drains = append(q.drains, dt)
+				q.free = append(q.free, dt)
 			}
 			capacity += float64(lanes * cfg.Workers)
 		}
@@ -309,6 +362,7 @@ func (s *Server) submit(d int, e lattice.ErrorType, id uint64, syn []bool, deliv
 	select {
 	case q.ch <- t:
 		s.mu.RUnlock()
+		s.kick(q)
 	default:
 		// Queue full: the hard backpressure bound. The controller's
 		// model-driven shedding usually engages first; this path covers
@@ -317,6 +371,25 @@ func (s *Server) submit(d int, e lattice.ErrorType, id uint64, syn []bool, deliv
 		s.shedTotal.Inc()
 		deliver(&Response{ID: id, Status: StatusShed})
 	}
+}
+
+// kick makes sure the queue's enqueued work will be drained: if the
+// queue is below its drain-concurrency bound, a free drain slot is
+// submitted to the shared scheduler. The check runs under q.mu, which
+// pairs with the exit-recheck in drainTask.Run — after any successful
+// enqueue+kick, either an active drain observes the task or a new
+// drain is spawned, so no admitted request can strand.
+func (s *Server) kick(q *queue) {
+	q.mu.Lock()
+	if q.active >= s.cfg.Workers || len(q.free) == 0 {
+		q.mu.Unlock()
+		return
+	}
+	dt := q.free[len(q.free)-1]
+	q.free = q.free[:len(q.free)-1]
+	q.active++
+	q.mu.Unlock()
+	s.sched.Submit(dt)
 }
 
 // Decode runs one request through admission and the decode pipeline,
@@ -328,44 +401,49 @@ func (s *Server) Decode(d int, e lattice.ErrorType, id uint64, syn []bool) *Resp
 	return <-ch
 }
 
-// runWorker drains one queue: it blocks for a task, coalesces whatever
-// else is queued — without waiting — into up to one full batch of mesh
-// lanes, decodes the batch, and delivers every response. Coalescing is
+// Run implements sched.Task: drain the queue until it is empty,
+// coalescing whatever is queued — without waiting — into up to one full
+// batch of mesh lanes per decode, then retire the slot. Coalescing is
 // opportunistic by design: an idle service decodes single requests at
 // scalar latency, a saturated one fills all lanes and rides the SWAR
-// kernel's per-instruction parallelism.
-func (s *Server) runWorker(q *queue) {
-	defer s.workers.Done()
-	g := s.pool.Graph(q.d, q.e)
-	var b *sfq.BatchMesh
-	if s.cfg.Lanes > 0 {
-		b = sfq.NewBatchWithLanes(g, s.cfg.Variant, s.cfg.Lanes)
-	} else {
-		b = s.pool.GetBatch(q.d, q.e)
-		defer s.pool.PutBatch(b)
-	}
-	scratch := decodepool.NewScratch()
-	tasks := make([]task, 0, b.Lanes())
-	syns := make([][]bool, 0, b.Lanes())
+// kernel's per-instruction parallelism. The task never blocks on the
+// queue channel, so it can share scheduler workers with every other
+// queue's drains.
+func (dt *drainTask) Run() {
+	s, q := dt.s, dt.q
 	for {
-		t, ok := <-q.ch
-		if !ok {
-			return
-		}
-		tasks = append(tasks[:0], t)
+		dt.tasks = dt.tasks[:0]
 	coalesce:
-		for len(tasks) < b.Lanes() {
+		for len(dt.tasks) < dt.b.Lanes() {
 			select {
-			case t2, ok := <-q.ch:
+			case t, ok := <-q.ch:
 				if !ok {
 					break coalesce
 				}
-				tasks = append(tasks, t2)
+				dt.tasks = append(dt.tasks, t)
 			default:
 				break coalesce
 			}
 		}
-		s.decodeTasks(b, g, scratch, tasks, &syns)
+		if len(dt.tasks) > 0 {
+			s.batchLanes.Observe(uint64(len(dt.tasks)))
+			s.decodeTasks(dt.b, dt.g, dt.scr, dt.tasks, &dt.syns)
+			continue
+		}
+		// Exit-recheck, paired with kick: the queue looked empty, but a
+		// producer may have enqueued after our last poll and seen this
+		// drain still active (so it didn't spawn another). Re-checking
+		// the channel under q.mu before retiring closes that window.
+		q.mu.Lock()
+		if len(q.ch) > 0 {
+			q.mu.Unlock()
+			continue
+		}
+		q.active--
+		q.free = append(q.free, dt)
+		q.cond.Broadcast()
+		q.mu.Unlock()
+		return
 	}
 }
 
@@ -502,11 +580,30 @@ func (s *Server) Close() error {
 	s.connWG.Wait()
 	// No admissions can be in flight (they hold the read lock, and
 	// closed was set under the write lock), so the queues are safe to
-	// close; workers drain what remains and exit.
+	// close; receives keep delivering the buffered remainder, and the
+	// kick/exit-recheck invariant guarantees an active drain exists for
+	// any queue that still holds one, so waiting for active == 0 waits
+	// for every admitted request to be decoded and delivered.
 	for _, q := range s.queues {
 		close(q.ch)
 	}
-	s.workers.Wait()
+	for _, q := range s.queues {
+		q.mu.Lock()
+		for q.active > 0 {
+			q.cond.Wait()
+		}
+		q.mu.Unlock()
+	}
+	// All drains retired and nothing can spawn more: stop the shared
+	// scheduler and hand the pooled meshes back.
+	s.sched.Close()
+	for _, q := range s.queues {
+		for _, dt := range q.drains {
+			if dt.pooled {
+				s.pool.PutBatch(dt.b)
+			}
+		}
+	}
 	// Decode workers were the only escalation producers; drain level 2
 	// so every admitted escalation is decoded (or was counted dropped)
 	// before Close returns.

@@ -13,8 +13,9 @@ import (
 // BatchMesh is the SWAR-batched bit-plane kernel: up to
 // MaxBatchLanes(d) independent decoder meshes packed d-major into the
 // same []uint64 planes (see batchGeom), advanced by one shared
-// wavefront step per clock. Every shift-and-mask therefore progresses
-// B in-flight decodes per instruction.
+// wavefront step per clock. Planes are W words per row (W ∈ {1, 2, 4},
+// chosen by REPRO_SFQ_WIDTH or the CPU auto-pick), so every
+// shift-and-mask pass progresses W·⌊64/(2d+1)⌋ in-flight decodes.
 //
 // Lanes never interact — the lane masks stop every shift at the lane
 // seam and all cross-plane operations are pure bitwise combinations —
@@ -30,11 +31,11 @@ import (
 // per-lane Stats bit-identical to the scalar kernel.
 //
 // The per-lane quiescence test leans on one invariant: every wavefront
-// `any` flag is the exact OR of its current planes (signals are always
-// accumulated with true ORs — including the initial grow emission — and
-// lane scrubs clear plane bits and flag bits together), so
-// `any & laneBits[l]` precisely answers "does lane l have a signal in
-// flight".
+// `any` flag is the exact OR of its current planes in that flag's word
+// column (signals are always accumulated with true ORs — including the
+// initial grow emission — and lane scrubs clear plane bits and flag
+// bits together), so `any[laneCol[l]] & laneBits[l]` precisely answers
+// "does lane l have a signal in flight".
 //
 // A BatchMesh is reusable across DecodeBatchInto calls but not safe for
 // concurrent use. Meshes wider than one word (side > 64, d ≥ 32) fall
@@ -50,10 +51,10 @@ type BatchMesh struct {
 	MaxCycles  int
 	maxRetries int
 
-	// Shared planes, one word per row, all lanes interleaved.
+	// Shared planes, W words per row, all lanes interleaved.
 	hot, errOut, fired, sentPair, granted []uint64
 	growFrom, reqDirs, grants             [4][]uint64
-	growW, reqW, grantW, pairW, pairBW    wavefront
+	growW, reqW, grantW, pairW, pairBW    bwavefront
 	sh                                    [4][]uint64
 	tmpA, tmpB                            []uint64
 
@@ -65,6 +66,14 @@ type BatchMesh struct {
 	lanePrio      []int // lane-local rotated grant priority offset
 	laneStats     []Stats
 	anyPrio       int // lanes with a nonzero priority offset (slow-path gate)
+
+	// Dirty-word bitmaps of the fused wide path (one bit per plane word,
+	// n ≤ 256 because side ≤ 64 and W ≤ 4): fireDirty marks words where
+	// fire eligibility may have changed this step (a grow latch landed or
+	// a hot module terminated), hsDirty where a handshake may have
+	// completed (a grant was consumed). fireCompleteWide visits only
+	// marked words; see batchwide.go for the event analysis.
+	fireDirty, hsDirty [4]uint64
 
 	// In-flight batch bookkeeping (valid only inside DecodeBatchInto).
 	syns   [][]bool
@@ -88,15 +97,87 @@ type BatchMesh struct {
 	pooled bool
 }
 
+// bwavefront is the batch kernel's double-buffered plane set of one
+// signal class: the wavefront type widened to W-word rows. The any
+// flags are per-word-column OR-accumulators over every word written
+// into the respective plane set (any[c] covers words k with k&wmask ==
+// c); they make per-lane quiescence checks O(1) and let clearNext skip
+// plane sets that are already zero.
+type bwavefront struct {
+	cur, nxt       [4][]uint64
+	curAny, nxtAny [4]uint64
+}
+
+func (w *bwavefront) swap() {
+	w.cur, w.nxt = w.nxt, w.cur
+	w.curAny, w.nxtAny = w.nxtAny, w.curAny
+}
+
+// anyCur reports whether any signal of this class is in flight in any
+// column.
+func (w *bwavefront) anyCur() uint64 {
+	return w.curAny[0] | w.curAny[1] | w.curAny[2] | w.curAny[3]
+}
+
+func (w *bwavefront) anyNxt() uint64 {
+	return w.nxtAny[0] | w.nxtAny[1] | w.nxtAny[2] | w.nxtAny[3]
+}
+
+// clearNext zeroes the next-cycle planes (stale state from two cycles
+// ago) if anything was ever written into them.
+func (w *bwavefront) clearNext() {
+	if w.anyNxt() == 0 {
+		return
+	}
+	for d := range w.nxt {
+		clearPlane(w.nxt[d])
+	}
+	w.nxtAny = [4]uint64{}
+}
+
+// clearCur zeroes the in-flight planes.
+func (w *bwavefront) clearCur() {
+	if w.anyCur() == 0 {
+		return
+	}
+	for d := range w.cur {
+		clearPlane(w.cur[d])
+	}
+	w.curAny = [4]uint64{}
+}
+
+// orAny folds a phase's per-column accumulator into the next-cycle
+// flags.
+func (w *bwavefront) orAny(acc *[4]uint64) {
+	w.nxtAny[0] |= acc[0]
+	w.nxtAny[1] |= acc[1]
+	w.nxtAny[2] |= acc[2]
+	w.nxtAny[3] |= acc[3]
+}
+
 // NewBatch builds a SWAR batch mesh for the matching graph at the
-// maximum lane width for its distance.
+// maximum lane width for its distance (W·⌊64/(2d+1)⌋ lanes at the
+// process-wide BatchWords plane width).
 func NewBatch(g *lattice.Graph, v Variant) *BatchMesh {
 	return NewBatchWithLanes(g, v, MaxBatchLanes(g.Lattice().Distance()))
 }
 
+// NewBatchWithWidth builds a batch mesh with an explicit plane width in
+// words (1, 2 or 4, fully occupied); other widths fall back to the
+// process default. Explicit widths exist for the width-conformance
+// tests and the bench harness.
+func NewBatchWithWidth(g *lattice.Graph, v Variant, words int) *BatchMesh {
+	if words != 1 && words != 2 && words != 4 {
+		words = BatchWords
+	}
+	return NewBatchWithLanes(g, v, MaxBatchLanesAt(g.Lattice().Distance(), words))
+}
+
 // NewBatchWithLanes builds a batch mesh with an explicit lane count;
-// widths outside [1, MaxBatchLanes(d)] are clamped to the maximum.
-// Narrow widths exist for tests and for callers bounding batch latency.
+// widths outside [1, MaxBatchLanes(d)] are clamped to the maximum. The
+// plane word count is the narrowest power-of-two layout that holds the
+// lanes. Narrow widths exist for tests and for callers bounding batch
+// latency.
 func NewBatchWithLanes(g *lattice.Graph, v Variant, lanes int) *BatchMesh {
 	geo := geomFor(g)
 	if max := MaxBatchLanes(geo.d); lanes < 1 || lanes > max {
@@ -118,12 +199,12 @@ func NewBatchWithLanes(g *lattice.Graph, v Variant, lanes int) *BatchMesh {
 	}
 	b.bg = batchGeomFor(g, lanes)
 	b.lanes = lanes
-	rows := geo.rows
+	n := b.bg.n
 	// One backing array for all planes, as newPlaneState lays out.
-	backing := make([]uint64, 63*rows)
+	backing := make([]uint64, 63*n)
 	next := func() []uint64 {
-		p := backing[:rows:rows]
-		backing = backing[rows:]
+		p := backing[:n:n]
+		backing = backing[n:]
 		return p
 	}
 	b.hot, b.errOut, b.fired, b.sentPair, b.granted = next(), next(), next(), next(), next()
@@ -131,7 +212,7 @@ func NewBatchWithLanes(g *lattice.Graph, v Variant, lanes int) *BatchMesh {
 		b.growFrom[d], b.reqDirs[d], b.grants[d] = next(), next(), next()
 		b.sh[d] = next()
 	}
-	for _, w := range []*wavefront{&b.growW, &b.reqW, &b.grantW, &b.pairW, &b.pairBW} {
+	for _, w := range []*bwavefront{&b.growW, &b.reqW, &b.grantW, &b.pairW, &b.pairBW} {
 		for d := 0; d < 4; d++ {
 			w.cur[d], w.nxt[d] = next(), next()
 		}
@@ -158,6 +239,15 @@ func (b *BatchMesh) Variant() Variant { return b.variant }
 // Lanes returns how many syndromes one DecodeBatchInto call advances
 // concurrently.
 func (b *BatchMesh) Lanes() int { return b.lanes }
+
+// Words returns the mesh's plane width in 64-bit words (1 for the
+// side > 64 scalar fallback).
+func (b *BatchMesh) Words() int {
+	if b.bg == nil {
+		return 1
+	}
+	return b.bg.words
+}
 
 // BatchWidth implements decodepool.BatchDecoder.
 func (b *BatchMesh) BatchWidth() int { return b.lanes }
@@ -292,7 +382,7 @@ func (b *BatchMesh) DecodeBatchInto(g *lattice.Graph, syns [][]bool, s *decodepo
 			if b.laneSyn[l] < 0 {
 				continue
 			}
-			if b.laneHot[l] == 0 && b.pairW.curAny&b.bg.laneBits[l] == 0 && b.laneCountdown[l] == 0 {
+			if b.laneHot[l] == 0 && b.pairW.curAny[b.bg.laneCol[l]]&b.bg.laneBits[l] == 0 && b.laneCountdown[l] == 0 {
 				b.finalizeLane(l)
 				continue
 			}
@@ -357,9 +447,9 @@ func (b *BatchMesh) resetAll() {
 		clearPlane(b.reqDirs[d])
 		clearPlane(b.grants[d])
 	}
-	for _, w := range []*wavefront{&b.growW, &b.reqW, &b.grantW, &b.pairW, &b.pairBW} {
+	for _, w := range []*bwavefront{&b.growW, &b.reqW, &b.grantW, &b.pairW, &b.pairBW} {
 		w.clearCur()
-		w.nxtAny = 1
+		w.nxtAny[0] = 1
 		w.clearNext()
 	}
 	for l := range b.laneSyn {
@@ -371,6 +461,8 @@ func (b *BatchMesh) resetAll() {
 		b.laneStats[l] = Stats{}
 	}
 	b.anyPrio = 0
+	b.fireDirty = [4]uint64{}
+	b.hsDirty = [4]uint64{}
 	b.next = 0
 	b.active = 0
 }
@@ -382,19 +474,20 @@ func (b *BatchMesh) resetAll() {
 // exactly the pre-loop state of a scalar decode, so a lane loaded at
 // global step T evolves identically to a scalar decode at local step 0.
 func (b *BatchMesh) loadLaneNext(l int) {
-	geo := b.geo
+	geo, bg := b.geo, b.bg
+	col := bg.laneCol[l]
+	lane0 := uint(l % bg.perWord * geo.m)
 	for b.next < len(b.syns) {
 		idx := b.next
 		b.next++
 		syn := b.syns[idx]
-		lane0 := uint(l * geo.m)
 		hot := 0
 		for ci, h := range syn {
 			if !h {
 				continue
 			}
 			cell := geo.cellOf[ci]
-			b.hot[cell/geo.m] |= uint64(1) << (lane0 + uint(cell%geo.m))
+			b.hot[cell/geo.m*bg.words+col] |= uint64(1) << (lane0 + uint(cell%geo.m))
 			hot++
 		}
 		if hot == 0 {
@@ -410,17 +503,17 @@ func (b *BatchMesh) loadLaneNext(l int) {
 		// Emit grows in all four directions at every hot module of this
 		// lane. The OR into curAny is exact (not a flag) — per-lane
 		// quiescence tests depend on it.
-		lane := b.bg.laneBits[l]
+		lane := bg.laneBits[l]
 		var acc uint64
 		for d := 0; d < 4; d++ {
 			cur := b.growW.cur[d]
-			for k, h := range b.hot {
-				hl := h & lane
+			for k := col; k < len(b.hot); k += bg.words {
+				hl := b.hot[k] & lane
 				cur[k] |= hl
 				acc |= hl
 			}
 		}
-		b.growW.curAny |= acc
+		b.growW.curAny[col] |= acc
 		b.active++
 		return
 	}
@@ -445,10 +538,11 @@ func (b *BatchMesh) finalizeLane(l int) {
 // extractLane appends lane l's correction to the batch qubit buffer in
 // ascending cell order — the order the scalar kernels scan errOut.
 func (b *BatchMesh) extractLane(l int) {
-	geo := b.geo
-	shift := uint(l * geo.m)
+	geo, bg := b.geo, b.bg
+	col := bg.laneCol[l]
+	shift := uint(l % bg.perWord * geo.m)
 	for r := 0; r < geo.rows; r++ {
-		w := b.errOut[r] >> shift & b.bg.laneLow
+		w := b.errOut[r*bg.words+col] >> shift & bg.laneLow
 		base := r * geo.m
 		for w != 0 {
 			c := bits.TrailingZeros64(w)
@@ -460,46 +554,50 @@ func (b *BatchMesh) extractLane(l int) {
 	}
 }
 
-// maskPlane clears the bits outside mask from every word of the plane.
-func maskPlane(p []uint64, mask uint64) {
-	for i := range p {
-		p[i] &= mask
+// maskPlaneCol clears the bits outside mask from every word of the
+// plane's word column col (of the given stride).
+func maskPlaneCol(p []uint64, mask uint64, col, words int) {
+	for k := col; k < len(p); k += words {
+		p[k] &= mask
 	}
 }
 
-// maskLane clears one lane's bits from the in-flight planes, keeping
-// curAny an exact OR of the remaining plane contents.
-func (w *wavefront) maskLane(lane uint64) {
-	if w.curAny&lane == 0 {
+// maskLaneCol clears one lane's bits from the in-flight planes, keeping
+// curAny[col] an exact OR of the column's remaining plane contents
+// (lane masks of distinct lanes in one column are disjoint).
+func (w *bwavefront) maskLaneCol(lane uint64, col, words int) {
+	if w.curAny[col]&lane == 0 {
 		return
 	}
 	for d := range w.cur {
-		maskPlane(w.cur[d], ^lane)
+		maskPlaneCol(w.cur[d], ^lane, col, words)
 	}
-	w.curAny &^= lane
+	w.curAny[col] &^= lane
 }
 
 // scrubLane erases every trace of lane l so the lane is ready for the
 // next syndrome. Next-cycle planes need no scrubbing: they hold only
 // two-cycles-ago state that clearNext wipes before any phase reads it.
 func (b *BatchMesh) scrubLane(l int) {
-	lane := b.bg.laneBits[l]
+	bg := b.bg
+	lane := bg.laneBits[l]
+	col := bg.laneCol[l]
 	mask := ^lane
-	maskPlane(b.hot, mask)
-	maskPlane(b.errOut, mask)
-	maskPlane(b.fired, mask)
-	maskPlane(b.sentPair, mask)
-	maskPlane(b.granted, mask)
+	maskPlaneCol(b.hot, mask, col, bg.words)
+	maskPlaneCol(b.errOut, mask, col, bg.words)
+	maskPlaneCol(b.fired, mask, col, bg.words)
+	maskPlaneCol(b.sentPair, mask, col, bg.words)
+	maskPlaneCol(b.granted, mask, col, bg.words)
 	for d := 0; d < 4; d++ {
-		maskPlane(b.growFrom[d], mask)
-		maskPlane(b.reqDirs[d], mask)
-		maskPlane(b.grants[d], mask)
+		maskPlaneCol(b.growFrom[d], mask, col, bg.words)
+		maskPlaneCol(b.reqDirs[d], mask, col, bg.words)
+		maskPlaneCol(b.grants[d], mask, col, bg.words)
 	}
-	b.growW.maskLane(lane)
-	b.reqW.maskLane(lane)
-	b.grantW.maskLane(lane)
-	b.pairW.maskLane(lane)
-	b.pairBW.maskLane(lane)
+	b.growW.maskLaneCol(lane, col, bg.words)
+	b.reqW.maskLaneCol(lane, col, bg.words)
+	b.grantW.maskLaneCol(lane, col, bg.words)
+	b.pairW.maskLaneCol(lane, col, bg.words)
+	b.pairBW.maskLaneCol(lane, col, bg.words)
 	b.laneHot[l] = 0
 	b.laneCountdown[l] = 0
 	b.laneRetries[l] = 0
@@ -510,19 +608,21 @@ func (b *BatchMesh) scrubLane(l int) {
 // lane's pair propagation and error outputs is cleared and the lane's
 // inputs block for ResetDepth cycles.
 func (b *BatchMesh) laneGlobalReset(l int) {
-	lane := b.bg.laneBits[l]
+	bg := b.bg
+	lane := bg.laneBits[l]
+	col := bg.laneCol[l]
 	mask := ^lane
 	for d := 0; d < 4; d++ {
-		maskPlane(b.growFrom[d], mask)
-		maskPlane(b.reqDirs[d], mask)
-		maskPlane(b.grants[d], mask)
+		maskPlaneCol(b.growFrom[d], mask, col, bg.words)
+		maskPlaneCol(b.reqDirs[d], mask, col, bg.words)
+		maskPlaneCol(b.grants[d], mask, col, bg.words)
 	}
-	maskPlane(b.fired, mask)
-	maskPlane(b.sentPair, mask)
-	maskPlane(b.granted, mask)
-	b.growW.maskLane(lane)
-	b.reqW.maskLane(lane)
-	b.grantW.maskLane(lane)
+	maskPlaneCol(b.fired, mask, col, bg.words)
+	maskPlaneCol(b.sentPair, mask, col, bg.words)
+	maskPlaneCol(b.granted, mask, col, bg.words)
+	b.growW.maskLaneCol(lane, col, bg.words)
+	b.reqW.maskLaneCol(lane, col, bg.words)
+	b.grantW.maskLaneCol(lane, col, bg.words)
 	// pair planes and errOut survive by design.
 	b.laneCountdown[l] = ResetDepth
 }
@@ -544,7 +644,9 @@ func (b *BatchMesh) setLanePrio(l, v int) {
 // laneQuiescent reports whether lane l has no signal of any kind in
 // flight. Exact because the any flags are exact ORs (see type comment).
 func (b *BatchMesh) laneQuiescent(l int) bool {
-	return (b.growW.curAny|b.reqW.curAny|b.grantW.curAny|b.pairW.curAny)&b.bg.laneBits[l] == 0
+	col := b.bg.laneCol[l]
+	return (b.growW.curAny[col]|b.reqW.curAny[col]|b.grantW.curAny[col]|b.pairW.curAny[col])&
+		b.bg.laneBits[l] == 0
 }
 
 // step advances every active lane one clock. The shared phases need no
@@ -561,21 +663,39 @@ func (b *BatchMesh) step() {
 
 	// Empty-wavefront phases are skipped outright — exact, since a phase
 	// fed an all-zero wavefront writes nothing (the any flags are exact).
-	if b.growW.curAny != 0 {
-		b.moveGrows()
-	}
-	if b.reqW.curAny != 0 {
-		b.moveReqs()
-	}
-	if b.grantW.curAny != 0 {
-		b.moveGrants()
-	}
+	// Wide layouts take the fused single-sweep phases (batchwide.go);
+	// the one-word layout keeps the multi-pass reference path.
 	var done uint64
-	if b.pairW.curAny != 0 {
-		done = b.movePairs()
+	if b.bg.words == 1 {
+		if b.growW.anyCur() != 0 {
+			b.moveGrows()
+		}
+		if b.reqW.anyCur() != 0 {
+			b.moveReqs()
+		}
+		if b.grantW.anyCur() != 0 {
+			b.moveGrants()
+		}
+		if b.pairW.anyCur() != 0 {
+			done = b.movePairs()
+		}
+		b.fireIntermediates()
+		b.completeHandshakes()
+	} else {
+		if b.growW.anyCur() != 0 {
+			b.moveGrowsWide()
+		}
+		if b.reqW.anyCur() != 0 {
+			b.moveReqsWide()
+		}
+		if b.grantW.anyCur() != 0 {
+			b.moveGrantsWide()
+		}
+		if b.pairW.anyCur() != 0 {
+			done = b.movePairsWide()
+		}
+		b.fireCompleteWide()
 	}
-	b.fireIntermediates()
-	b.completeHandshakes()
 
 	for l, cd := range b.laneCountdown {
 		if cd == 0 {
@@ -585,17 +705,19 @@ func (b *BatchMesh) step() {
 		if cd == 1 {
 			// The lane's blocking is over; its surviving hot modules
 			// grow again next cycle.
-			lane := b.bg.laneBits[l]
+			bg := b.bg
+			lane := bg.laneBits[l]
+			col := bg.laneCol[l]
 			var acc uint64
 			for d := 0; d < 4; d++ {
 				nxt := b.growW.nxt[d]
-				for k, h := range b.hot {
-					hl := h & lane
+				for k := col; k < len(b.hot); k += bg.words {
+					hl := b.hot[k] & lane
 					nxt[k] |= hl
 					acc |= hl
 				}
 			}
-			b.growW.nxtAny |= acc
+			b.growW.nxtAny[col] |= acc
 		}
 	}
 
@@ -622,6 +744,7 @@ func (b *BatchMesh) step() {
 // moveGrows is planeState.moveGrows over the lane-packed planes.
 func (b *BatchMesh) moveGrows() {
 	bg, v := b.bg, b.variant
+	wm := bg.wmask
 	for d := 0; d < 4; d++ {
 		bg.shiftInto(b.sh[d], b.growW.cur[d], Dir(d))
 	}
@@ -638,13 +761,13 @@ func (b *BatchMesh) moveGrows() {
 		sh := b.sh[d]
 		gf := b.growFrom[d]
 		nxt := b.growW.nxt[d]
-		var acc uint64
+		var acc [4]uint64
 		for k, in := range bg.interior {
 			g := sh[k] & in &^ gf[k]
 			nxt[k] |= g
-			acc |= g
+			acc[k&wm] |= g
 		}
-		b.growW.nxtAny |= acc
+		b.growW.orAny(&acc)
 	}
 	if !v.Boundary {
 		return
@@ -661,13 +784,13 @@ func (b *BatchMesh) moveGrows() {
 			b.reqDirs[e][k] |= fb
 			if v.ReqGrant {
 				b.reqW.nxt[e][k] |= fb
-				b.reqW.nxtAny |= fb
+				b.reqW.nxtAny[k&wm] |= fb
 			} else {
 				b.sentPair[k] |= fb
 				b.pairW.nxt[e][k] |= fb
-				b.pairW.nxtAny |= fb
+				b.pairW.nxtAny[k&wm] |= fb
 				b.pairBW.nxt[e][k] |= fb
-				b.pairBW.nxtAny |= fb
+				b.pairBW.nxtAny[k&wm] |= fb
 			}
 		}
 	}
@@ -675,23 +798,25 @@ func (b *BatchMesh) moveGrows() {
 
 // moveReqs is planeState.moveReqs with a per-lane grant priority: the
 // rotated retry offset is lane-local state, so when any lane is mid
-// retry the grant policy runs lane-by-lane (the fast path — all lanes
-// at fixed hardware priority — stays whole-word).
+// retry the grant policy runs lane-by-lane over the lanes of the word's
+// column (the fast path — all lanes at fixed hardware priority — stays
+// whole-word).
 func (b *BatchMesh) moveReqs() {
 	bg := b.bg
+	wm := bg.wmask
 	for d := 0; d < 4; d++ {
 		bg.shiftInto(b.sh[d], b.reqW.cur[d], Dir(d))
 		sh := b.sh[d]
 		nxt := b.reqW.nxt[d]
-		var acc uint64
+		var acc [4]uint64
 		for k, in := range bg.interior {
 			mv := sh[k] & in
 			pass := mv &^ b.hot[k]
 			sh[k] = mv & b.hot[k]
 			nxt[k] |= pass
-			acc |= pass
+			acc[k&wm] |= pass
 		}
-		b.reqW.nxtAny |= acc
+		b.reqW.orAny(&acc)
 	}
 	for k := range bg.interior {
 		any := b.sh[0][k] | b.sh[1][k] | b.sh[2][k] | b.sh[3][k]
@@ -705,12 +830,14 @@ func (b *BatchMesh) moveReqs() {
 				c := b.sh[e.Opposite()][k] & elig &^ taken
 				if c != 0 {
 					b.grantW.nxt[e][k] |= c
-					b.grantW.nxtAny |= c
+					b.grantW.nxtAny[k&wm] |= c
 					taken |= c
 				}
 			}
 		} else {
-			for l, lane := range bg.laneBits {
+			col := k & wm
+			for l := col * bg.perWord; l < bg.colEnd[col]; l++ {
+				lane := bg.laneBits[l]
 				el := elig & lane
 				if el == 0 {
 					continue
@@ -722,7 +849,7 @@ func (b *BatchMesh) moveReqs() {
 						c := b.sh[e.Opposite()][k] & el &^ taken
 						if c != 0 {
 							b.grantW.nxt[e][k] |= c
-							b.grantW.nxtAny |= c
+							b.grantW.nxtAny[col] |= c
 							taken |= c
 						}
 					}
@@ -740,7 +867,7 @@ func (b *BatchMesh) moveReqs() {
 						c := b.sh[e.Opposite()][k] & ecls &^ taken
 						if c != 0 {
 							b.grantW.nxt[e][k] |= c
-							b.grantW.nxtAny |= c
+							b.grantW.nxtAny[col] |= c
 							taken |= c
 						}
 					}
@@ -754,11 +881,12 @@ func (b *BatchMesh) moveReqs() {
 // moveGrants is planeState.moveGrants over the lane-packed planes.
 func (b *BatchMesh) moveGrants() {
 	bg := b.bg
+	wm := bg.wmask
 	for _, d := range pairOrder {
 		bg.shiftInto(b.tmpA, b.grantW.cur[d], d)
 		e := d.Opposite()
 		nxt := b.grantW.nxt[d]
-		var acc uint64
+		var acc [4]uint64
 		for k, in := range bg.interior {
 			mv := b.tmpA[k]
 			if mv == 0 {
@@ -769,17 +897,17 @@ func (b *BatchMesh) moveGrants() {
 			b.grants[e][k] |= cons
 			pass := mvI &^ cons
 			nxt[k] |= pass
-			acc |= pass
+			acc[k&wm] |= pass
 			bc := mv & bg.boundary[k] & b.fired[k] & b.reqDirs[e][k] &^ b.sentPair[k]
 			if bc != 0 {
 				b.sentPair[k] |= bc
 				b.pairW.nxt[e][k] |= bc
-				b.pairW.nxtAny |= bc
+				b.pairW.nxtAny[k&wm] |= bc
 				b.pairBW.nxt[e][k] |= bc
-				b.pairBW.nxtAny |= bc
+				b.pairBW.nxtAny[k&wm] |= bc
 			}
 		}
-		b.grantW.nxtAny |= acc
+		b.grantW.orAny(&acc)
 	}
 }
 
@@ -789,11 +917,12 @@ func (b *BatchMesh) moveGrants() {
 // cycle (its per-lane pairingDone).
 func (b *BatchMesh) movePairs() (done uint64) {
 	bg := b.bg
+	wm := bg.wmask
 	for _, d := range pairOrder {
 		bg.shiftInto(b.tmpA, b.pairW.cur[d], d)
 		bg.shiftInto(b.tmpB, b.pairBW.cur[d], d)
 		nxt, nxtB := b.pairW.nxt[d], b.pairBW.nxt[d]
-		var acc, accB uint64
+		var acc, accB [4]uint64
 		for k, in := range bg.interior {
 			mv := b.tmpA[k] & in
 			if mv == 0 {
@@ -803,8 +932,9 @@ func (b *BatchMesh) movePairs() (done uint64) {
 			hits := mv & b.hot[k]
 			if hits != 0 {
 				b.hot[k] &^= hits
-				for l, lane := range bg.laneBits {
-					hl := hits & lane
+				col := k & wm
+				for l := col * bg.perWord; l < bg.colEnd[col]; l++ {
+					hl := hits & bg.laneBits[l]
 					if hl == 0 {
 						continue
 					}
@@ -817,13 +947,13 @@ func (b *BatchMesh) movePairs() (done uint64) {
 			}
 			pass := mv &^ hits
 			nxt[k] |= pass
-			acc |= pass
+			acc[k&wm] |= pass
 			bp := b.tmpB[k] & pass
 			nxtB[k] |= bp
-			accB |= bp
+			accB[k&wm] |= bp
 		}
-		b.pairW.nxtAny |= acc
-		b.pairBW.nxtAny |= accB
+		b.pairW.orAny(&acc)
+		b.pairBW.orAny(&accB)
 	}
 	return done
 }
@@ -833,6 +963,7 @@ func (b *BatchMesh) movePairs() (done uint64) {
 // they contribute nothing, matching the scalar blocked branch.
 func (b *BatchMesh) fireIntermediates() {
 	bg, v := b.bg, b.variant
+	wm := bg.wmask
 	gfN, gfE, gfS, gfW := b.growFrom[North], b.growFrom[East], b.growFrom[South], b.growFrom[West]
 	for k, in := range bg.interior {
 		elig := in &^ b.fired[k] &^ b.hot[k]
@@ -864,7 +995,7 @@ func (b *BatchMesh) fireIntermediates() {
 			b.reqW.nxt[South][k] |= setS
 			b.reqW.nxt[East][k] |= setE
 			b.reqW.nxt[West][k] |= setW
-			b.reqW.nxtAny |= firedNew
+			b.reqW.nxtAny[k&wm] |= firedNew
 		} else {
 			b.sentPair[k] |= firedNew
 			b.errOut[k] ^= firedNew
@@ -872,7 +1003,7 @@ func (b *BatchMesh) fireIntermediates() {
 			b.pairW.nxt[South][k] |= setS
 			b.pairW.nxt[East][k] |= setE
 			b.pairW.nxt[West][k] |= setW
-			b.pairW.nxtAny |= firedNew
+			b.pairW.nxtAny[k&wm] |= firedNew
 		}
 	}
 }
@@ -884,6 +1015,7 @@ func (b *BatchMesh) completeHandshakes() {
 		return
 	}
 	bg := b.bg
+	wm := bg.wmask
 	for k, in := range bg.interior {
 		pend := (b.reqDirs[0][k] &^ b.grants[0][k]) |
 			(b.reqDirs[1][k] &^ b.grants[1][k]) |
@@ -898,7 +1030,7 @@ func (b *BatchMesh) completeHandshakes() {
 		for d := 0; d < 4; d++ {
 			p := ready & b.reqDirs[d][k]
 			b.pairW.nxt[d][k] |= p
-			b.pairW.nxtAny |= p
+			b.pairW.nxtAny[k&wm] |= p
 		}
 	}
 }
@@ -907,20 +1039,21 @@ func (b *BatchMesh) completeHandshakes() {
 // nearest boundary — planeState.drainToBoundary confined to one lane,
 // same ascending cell order, charging the lane's own Stats.
 func (b *BatchMesh) drainLane(l int) {
-	geo := b.geo
+	geo, bg := b.geo, b.bg
 	st := &b.laneStats[l]
-	shift := uint(l * geo.m)
+	col := bg.laneCol[l]
+	shift := uint(l % bg.perWord * geo.m)
 	for r := 0; r < geo.rows; r++ {
-		w := b.hot[r] >> shift & b.bg.laneLow
+		w := b.hot[r*bg.words+col] >> shift & bg.laneLow
 		for w != 0 {
 			c := bits.TrailingZeros64(w)
 			w &= w - 1
 			i := r*geo.m + c
 			d, hops := geo.drainDir(i)
 			for j := geo.neighbor(i, d); j >= 0 && geo.kind[j] == cellInterior; j = geo.neighbor(j, d) {
-				b.errOut[j/geo.m] ^= uint64(1) << (shift + uint(j%geo.m))
+				b.errOut[j/geo.m*bg.words+col] ^= uint64(1) << (shift + uint(j%geo.m))
 			}
-			b.hot[r] &^= uint64(1) << (shift + uint(c))
+			b.hot[r*bg.words+col] &^= uint64(1) << (shift + uint(c))
 			b.laneHot[l]--
 			st.Fallbacks++
 			st.Pairings++

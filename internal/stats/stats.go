@@ -12,13 +12,14 @@ import (
 	"sort"
 	"sync"
 
+	"repro/internal/decodepool"
 	"repro/internal/decoder"
 	"repro/internal/decoder/mwpm"
-	"repro/internal/decodepool"
 	"repro/internal/lattice"
 	"repro/internal/mc"
 	"repro/internal/noise"
 	"repro/internal/obs"
+	"repro/internal/sched"
 	"repro/internal/sfq"
 	"repro/internal/surface"
 	"repro/internal/twolevel"
@@ -84,6 +85,14 @@ type CurveConfig struct {
 	// ShardSize fixes the cycles per shard; 0 lets the engine size
 	// shards automatically. Results never depend on it.
 	ShardSize int
+	// ForceSteal makes the engine's work-stealing workers steal before
+	// draining their own deques (mc.Config.ForceSteal). Results never
+	// depend on it; the determinism tests use it to hammer migration.
+	ForceSteal bool
+	// SchedStats, when non-nil, receives a snapshot of the engine's
+	// work-stealing scheduler counters once the sweep finishes
+	// (mc.Config.SchedStats). Diagnostic only.
+	SchedStats *sched.Stats
 	// TargetRelWidth, when > 0, stops a point early once its 95% Wilson
 	// interval is tighter than this fraction of the measured PL. The
 	// Cycles field of the returned points reports trials actually spent.
@@ -222,6 +231,8 @@ func CurvesContext(ctx context.Context, cfg CurveConfig) ([]Point, error) {
 		RootSeed:       cfg.Seed,
 		Workers:        cfg.Workers,
 		ShardSize:      cfg.ShardSize,
+		ForceSteal:     cfg.ForceSteal,
+		SchedStats:     cfg.SchedStats,
 		TargetRelWidth: cfg.TargetRelWidth,
 		MinTrials:      cfg.MinTrials,
 		Interval: func(k, n int) (float64, float64) {
