@@ -30,6 +30,13 @@
 # scaling on rows with workers <= NumCPU, or produces a sweep
 # fingerprint that differs across any worker/steal/width schedule;
 # loadgen -sweep then appends the serve lane-fill/latency rows.
+# PR 9 adds request-lifecycle tracing gates: the trace overhead guard
+# (traced serve path within 2% of tracing-off at the default 1-in-16
+# sampling, same REPRO_OBS_GUARD opt-in), and the serve+loadgen run now
+# scrapes /debug/traces into BENCH_pr9.json with -trace-check, which
+# hard-fails unless the flight recorder captured a shed decision with
+# controller inputs and an outlier trace whose per-stage decomposition
+# telescopes to its wall time.
 # The race
 # run sets
 # REPRO_MC_SHORT=1, which the statistical tests in internal/stats and
@@ -88,7 +95,7 @@ REPRO_MC_SHORT=1 go test -race -run TestCurvesBatchDeterminism -count=1 ./intern
 echo "== telemetry: obs race, live scrape, overhead guard =="
 go test -race -count=1 ./internal/obs
 REPRO_MC_SHORT=1 go test -run TestObsMetricsSmokeSweep -count=1 .
-REPRO_OBS_GUARD=1 go test -run TestObsOverheadGuard -count=1 .
+REPRO_OBS_GUARD=1 go test -run 'TestObsOverheadGuard|TestTraceOverheadGuard' -count=1 .
 
 echo "== decode hot-path benchmarks =="
 go test -run='^$' -bench BenchmarkDecodeHotPath -benchtime 100x -benchmem .
@@ -122,8 +129,14 @@ for _ in $(seq 50); do
 	sleep 0.1
 done
 TCP_ADDR=$(awk '/^tcp /{print $2}' "$SERVE_TMP/addr")
-[ -n "$TCP_ADDR" ] || { echo "serve did not publish its address"; exit 1; }
-"$SERVE_TMP/loadgen" -addr "$TCP_ADDR" -d 13 -duration 1s -out BENCH_pr6.json
+HTTP_ADDR=$(awk '/^http /{print $2}' "$SERVE_TMP/addr")
+[ -n "$TCP_ADDR" ] && [ -n "$HTTP_ADDR" ] || { echo "serve did not publish its addresses"; exit 1; }
+# -trace-out scrapes /debug/traces after the sweep into BENCH_pr9.json;
+# -trace-check hard-fails unless the recorder holds at least one shed
+# decision with admission-controller inputs and one outlier trace whose
+# stage decomposition telescopes to its wall time.
+"$SERVE_TMP/loadgen" -addr "$TCP_ADDR" -d 13 -duration 1s -out BENCH_pr6.json \
+	-trace-http "http://$HTTP_ADDR" -trace-out BENCH_pr9.json -trace-check
 kill "$SERVE_PID"
 wait "$SERVE_PID" 2>/dev/null || true
 SERVE_PID=""

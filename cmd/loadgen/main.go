@@ -18,6 +18,15 @@
 //	loadgen -addr 127.0.0.1:9000 [-d 9] [-etype z] [-conns 4]
 //	        [-duration 2s] [-rates 1000,5000,10000] [-max-rate 50000]
 //	        [-density 0.08] [-seed 1] [-out BENCH_pr6.json]
+//	        [-trace-http http://127.0.0.1:9090] [-trace-out BENCH_pr9.json]
+//
+// With -trace-http and -trace-out set, loadgen scrapes the server's
+// /debug/traces flight recorder after the sweep and writes the
+// per-stage latency decomposition — stage p50/p99 rows, the worst-10
+// traces by wall time, and every captured shed/drop decision — as its
+// own artifact. -trace-check makes the scrape's acceptance checks
+// (≥1 shed decision with controller inputs, ≥1 outlier trace whose
+// stage durations sum to its wall time) fatal; ci.sh passes it.
 //
 // With -sweep, loadgen instead measures an in-process server at several
 // scheduler widths (workers × mixed-distance closed-loop traffic) and
@@ -91,6 +100,9 @@ func main() {
 	sweep := flag.Bool("sweep", false, "run the in-process multi-core sweep instead (workers × mixed-distance lane-fill/p99 rows)")
 	sweepOut := flag.String("sweep-out", "BENCH_pr8.json", "artifact the sweep appends its serve rows to")
 	sweepClients := flag.Int("sweep-clients", 16, "closed-loop requesters per sweep point")
+	traceHTTP := flag.String("trace-http", "", "serve HTTP base URL (http://host:port) to scrape /debug/traces from")
+	traceOut := flag.String("trace-out", "", "write the scraped per-stage trace decomposition to this artifact")
+	traceCheck := flag.Bool("trace-check", false, "fail if the trace scrape misses a shed decision or a consistent outlier trace")
 	flag.Parse()
 	if *sweep {
 		if err := runSweep(*sweepOut, *sweepClients, *duration, *density, *seed); err != nil {
@@ -180,6 +192,16 @@ func main() {
 		log.Fatal(err)
 	}
 	log.Printf("wrote %s", *out)
+
+	if *traceOut != "" {
+		if *traceHTTP == "" {
+			log.Fatal("-trace-out requires -trace-http")
+		}
+		if err := scrapeTraces(*traceHTTP, *traceOut, art.Manifest, *traceCheck); err != nil {
+			log.Fatal(err)
+		}
+		log.Printf("wrote %s", *traceOut)
+	}
 }
 
 // calibrate estimates the server's decode capacity: a closed loop of

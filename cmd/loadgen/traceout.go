@@ -1,0 +1,196 @@
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"os"
+	"sort"
+	"time"
+
+	"repro/internal/obs"
+)
+
+// Trace scrape: after the rate sweep, pull the server's flight recorder
+// (/debug/traces on the -trace-http listener) and write the per-stage
+// latency decomposition as its own artifact (-trace-out, BENCH_pr9.json).
+// The recorder accumulated over the whole sweep, so the worst traces and
+// the shed decisions captured at 2R are still in the rings when the
+// scrape runs.
+
+// wallStages are the duration rows that telescope accept → resp_write;
+// their sum equals each trace's wall time exactly (shared stamps, no
+// gaps), which checkTraces verifies against the server's arithmetic.
+var wallStages = []string{
+	"admit_ns", "enqueue_ns", "queue_wait_ns",
+	"coalesce_ns", "decode_ns", "resp_write_ns",
+}
+
+// scrapedTrace mirrors the /debug/traces trace view.
+type scrapedTrace struct {
+	Seq     uint64           `json:"seq"`
+	ID      uint64           `json:"id"`
+	D       int32            `json:"d"`
+	EType   string           `json:"etype"`
+	Kind    string           `json:"kind"`
+	Flags   []string         `json:"flags,omitempty"`
+	WallNs  int64            `json:"wall_ns"`
+	Offsets map[string]int64 `json:"offset_ns"`
+	Stages  map[string]int64 `json:"stage_ns"`
+}
+
+// scrapedDecision mirrors the /debug/traces decision view.
+type scrapedDecision struct {
+	Seq       uint64  `json:"seq"`
+	ID        uint64  `json:"id"`
+	D         int32   `json:"d"`
+	EType     string  `json:"etype"`
+	Kind      string  `json:"kind"`
+	Reason    string  `json:"reason"`
+	Ratio     float64 `json:"ratio"`
+	ArrivalNs float64 `json:"arrival_ns"`
+	QueueLen  int32   `json:"queue_len"`
+}
+
+// scrapedDoc is the subset of the /debug/traces document the artifact
+// consumes.
+type scrapedDoc struct {
+	SampleN      int                    `json:"sample_n"`
+	Counters     map[string]uint64      `json:"counters"`
+	StageSummary map[string]obs.Summary `json:"stage_summary"`
+	Traces       []scrapedTrace         `json:"traces"`
+	Decisions    []scrapedDecision      `json:"decisions"`
+}
+
+// StageRow is one per-stage decomposition row of the trace artifact.
+type StageRow struct {
+	Stage string `json:"stage"`
+	Count uint64 `json:"count"`
+	P50Ns uint64 `json:"p50_ns"`
+	P99Ns uint64 `json:"p99_ns"`
+	MaxNs uint64 `json:"max_ns"`
+}
+
+// TraceChecks records the acceptance checks run against the scrape.
+type TraceChecks struct {
+	// ShedDecisionWithInputs: ≥1 shed decision carrying the admission
+	// controller inputs (reason plus a live arrival/ratio estimate).
+	ShedDecisionWithInputs bool `json:"shed_decision_with_inputs"`
+	// OutlierStageSum: ≥1 outlier-flagged trace whose wall-stage
+	// durations sum to within ±5% of its recorded wall time.
+	OutlierStageSum bool `json:"outlier_stage_sum_within_5pct"`
+}
+
+// TraceArtifact is the on-disk schema of BENCH_pr9.json.
+type TraceArtifact struct {
+	Manifest    *obs.Manifest     `json:"manifest"`
+	SampleN     int               `json:"sample_n"`
+	Counters    map[string]uint64 `json:"counters"`
+	StageRows   []StageRow        `json:"stage_rows"`
+	WorstTraces []scrapedTrace    `json:"worst_traces"`
+	Decisions   []scrapedDecision `json:"decisions"`
+	Checks      TraceChecks       `json:"checks"`
+}
+
+// scrapeTraces pulls /debug/traces from the server's HTTP listener and
+// writes the decomposition artifact. With strict set, failed acceptance
+// checks are fatal — ci.sh runs the default R/2, R, 2R sweep first, so
+// the 2R point has forced shedding and the rings are warm.
+func scrapeTraces(httpBase, out string, manifest *obs.Manifest, strict bool) error {
+	cl := &http.Client{Timeout: 10 * time.Second}
+	resp, err := cl.Get(httpBase + "/debug/traces")
+	if err != nil {
+		return fmt.Errorf("scrape %s/debug/traces: %w", httpBase, err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return fmt.Errorf("scrape %s/debug/traces: HTTP %d", httpBase, resp.StatusCode)
+	}
+	var doc scrapedDoc
+	if err := json.NewDecoder(resp.Body).Decode(&doc); err != nil {
+		return fmt.Errorf("decode /debug/traces: %w", err)
+	}
+
+	art := TraceArtifact{
+		Manifest: manifest,
+		SampleN:  doc.SampleN,
+		Counters: doc.Counters,
+		Checks:   checkTraces(&doc),
+	}
+	for stage, sum := range doc.StageSummary {
+		art.StageRows = append(art.StageRows, StageRow{
+			Stage: stage, Count: sum.Count, P50Ns: sum.P50, P99Ns: sum.P99, MaxNs: sum.Max,
+		})
+	}
+	sort.Slice(art.StageRows, func(i, j int) bool { return art.StageRows[i].Stage < art.StageRows[j].Stage })
+
+	sort.Slice(doc.Traces, func(i, j int) bool { return doc.Traces[i].WallNs > doc.Traces[j].WallNs })
+	if len(doc.Traces) > 10 {
+		doc.Traces = doc.Traces[:10]
+	}
+	art.WorstTraces = doc.Traces
+	art.Decisions = doc.Decisions
+
+	f, err := os.Create(out)
+	if err != nil {
+		return err
+	}
+	enc := json.NewEncoder(f)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(art); err != nil {
+		f.Close()
+		return err
+	}
+	if err := f.Close(); err != nil {
+		return err
+	}
+	if strict {
+		if !art.Checks.ShedDecisionWithInputs {
+			return fmt.Errorf("trace check failed: no shed decision with controller inputs in %d decisions", len(art.Decisions))
+		}
+		if !art.Checks.OutlierStageSum {
+			return fmt.Errorf("trace check failed: no outlier trace whose stage durations sum to its wall time")
+		}
+	}
+	return nil
+}
+
+// checkTraces runs the acceptance checks over the scraped document.
+func checkTraces(doc *scrapedDoc) TraceChecks {
+	var c TraceChecks
+	for _, d := range doc.Decisions {
+		if d.Kind == "shed" && d.Reason != "" && (d.ArrivalNs > 0 || d.Ratio > 0) {
+			c.ShedDecisionWithInputs = true
+			break
+		}
+	}
+	for _, t := range doc.Traces {
+		if !hasFlag(t.Flags, "outlier") || t.WallNs <= 0 {
+			continue
+		}
+		sum := int64(0)
+		for _, st := range wallStages {
+			sum += t.Stages[st]
+		}
+		if diff := sum - t.WallNs; diff < 0 {
+			diff = -diff
+			if float64(diff) <= 0.05*float64(t.WallNs) {
+				c.OutlierStageSum = true
+				break
+			}
+		} else if float64(diff) <= 0.05*float64(t.WallNs) {
+			c.OutlierStageSum = true
+			break
+		}
+	}
+	return c
+}
+
+func hasFlag(flags []string, want string) bool {
+	for _, f := range flags {
+		if f == want {
+			return true
+		}
+	}
+	return false
+}

@@ -11,11 +11,19 @@
 //	      [-variant final] [-workers 1] [-lanes 0] [-queue 64]
 //	      [-window 32] [-enter 1.0] [-exit 0.85] [-addr-file PATH]
 //	      [-escalate] [-esc-hot 4] [-esc-queue 256] [-esc-workers 1]
+//	      [-trace-sample 0] [-trace-depth 256] [-runtime-metrics]
 //
 // -escalate turns on two-level decoding: responses still carry the
 // level-1 mesh correction at mesh latency, but suspect ones are flagged
 // on the wire and re-decoded asynchronously by exact MWPM, with the
 // two-tier latency mixture driving admission control.
+//
+// -trace-sample controls the request-lifecycle flight recorder served
+// at /debug/traces: 0 defers to REPRO_TRACE_SAMPLE (default 1-in-16),
+// N > 0 samples 1 in N, and -1 disables tracing. -runtime-metrics (or
+// REPRO_RUNTIME_METRICS=1) bridges the Go runtime's GC-pause and
+// scheduler-latency telemetry into the registry, so serve-side GC
+// stalls are distinguishable from decode stalls on the same surface.
 //
 // With -tcp/-http at ":0" the kernel picks the ports; -addr-file writes
 // the bound addresses ("tcp ADDR" and "http ADDR" lines) so scripts —
@@ -66,6 +74,10 @@ func main() {
 	escHot := flag.Int("esc-hot", 0, "escalate when the initial hot-check count reaches this (0 = stats triggers only)")
 	escQueue := flag.Int("esc-queue", 256, "escalation queue depth (full queue drops, never blocks level 1)")
 	escWorkers := flag.Int("esc-workers", 1, "level-2 MWPM workers")
+	traceSample := flag.Int("trace-sample", 0, "trace 1-in-N requests (0 = REPRO_TRACE_SAMPLE or 16, -1 = off)")
+	traceDepth := flag.Int("trace-depth", 256, "flight-recorder ring depth (traces and decisions)")
+	runtimeMetrics := flag.Bool("runtime-metrics", knob.Bool("REPRO_RUNTIME_METRICS"),
+		"bridge runtime/metrics (GC pauses, sched latency, goroutines, heap) into the registry")
 	flag.Parse()
 
 	v, ok := sfq.VariantByName(*variant)
@@ -86,7 +98,13 @@ func main() {
 		"queue": *queue, "window": *window, "enter": *enter, "exit": *exit,
 		"escalate": *escalate, "esc_hot": *escHot,
 		"esc_queue": *escQueue, "esc_workers": *escWorkers,
+		"trace_sample": *traceSample, "trace_depth": *traceDepth,
+		"runtime_metrics": *runtimeMetrics,
 	}))
+	if *runtimeMetrics {
+		bridge := obs.StartRuntimeBridge(obs.Default(), time.Second)
+		defer bridge.Close()
+	}
 	var escPol *twolevel.Policy
 	if *escalate {
 		p := twolevel.DefaultPolicy()
@@ -107,6 +125,8 @@ func main() {
 		EscalatePolicy: escPol,
 		EscQueueDepth:  *escQueue,
 		EscWorkers:     *escWorkers,
+		TraceSample:    *traceSample,
+		TraceDepth:     *traceDepth,
 	})
 
 	tcpLn, err := net.Listen("tcp", *tcpAddr)

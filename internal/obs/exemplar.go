@@ -1,0 +1,80 @@
+package obs
+
+import "sync/atomic"
+
+// Exemplar support: a histogram can optionally remember, per bucket,
+// the sequence number of the most recent trace whose observation landed
+// there. That is the link the flight recorder needs — "this p99 bucket
+// of serve_decode_ns was last fed by trace #1234" — without adding any
+// cost to histograms that never ask for it (one nil pointer check on
+// the plain Observe path, nothing else).
+//
+// An exemplar is two atomic words per bucket (value and trace seq),
+// stored last-writer-wins: exemplars are navigation aids into the
+// flight-recorder ring, not statistics, so racing writers are fine.
+
+// exemplarTable is the per-bucket exemplar store, allocated lazily by
+// EnableExemplars so plain histograms stay ~4 KiB.
+type exemplarTable struct {
+	val [histBuckets]atomic.Uint64
+	seq [histBuckets]atomic.Uint64 // 0 = no exemplar (trace seqs start at 1)
+}
+
+// EnableExemplars turns on exemplar capture for this histogram. It is
+// idempotent and safe to call concurrently with observers.
+func (h *Histogram) EnableExemplars() {
+	if h.ex.Load() != nil {
+		return
+	}
+	h.ex.CompareAndSwap(nil, new(exemplarTable))
+}
+
+// ObserveExemplar records one value like Observe and, when exemplars
+// are enabled and seq is nonzero, tags the value's bucket with the
+// trace sequence number that produced it.
+func (h *Histogram) ObserveExemplar(v uint64, seq uint64) {
+	i := bucketOf(v)
+	h.buckets[i].Add(1)
+	h.count.Add(1)
+	h.sum.Add(v)
+	atomicMax(&h.max, v)
+	atomicMax(&h.invMin, ^v)
+	if t := h.ex.Load(); t != nil && seq != 0 {
+		t.val[i].Store(v)
+		t.seq[i].Store(seq)
+	}
+}
+
+// Exemplar is one bucket's most recent tagged observation.
+type Exemplar struct {
+	// BucketLo and BucketHi are the half-open value range of the bucket.
+	BucketLo uint64 `json:"bucket_lo"`
+	BucketHi uint64 `json:"bucket_hi"`
+	// Value is the tagged observation.
+	Value uint64 `json:"value"`
+	// Seq is the trace sequence number that produced Value; resolve it
+	// against the flight recorder's ring (the trace may have aged out).
+	Seq uint64 `json:"trace_seq"`
+}
+
+// Exemplars returns the current exemplar set, lowest bucket first, or
+// nil when exemplars were never enabled or none were recorded. Under
+// concurrent writers each entry is a valid (value, seq) pair from some
+// recent observation; value and seq of one entry may come from two
+// racing observations — both still point into the same bucket.
+func (h *Histogram) Exemplars() []Exemplar {
+	t := h.ex.Load()
+	if t == nil {
+		return nil
+	}
+	var out []Exemplar
+	for i := 0; i < histBuckets; i++ {
+		seq := t.seq[i].Load()
+		if seq == 0 {
+			continue
+		}
+		lo, hi := bucketBounds(i)
+		out = append(out, Exemplar{BucketLo: lo, BucketHi: hi, Value: t.val[i].Load(), Seq: seq})
+	}
+	return out
+}

@@ -1,0 +1,108 @@
+package obs
+
+import (
+	"runtime"
+	"testing"
+	"time"
+)
+
+// TestObserveN pins the bulk-observe used by the runtime bridge: one
+// ObserveN(v, n) is indistinguishable from n Observes of v.
+func TestObserveN(t *testing.T) {
+	a, b := NewHistogram(), NewHistogram()
+	a.ObserveN(1500, 3)
+	a.ObserveN(90, 1)
+	a.ObserveN(7, 0) // n = 0 is a no-op, not a zero-value observation
+	for i := 0; i < 3; i++ {
+		b.Observe(1500)
+	}
+	b.Observe(90)
+	sa, sb := a.Snapshot(), b.Snapshot()
+	if sa.Count != sb.Count || sa.Sum != sb.Sum || sa.Min != sb.Min || sa.Max != sb.Max {
+		t.Fatalf("ObserveN diverges from repeated Observe: %+v vs %+v", sa, sb)
+	}
+	if len(sa.Buckets) != len(sb.Buckets) {
+		t.Fatalf("bucket sets differ: %v vs %v", sa.Buckets, sb.Buckets)
+	}
+	for i := range sa.Buckets {
+		if sa.Buckets[i] != sb.Buckets[i] {
+			t.Fatalf("bucket %d differs: %+v vs %+v", i, sa.Buckets[i], sb.Buckets[i])
+		}
+	}
+}
+
+// TestExemplars pins the bucket → trace link: disabled histograms
+// record nothing and allocate nothing for it, enabled ones remember the
+// latest (value, seq) per bucket, and seq 0 means "no trace" and never
+// writes.
+func TestExemplars(t *testing.T) {
+	h := NewHistogram()
+	h.ObserveExemplar(1000, 7)
+	if got := h.Exemplars(); got != nil {
+		t.Fatalf("exemplars recorded before EnableExemplars: %v", got)
+	}
+	if h.Count() != 1 {
+		t.Fatal("ObserveExemplar did not observe")
+	}
+
+	h.EnableExemplars()
+	h.EnableExemplars() // idempotent
+	h.ObserveExemplar(1000, 3)
+	h.ObserveExemplar(1010, 9) // same bucket: last writer wins
+	h.ObserveExemplar(1_000_000, 5)
+	h.ObserveExemplar(42, 0) // untraced: observed, no exemplar
+
+	ex := h.Exemplars()
+	if len(ex) != 2 {
+		t.Fatalf("%d exemplars, want 2: %v", len(ex), ex)
+	}
+	lo := ex[0] // lowest bucket first
+	if lo.Seq != 9 || lo.Value != 1010 {
+		t.Fatalf("low-bucket exemplar: %+v, want seq 9 value 1010", lo)
+	}
+	if lo.BucketLo > lo.Value || lo.Value >= lo.BucketHi {
+		t.Fatalf("exemplar value %d outside its bucket [%d, %d)", lo.Value, lo.BucketLo, lo.BucketHi)
+	}
+	if ex[1].Seq != 5 || ex[1].Value != 1_000_000 {
+		t.Fatalf("high-bucket exemplar: %+v", ex[1])
+	}
+	if h.Count() != 5 {
+		t.Fatalf("count %d, want 5", h.Count())
+	}
+
+	if avg := testing.AllocsPerRun(100, func() {
+		h.ObserveExemplar(1000, 11)
+	}); avg != 0 {
+		t.Fatalf("ObserveExemplar allocates %.1f/op, want 0", avg)
+	}
+}
+
+// TestRuntimeBridge pins the runtime/metrics fold: after forced GCs the
+// bridged registry holds a nonzero GC-pause histogram and live gauges,
+// and the final fold on Close captures work from the last interval.
+func TestRuntimeBridge(t *testing.T) {
+	r := NewRegistry()
+	b := StartRuntimeBridge(r, 10*time.Millisecond)
+	for i := 0; i < 3; i++ {
+		runtime.GC()
+	}
+	time.Sleep(25 * time.Millisecond)
+	runtime.GC() // caught by the final fold even if the ticker missed it
+	b.Close()
+
+	if n := r.Histogram("go_gc_pause_ns").Count(); n == 0 {
+		t.Error("no GC pauses folded despite forced GCs")
+	}
+	if g := r.Gauge("go_goroutines").Load(); g <= 0 {
+		t.Errorf("go_goroutines = %d, want > 0", g)
+	}
+	if g := r.Gauge("go_heap_objects_bytes").Load(); g <= 0 {
+		t.Errorf("go_heap_objects_bytes = %d, want > 0", g)
+	}
+	// Scheduler latencies exist on any runtime that ran goroutines; do
+	// not assert a count (quiet runs can legitimately fold none), but
+	// the histogram must at least be registered.
+	if r.Histogram("go_sched_latency_ns") == nil {
+		t.Error("go_sched_latency_ns not registered")
+	}
+}

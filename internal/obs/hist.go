@@ -42,6 +42,17 @@ func bucketBounds(i int) (lo, hi uint64) {
 	return lo, lo + 1<<exp
 }
 
+// BucketIndex exposes the histogram's value→bucket mapping (monotone,
+// contiguous, 12.5% relative width). The request tracer uses it to
+// decide whether a wall time lands in the top buckets of the live
+// latency distribution — the "outlier" capture rule.
+func BucketIndex(v uint64) int { return bucketOf(v) }
+
+// BucketsPerOctave is how many sub-buckets one power-of-two value range
+// spans: bucket indices within BucketsPerOctave of the maximum seen are
+// "within one octave of the max", the tracer's outlier band.
+const BucketsPerOctave = histSub
+
 // Histogram is a concurrency-safe log-bucketed histogram. Observe is
 // lock-free (plain atomic adds), histograms merge exactly (bucket
 // counts and the value sum are additive), and Snapshot extracts
@@ -53,6 +64,7 @@ type Histogram struct {
 	sum     atomic.Uint64
 	max     atomic.Uint64
 	invMin  atomic.Uint64 // ^min; zero value decodes to MaxUint64 (unset)
+	ex      atomic.Pointer[exemplarTable]
 	buckets [histBuckets]atomic.Uint64
 }
 
@@ -66,6 +78,21 @@ func (h *Histogram) Observe(v uint64) {
 	h.buckets[bucketOf(v)].Add(1)
 	h.count.Add(1)
 	h.sum.Add(v)
+	atomicMax(&h.max, v)
+	atomicMax(&h.invMin, ^v)
+}
+
+// ObserveN records n observations of the same value in one shot. The
+// runtime/metrics bridge uses it to fold cumulative runtime histogram
+// deltas (bucket midpoint × new count) into a registry histogram
+// without n individual Observe calls.
+func (h *Histogram) ObserveN(v uint64, n uint64) {
+	if n == 0 {
+		return
+	}
+	h.buckets[bucketOf(v)].Add(n)
+	h.count.Add(n)
+	h.sum.Add(v * n)
 	atomicMax(&h.max, v)
 	atomicMax(&h.invMin, ^v)
 }

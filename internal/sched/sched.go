@@ -21,12 +21,33 @@ import (
 	"fmt"
 	"sync"
 	"sync/atomic"
+	"time"
 )
 
 // Task is one unit of work. Implementations are typically pointers to
 // preallocated structs so submission does not allocate.
 type Task interface {
 	Run()
+}
+
+// WaitObserver is an optional second face of a Task: a task that
+// implements it is told, just before Run, how long it sat in the
+// deques (submit → execution start, parks and steal migrations
+// included) and whether the executing worker stole it from another
+// worker's deque. The decode service uses this to attribute scheduler
+// wait — otherwise invisible inside a request's queue-wait stage — and
+// to mark traces whose drain was stolen. The callback runs on the
+// executing worker, immediately before Run, so implementations need no
+// synchronization beyond what Run itself needs.
+type WaitObserver interface {
+	ObserveSchedWait(waitNs int64, stolen bool)
+}
+
+// item is one queued task plus its submission instant; the timestamp
+// rides the deques so wait attribution survives steals.
+type item struct {
+	t  Task
+	at time.Time
 }
 
 // Options tunes a Pool.
@@ -55,17 +76,17 @@ type Stats struct {
 // negligible against task run time.
 type deque struct {
 	mu    sync.Mutex
-	buf   []Task
+	buf   []item
 	head  int // index of the oldest task
 	count int
 }
 
-func (d *deque) pushTail(t Task) {
+func (d *deque) pushTail(it item) {
 	d.mu.Lock()
 	if d.count == len(d.buf) {
 		d.grow()
 	}
-	d.buf[(d.head+d.count)%len(d.buf)] = t
+	d.buf[(d.head+d.count)%len(d.buf)] = it
 	d.count++
 	d.mu.Unlock()
 }
@@ -77,7 +98,7 @@ func (d *deque) grow() {
 	if n == 0 {
 		n = 8
 	}
-	buf := make([]Task, n)
+	buf := make([]item, n)
 	for i := 0; i < d.count; i++ {
 		buf[i] = d.buf[(d.head+i)%len(d.buf)]
 	}
@@ -85,25 +106,25 @@ func (d *deque) grow() {
 	d.head = 0
 }
 
-func (d *deque) popTail() Task {
+func (d *deque) popTail() (item, bool) {
 	d.mu.Lock()
 	if d.count == 0 {
 		d.mu.Unlock()
-		return nil
+		return item{}, false
 	}
 	d.count--
 	i := (d.head + d.count) % len(d.buf)
-	t := d.buf[i]
-	d.buf[i] = nil
+	it := d.buf[i]
+	d.buf[i] = item{}
 	d.mu.Unlock()
-	return t
+	return it, true
 }
 
 // stealInto moves up to half of the deque (rounded up, at least one)
 // into scratch, oldest first, and returns the filled prefix. The
 // victim's lock is the only lock held, so thieves never deadlock
 // against each other.
-func (d *deque) stealInto(scratch []Task) []Task {
+func (d *deque) stealInto(scratch []item) []item {
 	d.mu.Lock()
 	if d.count == 0 {
 		d.mu.Unlock()
@@ -111,13 +132,13 @@ func (d *deque) stealInto(scratch []Task) []Task {
 	}
 	n := (d.count + 1) / 2
 	if n > cap(scratch) {
-		scratch = make([]Task, 0, n)
+		scratch = make([]item, 0, n)
 	}
 	scratch = scratch[:n]
 	for i := 0; i < n; i++ {
 		j := (d.head + i) % len(d.buf)
 		scratch[i] = d.buf[j]
-		d.buf[j] = nil
+		d.buf[j] = item{}
 	}
 	d.head = (d.head + n) % len(d.buf)
 	d.count -= n
@@ -127,7 +148,7 @@ func (d *deque) stealInto(scratch []Task) []Task {
 
 type worker struct {
 	dq      deque
-	scratch []Task // steal buffer, reused across steals
+	scratch []item // steal buffer, reused across steals
 }
 
 // Pool runs tasks on a fixed set of worker goroutines. Create with
@@ -176,7 +197,7 @@ func (p *Pool) Submit(t Task) {
 		panic("sched: Submit(nil)")
 	}
 	w := p.workers[p.rr.Add(1)%uint64(len(p.workers))]
-	w.dq.pushTail(t)
+	w.dq.pushTail(item{t: t, at: time.Now()})
 	p.submitted.Add(1)
 	p.queued.Add(1)
 	p.mu.Lock()
@@ -219,20 +240,27 @@ func (p *Pool) run(idx int) {
 	defer p.wg.Done()
 	self := p.workers[idx]
 	for {
-		var t Task
+		var it item
+		var ok, stolen bool
 		if p.opts.ForceSteal {
 			// Test schedule: migrate first, fall back to own work.
-			if t = p.steal(idx, self); t == nil {
-				t = self.dq.popTail()
+			if it, ok = p.steal(idx, self); !ok {
+				it, ok = self.dq.popTail()
+			} else {
+				stolen = true
 			}
 		} else {
-			if t = self.dq.popTail(); t == nil {
-				t = p.steal(idx, self)
+			if it, ok = self.dq.popTail(); !ok {
+				it, ok = p.steal(idx, self)
+				stolen = ok
 			}
 		}
-		if t != nil {
+		if ok {
 			p.queued.Add(-1)
-			t.Run()
+			if wo, isWO := it.t.(WaitObserver); isWO {
+				wo.ObserveSchedWait(time.Since(it.at).Nanoseconds(), stolen)
+			}
+			it.t.Run()
 			p.executed.Add(1)
 			continue
 		}
@@ -257,8 +285,9 @@ func (p *Pool) run(idx int) {
 
 // steal scans the other workers from idx+1 and takes half of the first
 // non-empty deque: one task is returned to run now, the rest land in
-// the thief's own deque.
-func (p *Pool) steal(idx int, self *worker) Task {
+// the thief's own deque (submission timestamps ride along, so wait
+// attribution survives the migration).
+func (p *Pool) steal(idx int, self *worker) (item, bool) {
 	n := len(p.workers)
 	for off := 1; off < n; off++ {
 		v := p.workers[(idx+off)%n]
@@ -271,14 +300,14 @@ func (p *Pool) steal(idx int, self *worker) Task {
 		}
 		p.steals.Add(1)
 		p.stolen.Add(uint64(len(got)))
-		for _, t := range got[1:] {
-			self.dq.pushTail(t)
+		for _, it := range got[1:] {
+			self.dq.pushTail(it)
 		}
-		t := got[0]
+		it := got[0]
 		for i := range got {
-			got[i] = nil
+			got[i] = item{}
 		}
-		return t
+		return it, true
 	}
-	return nil
+	return item{}, false
 }

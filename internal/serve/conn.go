@@ -6,6 +6,8 @@ import (
 	"net"
 	"sync"
 	"time"
+
+	"repro/internal/obs/trace"
 )
 
 // srvConn is one framed-TCP connection: a reader goroutine that parses
@@ -175,6 +177,13 @@ func (c *srvConn) writeLoop() {
 				c.cond.Broadcast()
 				c.mu.Unlock()
 			}
+		}
+
+		if resp.span != nil {
+			// Written — or discarded on a dead connection; either way the
+			// response has left the server, which is the final stage.
+			resp.span.Stamp(trace.StageRespWrite)
+			resp.span.Finish()
 		}
 
 		c.mu.Lock()

@@ -63,15 +63,15 @@ func TestControllerHysteresisSequence(t *testing.T) {
 		meanNs    uint64
 		want      bool
 	}{
-		{1000, 500, false},  // 0.5: healthy
-		{1000, 990, false},  // 0.99: inside the band from below — still admitting
-		{1000, 1200, true},  // 1.2: diverging — shed
-		{1000, 950, true},   // 0.95: inside the band from above — still shedding
-		{1000, 1500, true},  // relapse
-		{1000, 840, false},  // 0.84: below Exit — admit again
-		{1000, 990, false},  // band from below again
-		{0, 2000, false},    // no traffic: nothing to shed
-		{1, 100000, true},   // absurd overload re-engages immediately
+		{1000, 500, false},   // 0.5: healthy
+		{1000, 990, false},   // 0.99: inside the band from below — still admitting
+		{1000, 1200, true},   // 1.2: diverging — shed
+		{1000, 950, true},    // 0.95: inside the band from above — still shedding
+		{1000, 1500, true},   // relapse
+		{1000, 840, false},   // 0.84: below Exit — admit again
+		{1000, 990, false},   // band from below again
+		{0, 2000, false},     // no traffic: nothing to shed
+		{1, 100000, true},    // absurd overload re-engages immediately
 		{100000, 100, false}, // near-idle arrival releases
 	}
 	for i, st := range steps {

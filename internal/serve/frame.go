@@ -24,6 +24,7 @@ import (
 	"io"
 
 	"repro/internal/lattice"
+	"repro/internal/obs/trace"
 )
 
 // Frame layout (all integers little-endian):
@@ -130,6 +131,11 @@ type Response struct {
 	Cycles    uint32  // mesh cycles the decode consumed (StatusOK only)
 	Qubits    []int32 // correction data-qubit indices (StatusOK only)
 	Msg       string  // human-readable cause (StatusError only)
+
+	// span is the request's trace handle, riding the response to
+	// whichever goroutine writes it out — that consumer stamps the
+	// resp_write stage and releases the span. Never serialized.
+	span *trace.Span
 }
 
 // Framing errors.

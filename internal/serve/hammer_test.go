@@ -29,12 +29,12 @@ func TestHammerExactlyOnce(t *testing.T) {
 	v := sfq.Final
 	pool := sfq.NewPool(v)
 	s := New(Config{
-		Variant:   v,
-		Distances: []int{3},
+		Variant:    v,
+		Distances:  []int{3},
 		Window:     8,
 		QueueDepth: 16,
 		Pool:       pool,
-		Registry:  obs.NewRegistry(),
+		Registry:   obs.NewRegistry(),
 	})
 
 	syns := confSyndromes(3, lattice.ZErrors, 16)

@@ -32,6 +32,9 @@ type httpResponse struct {
 //
 //	POST /decode    one synchronous decode (JSON in, JSON out)
 //	GET  /healthz   controller state: shedding flag, backlog ratio
+//	GET  /debug/traces  the flight recorder: sampled + outlier traces,
+//	                shed/drop decisions, stage histograms, exemplars
+//	                (?format=text for a terminal table)
 //	everything else the registry's telemetry handler — /metrics,
 //	                /metrics.json, /manifest.json, and /debug/pprof/*
 //	                when withPprof is true
@@ -39,6 +42,7 @@ func (s *Server) Handler(withPprof bool) http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("/decode", s.handleDecode)
 	mux.HandleFunc("/healthz", s.handleHealthz)
+	mux.HandleFunc("/debug/traces", s.handleTraces)
 	mux.Handle("/", s.reg.Handler(withPprof))
 	return mux
 }

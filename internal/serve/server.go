@@ -11,6 +11,7 @@ import (
 	"repro/internal/decoder/mwpm"
 	"repro/internal/lattice"
 	"repro/internal/obs"
+	"repro/internal/obs/trace"
 	"repro/internal/sched"
 	"repro/internal/sfq"
 	"repro/internal/twolevel"
@@ -78,6 +79,18 @@ type Config struct {
 	EscQueueDepth int
 	// EscWorkers is the level-2 worker count (default 1).
 	EscWorkers int
+	// TraceSample controls the request-lifecycle flight recorder
+	// (internal/obs/trace): 0 (the default) defers to the
+	// REPRO_TRACE_SAMPLE knob, a positive N records 1 in N requests
+	// (outliers and shed/drop decisions are always recorded), and a
+	// negative value disables the recorder entirely.
+	TraceSample int
+	// TraceDepth sizes the flight recorder's trace and decision rings
+	// (default 256 each).
+	TraceDepth int
+	// TraceSpans bounds concurrently traced in-flight requests (default
+	// 4096); requests beyond the bound go untraced, never blocked.
+	TraceSpans int
 }
 
 // task is one admitted request in a decode queue. deliver is invoked
@@ -87,6 +100,7 @@ type task struct {
 	id      uint64
 	syn     []bool
 	deliver func(*Response)
+	sp      *trace.Span // nil when the request is untraced
 }
 
 // escTask is one queued level-2 re-decode. It owns syn: the level-1
@@ -95,6 +109,7 @@ type task struct {
 type escTask struct {
 	g   *lattice.Graph
 	syn []bool
+	sp  *trace.Span // holds one span reference until level 2 finishes
 }
 
 type queueKey struct {
@@ -133,6 +148,7 @@ type drainTask struct {
 	scr    *decodepool.Scratch
 	tasks  []task
 	syns   [][]bool
+	stolen bool // set by ObserveSchedWait just before Run
 }
 
 // Server is the decode service: admission control in front of
@@ -153,6 +169,14 @@ type Server struct {
 	escPol twolevel.Policy
 	escCh  chan escTask
 	escWG  sync.WaitGroup
+
+	tracer      *trace.Recorder
+	queueWaitNs *obs.Histogram // enqueue → coalesce, sched wait included
+	coalesceNs  *obs.Histogram // coalesce → decode start
+	escWaitNs   *obs.Histogram // decode end → escalate start
+	schedWaitNs *obs.Histogram // drain-task deque wait, per dispatch
+	drainSteals *obs.Counter
+	escDepth    *obs.Gauge
 
 	decodeNs   *obs.Histogram
 	batchLanes *obs.Histogram
@@ -206,23 +230,49 @@ func New(cfg Config) *Server {
 		cfg.Registry = obs.Default()
 	}
 	s := &Server{
-		cfg:        cfg,
-		pool:       cfg.Pool,
-		reg:        cfg.Registry,
-		queues:     map[queueKey]*queue{},
-		conns:      map[*srvConn]struct{}{},
-		sched:      sched.New(cfg.PoolWorkers, sched.Options{}),
-		decodeNs:   cfg.Registry.Histogram("serve_decode_ns"),
-		batchLanes: cfg.Registry.Histogram("serve_batch_lanes"),
-		reqTotal:   cfg.Registry.Counter("serve_requests_total"),
-		okTotal:    cfg.Registry.Counter("serve_ok_total"),
-		shedTotal:  cfg.Registry.Counter("serve_shed_total"),
-		errTotal:   cfg.Registry.Counter("serve_error_total"),
-		shedGauge:  cfg.Registry.Gauge("serve_shedding"),
-		ratioPpm:   cfg.Registry.Gauge("serve_backlog_ratio_ppm"),
-		connGauge:  cfg.Registry.Gauge("serve_conns"),
-		tickerStop: make(chan struct{}),
-		tickerDone: make(chan struct{}),
+		cfg:         cfg,
+		pool:        cfg.Pool,
+		reg:         cfg.Registry,
+		queues:      map[queueKey]*queue{},
+		conns:       map[*srvConn]struct{}{},
+		sched:       sched.New(cfg.PoolWorkers, sched.Options{}),
+		decodeNs:    cfg.Registry.Histogram("serve_decode_ns"),
+		batchLanes:  cfg.Registry.Histogram("serve_batch_lanes"),
+		reqTotal:    cfg.Registry.Counter("serve_requests_total"),
+		okTotal:     cfg.Registry.Counter("serve_ok_total"),
+		shedTotal:   cfg.Registry.Counter("serve_shed_total"),
+		errTotal:    cfg.Registry.Counter("serve_error_total"),
+		shedGauge:   cfg.Registry.Gauge("serve_shedding"),
+		schedWaitNs: cfg.Registry.Histogram("serve_sched_wait_ns"),
+		drainSteals: cfg.Registry.Counter("serve_drain_steals_total"),
+		ratioPpm:    cfg.Registry.Gauge("serve_backlog_ratio_ppm"),
+		connGauge:   cfg.Registry.Gauge("serve_conns"),
+		tickerStop:  make(chan struct{}),
+		tickerDone:  make(chan struct{}),
+	}
+	// Flight recorder: TraceSample 0 defers to the REPRO_TRACE_SAMPLE
+	// knob; knob value 0/off — or an explicit negative sample — turns
+	// the recorder off entirely, including outlier and shed-decision
+	// capture.
+	sampleN := cfg.TraceSample
+	if sampleN == 0 {
+		if sampleN = trace.DefaultSample(); sampleN == 0 {
+			sampleN = -1
+		}
+	}
+	if sampleN > 0 {
+		s.tracer = trace.New(trace.Config{
+			Depth:         cfg.TraceDepth,
+			DecisionDepth: cfg.TraceDepth,
+			MaxInFlight:   cfg.TraceSpans,
+			SampleN:       sampleN,
+		})
+		s.queueWaitNs = cfg.Registry.Histogram("serve_queue_wait_ns")
+		s.coalesceNs = cfg.Registry.Histogram("serve_coalesce_ns")
+		s.escWaitNs = cfg.Registry.Histogram("serve_escalate_wait_ns")
+		s.tracer.SetObserver(s.observeSpan)
+		// Exemplars link high serve_decode_ns buckets to trace seqs.
+		s.decodeNs.EnableExemplars()
 	}
 	// Controller capacity: how many decodes the whole service advances
 	// concurrently when saturated — lanes × workers, summed over queues.
@@ -270,6 +320,7 @@ func New(cfg Config) *Server {
 		s.escalateNs = cfg.Registry.Histogram("serve_escalate_ns")
 		s.escTotal = cfg.Registry.Counter("serve_escalations_total")
 		s.escDropped = cfg.Registry.Counter("serve_escalate_dropped_total")
+		s.escDepth = cfg.Registry.Gauge("serve_esc_queue_depth")
 		for w := 0; w < workers; w++ {
 			s.escWG.Add(1)
 			go s.runEscWorker()
@@ -289,6 +340,67 @@ func (s *Server) Controller() *Controller { return s.ctl }
 
 // Pool returns the mesh pool backing the decode workers.
 func (s *Server) Pool() *sfq.Pool { return s.pool }
+
+// Tracer returns the server's flight recorder, nil when tracing is
+// disabled. The /debug/traces handler and the scrape tests read it.
+func (s *Server) Tracer() *trace.Recorder { return s.tracer }
+
+// observeSpan is the recorder's finalize hook: fold each finalized
+// request span's stage deltas into the derived stage histograms. The
+// consecutive deltas telescope — accept → … → resp_write sums exactly
+// to the span's wall time — so together the histograms decompose
+// serve_decode_ns's end-to-end latency stage by stage.
+func (s *Server) observeSpan(sp *trace.Span) {
+	if sp.Kind() != trace.KindRequest {
+		return
+	}
+	if w := stageDelta(sp, trace.StageEnqueue, trace.StageCoalesce); w >= 0 {
+		s.queueWaitNs.Observe(uint64(w))
+	}
+	if w := stageDelta(sp, trace.StageCoalesce, trace.StageDecodeStart); w >= 0 {
+		s.coalesceNs.Observe(uint64(w))
+	}
+	if w := stageDelta(sp, trace.StageDecodeEnd, trace.StageEscalateStart); w >= 0 {
+		s.escWaitNs.Observe(uint64(w))
+	}
+}
+
+// stageDelta returns to − from in nanoseconds, or −1 when either stage
+// was never reached.
+func stageDelta(sp *trace.Span, from, to trace.Stage) int64 {
+	a, b := sp.TS(from), sp.TS(to)
+	if a == 0 || b == 0 || b < a {
+		return -1
+	}
+	return b - a
+}
+
+// recordShed commits one shed decision with the admission-controller
+// inputs that caused it — through the request's own span when it has
+// one, directly into the decision ring otherwise (free list dry).
+func (s *Server) recordShed(sp *trace.Span, id uint64, d int, e lattice.ErrorType,
+	reason trace.Reason, queueLen int, now time.Time) {
+	if s.tracer == nil {
+		return
+	}
+	ratio := s.ctl.Ratio()
+	arrival := s.meter.intervalNs(now)
+	if sp != nil {
+		sp.FinishDecision(trace.KindShed, reason, ratio, arrival, queueLen)
+		return
+	}
+	s.tracer.RecordDecision(trace.KindShed, id, d, uint8(e), reason, ratio, arrival, queueLen)
+}
+
+// recordEscDrop commits an escalation-drop decision. The level-2 queue
+// was full, so its length is its capacity by definition of the drop.
+func (s *Server) recordEscDrop(id uint64, d int, e lattice.ErrorType) {
+	if s.tracer == nil {
+		return
+	}
+	s.tracer.RecordDecision(trace.KindEscDrop, id, d, uint8(e),
+		trace.ReasonEscQueueFull, s.ctl.Ratio(), s.meter.intervalNs(time.Now()), cap(s.escCh))
+}
 
 // controlLoop re-evaluates the SLO controller on a fixed period, from
 // the live arrival-rate estimate and service-time histogram, and
@@ -329,10 +441,19 @@ func (s *Server) controlLoop() {
 // so the caller may reuse its buffer immediately.
 func (s *Server) submit(d int, e lattice.ErrorType, id uint64, syn []bool, deliver func(*Response)) {
 	s.reqTotal.Inc()
+	// One clock read covers the arrival meter and the accept/admit/
+	// enqueue stamps: the in-process gaps between those stages are tens
+	// of nanoseconds, far below anything the decomposition cares about,
+	// and the saved reads keep tracing inside its overhead budget.
+	now := time.Now()
+	sp := s.tracer.Start(id, d, uint8(e))
+	nowNs := now.UnixNano()
+	sp.StampAt(trace.StageAccept, nowNs)
 	s.mu.RLock()
 	if s.closed {
 		s.mu.RUnlock()
 		s.errTotal.Inc()
+		sp.FinishError()
 		deliver(&Response{ID: id, Status: StatusError, Msg: "server draining"})
 		return
 	}
@@ -340,6 +461,7 @@ func (s *Server) submit(d int, e lattice.ErrorType, id uint64, syn []bool, deliv
 	if q == nil {
 		s.mu.RUnlock()
 		s.errTotal.Inc()
+		sp.FinishError()
 		deliver(&Response{ID: id, Status: StatusError,
 			Msg: fmt.Sprintf("unsupported distance %d (serving %v)", d, s.cfg.Distances)})
 		return
@@ -347,6 +469,7 @@ func (s *Server) submit(d int, e lattice.ErrorType, id uint64, syn []bool, deliv
 	if want := s.pool.Graph(d, e).NumChecks(); len(syn) != want {
 		s.mu.RUnlock()
 		s.errTotal.Inc()
+		sp.FinishError()
 		deliver(&Response{ID: id, Status: StatusError,
 			Msg: fmt.Sprintf("syndrome has %d checks, d=%d wants %d", len(syn), d, want)})
 		return
@@ -354,11 +477,18 @@ func (s *Server) submit(d int, e lattice.ErrorType, id uint64, syn []bool, deliv
 	if s.ctl.Shedding() {
 		s.mu.RUnlock()
 		s.shedTotal.Inc()
+		s.recordShed(sp, id, d, e, trace.ReasonController, len(q.ch), now)
 		deliver(&Response{ID: id, Status: StatusShed})
 		return
 	}
-	s.meter.tick(time.Now())
-	t := task{id: id, syn: append([]bool(nil), syn...), deliver: deliver}
+	s.meter.tick(now)
+	sp.StampAt(trace.StageAdmit, nowNs)
+	// The enqueue stamp must land before the send: once the task is in
+	// the channel a drain worker owns the span. A span that then sheds
+	// on the full-queue path carries a moot enqueue stamp, which the
+	// decision record never reads.
+	sp.StampAt(trace.StageEnqueue, nowNs)
+	t := task{id: id, syn: append([]bool(nil), syn...), deliver: deliver, sp: sp}
 	select {
 	case q.ch <- t:
 		s.mu.RUnlock()
@@ -369,6 +499,7 @@ func (s *Server) submit(d int, e lattice.ErrorType, id uint64, syn []bool, deliv
 		// bursts faster than its evaluation period.
 		s.mu.RUnlock()
 		s.shedTotal.Inc()
+		s.recordShed(sp, id, d, e, trace.ReasonQueueFull, len(q.ch), now)
 		deliver(&Response{ID: id, Status: StatusShed})
 	}
 }
@@ -398,7 +529,15 @@ func (s *Server) kick(q *queue) {
 func (s *Server) Decode(d int, e lattice.ErrorType, id uint64, syn []bool) *Response {
 	ch := make(chan *Response, 1)
 	s.submit(d, e, id, syn, func(r *Response) { ch <- r })
-	return <-ch
+	r := <-ch
+	// The synchronous caller is its own transport: receiving the
+	// response is the response write.
+	if r.span != nil {
+		r.span.Stamp(trace.StageRespWrite)
+		r.span.Finish()
+		r.span = nil
+	}
+	return r
 }
 
 // Run implements sched.Task: drain the queue until it is empty,
@@ -411,6 +550,8 @@ func (s *Server) Decode(d int, e lattice.ErrorType, id uint64, syn []bool) *Resp
 // queue's drains.
 func (dt *drainTask) Run() {
 	s, q := dt.s, dt.q
+	stolen := dt.stolen
+	dt.stolen = false
 	for {
 		dt.tasks = dt.tasks[:0]
 	coalesce:
@@ -427,7 +568,20 @@ func (dt *drainTask) Run() {
 		}
 		if len(dt.tasks) > 0 {
 			s.batchLanes.Observe(uint64(len(dt.tasks)))
-			s.decodeTasks(dt.b, dt.g, dt.scr, dt.tasks, &dt.syns)
+			if s.tracer != nil {
+				// One clock read stamps the whole batch: every lane left
+				// its queue when the coalesce loop closed.
+				now := time.Now().UnixNano()
+				for i := range dt.tasks {
+					sp := dt.tasks[i].sp
+					sp.StampAt(trace.StageCoalesce, now)
+					if stolen {
+						sp.SetFlag(trace.FlagStolenDrain)
+					}
+				}
+			}
+			stolen = false // only the dispatch batch rode the steal
+			s.decodeTasks(dt)
 			continue
 		}
 		// Exit-recheck, paired with kick: the queue looked empty, but a
@@ -447,28 +601,56 @@ func (dt *drainTask) Run() {
 	}
 }
 
+// ObserveSchedWait implements sched.WaitObserver: the scheduler calls
+// it on the executing worker immediately before Run with how long this
+// drain sat in the deques and whether it arrived by steal. The wait
+// feeds serve_sched_wait_ns — the scheduler's share of every coalesced
+// request's queue-wait stage — and the steal flag rides into the
+// dispatch batch's spans as FlagStolenDrain.
+func (dt *drainTask) ObserveSchedWait(waitNs int64, stolen bool) {
+	if waitNs >= 0 {
+		dt.s.schedWaitNs.Observe(uint64(waitNs))
+	}
+	if stolen {
+		dt.s.drainSteals.Inc()
+	}
+	dt.stolen = stolen
+}
+
 // decodeTasks decodes one coalesced batch and delivers its responses.
 // Each response owns its qubit slice (the corrections alias the
 // worker's scratch, which the next batch reuses).
-func (s *Server) decodeTasks(b *sfq.BatchMesh, g *lattice.Graph, scratch *decodepool.Scratch, tasks []task, syns *[][]bool) {
-	*syns = (*syns)[:0]
+func (s *Server) decodeTasks(dt *drainTask) {
+	b, g, tasks := dt.b, dt.g, dt.tasks
+	dt.syns = dt.syns[:0]
 	for i := range tasks {
-		*syns = append(*syns, tasks[i].syn)
+		dt.syns = append(dt.syns, tasks[i].syn)
 	}
 	start := time.Now()
-	cs, err := decodepool.DecodeBatch(b, g, *syns, scratch)
+	cs, err := decodepool.DecodeBatch(b, g, dt.syns, dt.scr)
+	elapsed := time.Since(start)
 	if err != nil {
 		s.errTotal.Add(int64(len(tasks)))
 		for i := range tasks {
+			tasks[i].sp.FinishError()
 			tasks[i].deliver(&Response{ID: tasks[i].id, Status: StatusError, Msg: err.Error()})
 		}
 		return
 	}
+	// Batch stage stamps come from the two clock reads already paid for
+	// the service-time signal; every lane shares them.
+	startNs := start.UnixNano()
+	endNs := startNs + elapsed.Nanoseconds()
 	// The controller's service-time signal: wall-clock cost per request,
 	// so lane sharing shows up as the speedup it is.
-	perNs := uint64(time.Since(start).Nanoseconds()) / uint64(len(tasks))
+	perNs := uint64(elapsed.Nanoseconds()) / uint64(len(tasks))
 	for i := range tasks {
-		s.decodeNs.Observe(perNs)
+		sp := tasks[i].sp
+		sp.StampAt(trace.StageDecodeStart, startNs)
+		sp.StampAt(trace.StageDecodeEnd, endNs)
+		// ObserveExemplar tags the bucket with the trace seq (0 = plain
+		// observe), linking high serve_decode_ns buckets to traces.
+		s.decodeNs.ObserveExemplar(perNs, sp.Seq())
 		st := b.LaneStats(i)
 		escalate := s.escCh != nil && s.escPol.Escalate(st)
 		resp := &Response{
@@ -476,6 +658,7 @@ func (s *Server) decodeTasks(b *sfq.BatchMesh, g *lattice.Graph, scratch *decode
 			Status:    StatusOK,
 			Escalated: escalate,
 			Cycles:    uint32(st.Cycles),
+			span:      sp,
 		}
 		if qs := cs[i].Qubits; len(qs) > 0 {
 			resp.Qubits = make([]int32, len(qs))
@@ -484,15 +667,26 @@ func (s *Server) decodeTasks(b *sfq.BatchMesh, g *lattice.Graph, scratch *decode
 			}
 		}
 		s.okTotal.Inc()
+		if escalate {
+			// The reference for level 2 must be taken before the response
+			// leaves: once delivered, the transport may finish the span at
+			// any moment.
+			sp.SetFlag(trace.FlagEscalated)
+			sp.AddRef()
+		}
 		tasks[i].deliver(resp)
 		if escalate {
 			// The response is out; the syndrome copy is now free to hand
 			// to level 2. A full queue drops the escalation rather than
 			// stalling this worker — level 1 never waits on level 2.
 			select {
-			case s.escCh <- escTask{g: g, syn: tasks[i].syn}:
+			case s.escCh <- escTask{g: g, syn: tasks[i].syn, sp: sp}:
+				s.escDepth.Add(1)
 			default:
 				s.escDropped.Inc()
+				sp.SetFlag(trace.FlagEscDropped)
+				s.recordEscDrop(tasks[i].id, dt.q.d, dt.q.e)
+				sp.Finish() // release the level-2 reference: it never ran
 			}
 		}
 	}
@@ -506,13 +700,19 @@ func (s *Server) runEscWorker() {
 	scratch := decodepool.NewScratch()
 	dec := mwpm.New()
 	for et := range s.escCh {
+		s.escDepth.Add(-1)
 		start := time.Now()
+		et.sp.StampAt(trace.StageEscalateStart, start.UnixNano())
 		if _, err := dec.DecodeInto(et.g, et.syn, scratch); err != nil {
 			s.errTotal.Inc()
+			et.sp.Finish()
 			continue
 		}
-		s.escalateNs.Observe(uint64(time.Since(start).Nanoseconds()))
+		elapsed := time.Since(start)
+		et.sp.StampAt(trace.StageEscalateEnd, start.UnixNano()+elapsed.Nanoseconds())
+		s.escalateNs.Observe(uint64(elapsed.Nanoseconds()))
 		s.escTotal.Inc()
+		et.sp.Finish()
 	}
 }
 

@@ -18,6 +18,8 @@
 package twolevel
 
 import (
+	"time"
+
 	"repro/internal/decoder"
 	"repro/internal/decodepool"
 	"repro/internal/lattice"
@@ -106,8 +108,10 @@ type Decoder struct {
 
 	decodes     int64
 	escalations int64
-	obsDecodes  *obs.Counter // nil until Instrument
+	obsDecodes  *obs.Counter   // nil until Instrument
 	obsEscal    *obs.Counter
+	l1Ns        *obs.Histogram // nil until Instrument: per-decode level split
+	l2Ns        *obs.Histogram
 
 	ownScratch *decodepool.Scratch // lazy, for the plain Decode face
 }
@@ -162,10 +166,20 @@ func (d *Decoder) MeshStats(i int) sfq.Stats {
 }
 
 // Instrument mirrors the decode/escalation counters into registry
-// counters twolevel_decodes_total and twolevel_escalations_total.
+// counters twolevel_decodes_total and twolevel_escalations_total, and
+// splits per-decode wall time into the twolevel_l1_ns / twolevel_l2_ns
+// histograms — the level-1 mesh share versus the level-2 accurate
+// re-decode share. The split is what the two-tier latency mixture
+// model (and any tail investigation) actually needs: an escalated
+// decode's tail is almost entirely level-2 time, and these histograms
+// prove or refute that per run. Timing costs two clock reads per
+// decode (three when escalating) and no allocations, so the
+// zero-allocation regression suite covers the instrumented path.
 func (d *Decoder) Instrument(r *obs.Registry) {
 	d.obsDecodes = r.Counter("twolevel_decodes_total")
 	d.obsEscal = r.Counter("twolevel_escalations_total")
+	d.l1Ns = r.Histogram("twolevel_l1_ns")
+	d.l2Ns = r.Histogram("twolevel_l2_ns")
 }
 
 func (d *Decoder) count(decodes, escalations int64) {
@@ -203,9 +217,16 @@ func (d *Decoder) DecodeInto(g *lattice.Graph, syn []bool, s *decodepool.Scratch
 	if d.batch != nil {
 		l1 = d.batch
 	}
+	var t0 time.Time
+	if d.l1Ns != nil {
+		t0 = time.Now()
+	}
 	c, err := l1.DecodeInto(g, syn, s)
 	if err != nil {
 		return decoder.Correction{}, err
+	}
+	if d.l1Ns != nil {
+		d.l1Ns.Observe(uint64(time.Since(t0)))
 	}
 	esc := d.pol.Escalate(d.MeshStats(0))
 	d.verdicts[0], d.lastN = esc, 1
@@ -214,7 +235,15 @@ func (d *Decoder) DecodeInto(g *lattice.Graph, syn []bool, s *decodepool.Scratch
 		return c, nil
 	}
 	d.count(1, 1)
-	return d.acc.DecodeInto(g, syn, s)
+	if d.l2Ns == nil {
+		return d.acc.DecodeInto(g, syn, s)
+	}
+	t1 := time.Now()
+	c2, err := d.acc.DecodeInto(g, syn, s)
+	if err == nil {
+		d.l2Ns.Observe(uint64(time.Since(t1)))
+	}
+	return c2, err
 }
 
 // arena holds the escalated corrections of one batch decode, reusing
@@ -251,9 +280,21 @@ func (d *Decoder) DecodeBatchInto(g *lattice.Graph, syns [][]bool, s *decodepool
 	if d.batch == nil {
 		return d.scalarBatch(g, syns, s)
 	}
+	var t0 time.Time
+	if d.l1Ns != nil {
+		t0 = time.Now()
+	}
 	cs, err := d.batch.DecodeBatchInto(g, syns, s)
 	if err != nil {
 		return nil, err
+	}
+	if d.l1Ns != nil {
+		// Per-syndrome share of the batch, mirroring how serve accounts
+		// lane-shared wall time.
+		per := uint64(time.Since(t0)) / uint64(len(syns))
+		for range syns {
+			d.l1Ns.Observe(per)
+		}
 	}
 	escalated := int64(0)
 	ar := s.State("twolevel:arena", mkArena).(*arena)
@@ -264,9 +305,16 @@ func (d *Decoder) DecodeBatchInto(g *lattice.Graph, syns [][]bool, s *decodepool
 			continue
 		}
 		escalated++
+		var t1 time.Time
+		if d.l2Ns != nil {
+			t1 = time.Now()
+		}
 		c2, err := d.acc.DecodeInto(g, syns[i], s)
 		if err != nil {
 			return nil, err
+		}
+		if d.l2Ns != nil {
+			d.l2Ns.Observe(uint64(time.Since(t1)))
 		}
 		start := len(ar.q)
 		ar.q = append(ar.q, c2.Qubits...)
