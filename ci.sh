@@ -33,10 +33,20 @@
 # PR 9 adds request-lifecycle tracing gates: the trace overhead guard
 # (traced serve path within 2% of tracing-off at the default 1-in-16
 # sampling, same REPRO_OBS_GUARD opt-in), and the serve+loadgen run now
-# scrapes /debug/traces into BENCH_pr9.json with -trace-check, which
+# scrapes /debug/traces with -trace-check, which
 # hard-fails unless the flight recorder captured a shed decision with
 # controller inputs and an outlier trace whose per-stage decomposition
 # telescopes to its wall time.
+# PR 10 adds the data-plane fast-path gates: the AllocsPerRun-0 check
+# on the steady-state serve path (submit -> queue -> decode -> deliver
+# -> ring -> response write with a discard conn must allocate nothing
+# per request), the weighted-shed ordering property tests under the
+# race detector (cheap d=3 sheds before expensive d=13;
+# REPRO_SERVE_WEIGHTED=0 restores uniform shedding), the sojourn-drop
+# policy test, and the trace scrape now writes BENCH_pr10.json whose
+# -trace-check additionally hard-fails unless shed decisions carry the
+# new weight/sojourn inputs and serve_queue_wait_ns p99 at the 2R point
+# improved >=20% over the embedded PR 9 baseline row.
 # The race
 # run sets
 # REPRO_MC_SHORT=1, which the statistical tests in internal/stats and
@@ -89,6 +99,17 @@ echo "== decode service: wire conformance + race hammer + backpressure =="
 REPRO_MC_SHORT=1 go test -run 'TestWireConformance|TestHTTPConformance' -count=1 ./internal/serve
 REPRO_MC_SHORT=1 go test -race -count=1 ./internal/serve
 
+echo "== serve fast path: zero-alloc gate + weighted shed ordering (race) =="
+# The steady-state serve path must allocate nothing per request: pooled
+# responses and syndrome buffers, ring out-queue, no per-request
+# closures. Run without -race (the detector's instrumentation
+# allocates).
+go test -run TestSteadyStateZeroAllocs -count=1 ./internal/serve
+# Shed ordering under overload is monotone in measured decode cost, the
+# sojourn bound drops aged work, and REPRO_SERVE_WEIGHTED=0 restores
+# uniform shedding — all racing the controller.
+REPRO_MC_SHORT=1 go test -race -run 'TestShedClassMonotone|TestWeightedShedOrdering|TestWeightedShedDisabled|TestSojournDrop|TestSubmitCopiesSyndrome|TestWireAliasingPipelined|TestClientFlushBatching' -count=1 ./internal/serve
+
 echo "== batched sweep determinism (race, short trials) =="
 REPRO_MC_SHORT=1 go test -race -run TestCurvesBatchDeterminism -count=1 ./internal/stats
 
@@ -131,12 +152,15 @@ done
 TCP_ADDR=$(awk '/^tcp /{print $2}' "$SERVE_TMP/addr")
 HTTP_ADDR=$(awk '/^http /{print $2}' "$SERVE_TMP/addr")
 [ -n "$TCP_ADDR" ] && [ -n "$HTTP_ADDR" ] || { echo "serve did not publish its addresses"; exit 1; }
-# -trace-out scrapes /debug/traces after the sweep into BENCH_pr9.json;
+# -trace-out scrapes /debug/traces after the sweep into BENCH_pr10.json;
 # -trace-check hard-fails unless the recorder holds at least one shed
-# decision with admission-controller inputs and one outlier trace whose
-# stage decomposition telescopes to its wall time.
+# decision with admission-controller inputs, one shed decision carrying
+# the PR 10 weight/sojourn inputs, one outlier trace whose stage
+# decomposition telescopes to its wall time, AND the measured
+# serve_queue_wait_ns p99 beats the embedded PR 9 baseline by >=20%
+# (the sojourn bound + flush batching are what buy the improvement).
 "$SERVE_TMP/loadgen" -addr "$TCP_ADDR" -d 13 -duration 1s -out BENCH_pr6.json \
-	-trace-http "http://$HTTP_ADDR" -trace-out BENCH_pr9.json -trace-check
+	-trace-http "http://$HTTP_ADDR" -trace-out BENCH_pr10.json -trace-check
 kill "$SERVE_PID"
 wait "$SERVE_PID" 2>/dev/null || true
 SERVE_PID=""

@@ -18,15 +18,18 @@
 //	loadgen -addr 127.0.0.1:9000 [-d 9] [-etype z] [-conns 4]
 //	        [-duration 2s] [-rates 1000,5000,10000] [-max-rate 50000]
 //	        [-density 0.08] [-seed 1] [-out BENCH_pr6.json]
-//	        [-trace-http http://127.0.0.1:9090] [-trace-out BENCH_pr9.json]
+//	        [-trace-http http://127.0.0.1:9090] [-trace-out BENCH_pr10.json]
 //
 // With -trace-http and -trace-out set, loadgen scrapes the server's
 // /debug/traces flight recorder after the sweep and writes the
-// per-stage latency decomposition — stage p50/p99 rows, the worst-10
-// traces by wall time, and every captured shed/drop decision — as its
-// own artifact. -trace-check makes the scrape's acceptance checks
-// (≥1 shed decision with controller inputs, ≥1 outlier trace whose
-// stage durations sum to its wall time) fatal; ci.sh passes it.
+// per-stage latency decomposition — stage p50/p99 rows, the embedded
+// PR 9 baseline with a before/after comparison, the worst-10 traces by
+// wall time, and every captured shed/drop decision — as its own
+// artifact. -trace-check makes the scrape's acceptance checks (≥1 shed
+// decision with controller inputs, ≥1 shed decision carrying
+// weight/sojourn inputs, ≥1 outlier trace whose stage durations sum to
+// its wall time, and serve_queue_wait_ns p99 ≥20% under the PR 9
+// baseline) fatal; ci.sh passes it.
 //
 // With -sweep, loadgen instead measures an in-process server at several
 // scheduler widths (workers × mixed-distance closed-loop traffic) and
@@ -58,7 +61,11 @@ import (
 type Artifact struct {
 	Manifest      *obs.Manifest `json:"manifest"`
 	CalibratedRPS float64       `json:"calibrated_rps"`
-	Rows          []Row         `json:"rows"`
+	// ClientFlushes counts socket flushes across every client for the
+	// whole run; Sent / ClientFlushes is the pipelining batch factor
+	// (1.0 before the batched-flush client fix).
+	ClientFlushes uint64 `json:"client_flushes"`
+	Rows          []Row  `json:"rows"`
 }
 
 // Row is one offered-load point of the latency/shedding curve.
@@ -177,6 +184,9 @@ func main() {
 			row.OfferedRPS, row.AchievedRPS, 100*row.ShedRate, 100*row.EscRate,
 			time.Duration(row.P50Ns), time.Duration(row.P99Ns))
 		art.Rows = append(art.Rows, row)
+	}
+	for _, c := range clients {
+		art.ClientFlushes += c.Flushes()
 	}
 
 	f, err := os.Create(*out)

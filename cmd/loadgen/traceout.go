@@ -13,10 +13,11 @@ import (
 
 // Trace scrape: after the rate sweep, pull the server's flight recorder
 // (/debug/traces on the -trace-http listener) and write the per-stage
-// latency decomposition as its own artifact (-trace-out, BENCH_pr9.json).
-// The recorder accumulated over the whole sweep, so the worst traces and
-// the shed decisions captured at 2R are still in the rings when the
-// scrape runs.
+// latency decomposition as its own artifact (-trace-out,
+// BENCH_pr10.json), including a before/after comparison against the
+// embedded PR 9 baseline rows. The recorder accumulated over the whole
+// sweep, so the worst traces and the shed decisions captured at 2R are
+// still in the rings when the scrape runs.
 
 // wallStages are the duration rows that telescope accept → resp_write;
 // their sum equals each trace's wall time exactly (shared stamps, no
@@ -50,6 +51,8 @@ type scrapedDecision struct {
 	Ratio     float64 `json:"ratio"`
 	ArrivalNs float64 `json:"arrival_ns"`
 	QueueLen  int32   `json:"queue_len"`
+	Weight    float64 `json:"weight,omitempty"`
+	SojournNs int64   `json:"sojourn_ns,omitempty"`
 }
 
 // scrapedDoc is the subset of the /debug/traces document the artifact
@@ -79,14 +82,46 @@ type TraceChecks struct {
 	// OutlierStageSum: ≥1 outlier-flagged trace whose wall-stage
 	// durations sum to within ±5% of its recorded wall time.
 	OutlierStageSum bool `json:"outlier_stage_sum_within_5pct"`
+	// ShedDecisionWeighted: ≥1 shed decision carrying the PR 10
+	// cost-weighted-admission inputs — a class weight, or a measured
+	// sojourn for drop-oldest decisions.
+	ShedDecisionWeighted bool `json:"shed_decision_weighted_or_sojourn"`
+	// QueueWaitP99Improved: the scraped serve_queue_wait_ns p99 beats
+	// the embedded PR 9 baseline row by ≥20% — the PR 10 acceptance
+	// number (7,340,031 ns × 0.8 = 5,872,024 ns ceiling).
+	QueueWaitP99Improved bool `json:"queue_wait_p99_improved_20pct"`
 }
 
-// TraceArtifact is the on-disk schema of BENCH_pr9.json.
+// pr9Baseline is the PR 9 trace decomposition at the ci.sh sweep's 2R
+// point (BENCH_pr9.json, d=13, lanes=1, escalation on, 1-CPU ci box) —
+// the before side of the before/after table and the denominator of the
+// ≥20% queue-wait improvement gate.
+var pr9Baseline = []StageRow{
+	{Stage: "serve_coalesce_ns", Count: 24219, P50Ns: 87, P99Ns: 255, MaxNs: 55642},
+	{Stage: "serve_decode_ns", Count: 24219, P50Ns: 122879, P99Ns: 491519, MaxNs: 8899410},
+	{Stage: "serve_escalate_ns", Count: 9743, P50Ns: 16383, P99Ns: 98303, MaxNs: 38421003},
+	{Stage: "serve_escalate_wait_ns", Count: 9743, P50Ns: 1703935, P99Ns: 25165823, MaxNs: 43251903},
+	{Stage: "serve_queue_wait_ns", Count: 24219, P50Ns: 1310719, P99Ns: 7340031, MaxNs: 29787790},
+	{Stage: "serve_sched_wait_ns", Count: 3378, P50Ns: 2815, P99Ns: 90111, MaxNs: 14777879},
+}
+
+// StageCompare is one before/after row: the PR 9 baseline p99 against
+// this run's, with the relative improvement (positive = faster now).
+type StageCompare struct {
+	Stage          string  `json:"stage"`
+	BaselineP99Ns  uint64  `json:"baseline_p99_ns"`
+	P99Ns          uint64  `json:"p99_ns"`
+	ImprovementPct float64 `json:"improvement_pct"`
+}
+
+// TraceArtifact is the on-disk schema of BENCH_pr10.json.
 type TraceArtifact struct {
 	Manifest    *obs.Manifest     `json:"manifest"`
 	SampleN     int               `json:"sample_n"`
 	Counters    map[string]uint64 `json:"counters"`
 	StageRows   []StageRow        `json:"stage_rows"`
+	Baseline    []StageRow        `json:"baseline_pr9"`
+	Comparison  []StageCompare    `json:"comparison_vs_pr9"`
 	WorstTraces []scrapedTrace    `json:"worst_traces"`
 	Decisions   []scrapedDecision `json:"decisions"`
 	Checks      TraceChecks       `json:"checks"`
@@ -115,6 +150,7 @@ func scrapeTraces(httpBase, out string, manifest *obs.Manifest, strict bool) err
 		Manifest: manifest,
 		SampleN:  doc.SampleN,
 		Counters: doc.Counters,
+		Baseline: pr9Baseline,
 		Checks:   checkTraces(&doc),
 	}
 	for stage, sum := range doc.StageSummary {
@@ -123,6 +159,22 @@ func scrapeTraces(httpBase, out string, manifest *obs.Manifest, strict bool) err
 		})
 	}
 	sort.Slice(art.StageRows, func(i, j int) bool { return art.StageRows[i].Stage < art.StageRows[j].Stage })
+	for _, base := range pr9Baseline {
+		for _, row := range art.StageRows {
+			if row.Stage != base.Stage {
+				continue
+			}
+			cmp := StageCompare{Stage: row.Stage, BaselineP99Ns: base.P99Ns, P99Ns: row.P99Ns}
+			if base.P99Ns > 0 {
+				cmp.ImprovementPct = 100 * (1 - float64(row.P99Ns)/float64(base.P99Ns))
+			}
+			art.Comparison = append(art.Comparison, cmp)
+			if row.Stage == "serve_queue_wait_ns" &&
+				float64(row.P99Ns) <= 0.8*float64(base.P99Ns) {
+				art.Checks.QueueWaitP99Improved = true
+			}
+		}
+	}
 
 	sort.Slice(doc.Traces, func(i, j int) bool { return doc.Traces[i].WallNs > doc.Traces[j].WallNs })
 	if len(doc.Traces) > 10 {
@@ -151,6 +203,18 @@ func scrapeTraces(httpBase, out string, manifest *obs.Manifest, strict bool) err
 		if !art.Checks.OutlierStageSum {
 			return fmt.Errorf("trace check failed: no outlier trace whose stage durations sum to its wall time")
 		}
+		if !art.Checks.ShedDecisionWeighted {
+			return fmt.Errorf("trace check failed: no shed decision carrying weight/sojourn inputs in %d decisions", len(art.Decisions))
+		}
+		if !art.Checks.QueueWaitP99Improved {
+			p99 := uint64(0)
+			for _, row := range art.StageRows {
+				if row.Stage == "serve_queue_wait_ns" {
+					p99 = row.P99Ns
+				}
+			}
+			return fmt.Errorf("trace check failed: serve_queue_wait_ns p99 %d ns not ≥20%% under the PR 9 baseline (7340031 ns)", p99)
+		}
 	}
 	return nil
 }
@@ -159,8 +223,16 @@ func scrapeTraces(httpBase, out string, manifest *obs.Manifest, strict bool) err
 func checkTraces(doc *scrapedDoc) TraceChecks {
 	var c TraceChecks
 	for _, d := range doc.Decisions {
-		if d.Kind == "shed" && d.Reason != "" && (d.ArrivalNs > 0 || d.Ratio > 0) {
+		if d.Kind != "shed" || d.Reason == "" {
+			continue
+		}
+		if d.ArrivalNs > 0 || d.Ratio > 0 {
 			c.ShedDecisionWithInputs = true
+		}
+		if d.Weight > 0 || d.SojournNs > 0 {
+			c.ShedDecisionWeighted = true
+		}
+		if c.ShedDecisionWithInputs && c.ShedDecisionWeighted {
 			break
 		}
 	}

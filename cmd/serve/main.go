@@ -12,6 +12,16 @@
 //	      [-window 32] [-enter 1.0] [-exit 0.85] [-addr-file PATH]
 //	      [-escalate] [-esc-hot 4] [-esc-queue 256] [-esc-workers 1]
 //	      [-trace-sample 0] [-trace-depth 256] [-runtime-metrics]
+//	      [-max-queue-wait 3ms] [-flush-every 8] [-flush-interval 200µs]
+//	      [-no-weighted-shed]
+//
+// -max-queue-wait is the CoDel-style sojourn bound: under sustained
+// backlog, queued requests older than the bound are dropped
+// (StatusShed) while fresher work remains, keeping the queue-wait tail
+// near the bound instead of QueueDepth × the service time. 0 disables
+// dropping. -no-weighted-shed turns off cost-weighted admission (by
+// default overload sheds cheap low-distance traffic before expensive
+// high-distance traffic, in proportion to measured decode cost).
 //
 // -escalate turns on two-level decoding: responses still carry the
 // level-1 mesh correction at mesh latency, but suspect ones are flagged
@@ -76,6 +86,13 @@ func main() {
 	escWorkers := flag.Int("esc-workers", 1, "level-2 MWPM workers")
 	traceSample := flag.Int("trace-sample", 0, "trace 1-in-N requests (0 = REPRO_TRACE_SAMPLE or 16, -1 = off)")
 	traceDepth := flag.Int("trace-depth", 256, "flight-recorder ring depth (traces and decisions)")
+	maxQueueWait := flag.Duration("max-queue-wait", 3*time.Millisecond,
+		"sojourn bound: drop queued requests older than this while more work is queued (0 = never drop)")
+	flushEvery := flag.Int("flush-every", 8, "flush a connection's responses after this many unflushed")
+	flushInterval := flag.Duration("flush-interval", 200*time.Microsecond,
+		"flush a connection's responses after the oldest has waited this long")
+	noWeighted := flag.Bool("no-weighted-shed", false,
+		"disable cost-weighted admission (shed all classes uniformly; REPRO_SERVE_WEIGHTED=0 is equivalent)")
 	runtimeMetrics := flag.Bool("runtime-metrics", knob.Bool("REPRO_RUNTIME_METRICS"),
 		"bridge runtime/metrics (GC pauses, sched latency, goroutines, heap) into the registry")
 	flag.Parse()
@@ -99,7 +116,9 @@ func main() {
 		"escalate": *escalate, "esc_hot": *escHot,
 		"esc_queue": *escQueue, "esc_workers": *escWorkers,
 		"trace_sample": *traceSample, "trace_depth": *traceDepth,
-		"runtime_metrics": *runtimeMetrics,
+		"runtime_metrics":   *runtimeMetrics,
+		"max_queue_wait_ns": int64(*maxQueueWait), "flush_every": *flushEvery,
+		"flush_interval_ns": int64(*flushInterval), "weighted_shed": !*noWeighted,
 	}))
 	if *runtimeMetrics {
 		bridge := obs.StartRuntimeBridge(obs.Default(), time.Second)
@@ -112,21 +131,25 @@ func main() {
 		escPol = &p
 	}
 	s := serve.New(serve.Config{
-		Variant:        v,
-		Distances:      ds,
-		Workers:        *workers,
-		Lanes:          *lanes,
-		QueueDepth:     *queue,
-		Window:         *window,
-		Enter:          *enter,
-		Exit:           *exit,
-		EvalEvery:      time.Duration(*evalMs) * time.Millisecond,
-		Escalate:       *escalate,
-		EscalatePolicy: escPol,
-		EscQueueDepth:  *escQueue,
-		EscWorkers:     *escWorkers,
-		TraceSample:    *traceSample,
-		TraceDepth:     *traceDepth,
+		Variant:             v,
+		Distances:           ds,
+		Workers:             *workers,
+		Lanes:               *lanes,
+		QueueDepth:          *queue,
+		Window:              *window,
+		Enter:               *enter,
+		Exit:                *exit,
+		EvalEvery:           time.Duration(*evalMs) * time.Millisecond,
+		Escalate:            *escalate,
+		EscalatePolicy:      escPol,
+		EscQueueDepth:       *escQueue,
+		EscWorkers:          *escWorkers,
+		TraceSample:         *traceSample,
+		TraceDepth:          *traceDepth,
+		MaxQueueWait:        *maxQueueWait,
+		FlushEvery:          *flushEvery,
+		FlushInterval:       *flushInterval,
+		DisableWeightedShed: *noWeighted,
 	})
 
 	tcpLn, err := net.Listen("tcp", *tcpAddr)

@@ -69,6 +69,11 @@ var defs = []Def{
 		Desc: "request-trace sampling period N (record 1 in N requests; outliers and shed decisions are always recorded; 0/off disables tracing; default 16)",
 	},
 	{
+		Name:    "REPRO_SERVE_WEIGHTED",
+		Desc:    "cost-weighted admission in the decode service: shed cheap low-distance traffic before expensive high-distance traffic (default on; 0 restores uniform shedding)",
+		Allowed: boolValues,
+	},
+	{
 		Name:    "REPRO_RUNTIME_METRICS",
 		Desc:    "bridge runtime/metrics (GC pauses, scheduler latency, goroutines, heap) into the obs registry",
 		Allowed: boolValues,

@@ -126,15 +126,21 @@ type Reason uint8
 
 const (
 	ReasonNone Reason = iota
-	// ReasonController: the backlog model predicted divergence.
+	// ReasonController: the backlog model predicted divergence (under
+	// weighted admission, only request classes whose normalized service
+	// cost falls under the overload cut shed for this reason).
 	ReasonController
 	// ReasonQueueFull: the (d, e) queue hit its hard depth bound.
 	ReasonQueueFull
 	// ReasonEscQueueFull: the level-2 escalation queue was full.
 	ReasonEscQueueFull
+	// ReasonSojourn: the request aged past the queue-sojourn bound while
+	// the queue stayed backlogged, so the drain worker dropped it
+	// (CoDel-style drop-oldest) instead of decoding it late.
+	ReasonSojourn
 )
 
-var reasonNames = [...]string{"", "controller", "queue_full", "esc_queue_full"}
+var reasonNames = [...]string{"", "controller", "queue_full", "esc_queue_full", "sojourn"}
 
 // String returns the reason's JSON name.
 func (r Reason) String() string {
@@ -201,9 +207,7 @@ type Span struct {
 	reason Reason
 
 	// Decision inputs (shed / escalation-drop records).
-	ratio     float64
-	arrivalNs float64
-	queueLen  int32
+	in DecisionInputs
 
 	wallNs int64
 	ts     [NumStages]int64 // unix nanos; 0 = stage not reached
@@ -310,18 +314,34 @@ func (sp *Span) Finish() {
 	}
 }
 
+// DecisionInputs are the admission-side inputs behind one shed/drop
+// decision, captured into its record so a scrape can say not just that
+// a request was rejected but what the controller saw at that instant.
+type DecisionInputs struct {
+	// Ratio is the backlog model's processing ratio at decision time.
+	Ratio float64
+	// ArrivalNs is the EWMA inter-arrival estimate (ns).
+	ArrivalNs float64
+	// QueueLen is the instantaneous (d, e) queue length.
+	QueueLen int
+	// Weight is the request class's normalized service-cost weight in
+	// (0, 1] under weighted admission (0 when weighting is off or the
+	// decision predates any cost measurement).
+	Weight float64
+	// SojournNs is how long the request had been queued when a
+	// drop-oldest decision evicted it (0 for admission-time sheds).
+	SojournNs int64
+}
+
 // FinishDecision finalizes the span as a shed/drop decision record:
-// always kept, in the decision ring. now is the caller's already-read
-// clock (the decision instant).
-func (sp *Span) FinishDecision(kind Kind, reason Reason, ratio, arrivalNs float64, queueLen int) {
+// always kept, in the decision ring.
+func (sp *Span) FinishDecision(kind Kind, reason Reason, in DecisionInputs) {
 	if sp == nil {
 		return
 	}
 	sp.kind = kind
 	sp.reason = reason
-	sp.ratio = ratio
-	sp.arrivalNs = arrivalNs
-	sp.queueLen = int32(queueLen)
+	sp.in = in
 	sp.Finish()
 }
 
@@ -349,6 +369,8 @@ type Record struct {
 	Ratio     float64 `json:"ratio,omitempty"`
 	ArrivalNs float64 `json:"arrival_ns,omitempty"`
 	QueueLen  int32   `json:"queue_len,omitempty"`
+	Weight    float64 `json:"weight,omitempty"`
+	SojournNs int64   `json:"sojourn_ns,omitempty"`
 
 	WallNs int64            `json:"wall_ns"`
 	TS     [NumStages]int64 `json:"-"`
@@ -491,7 +513,8 @@ func (r *Recorder) Start(id uint64, d int, etype uint8) *Span {
 	sp.seq = r.seq.Add(1)
 	sp.id, sp.d, sp.etype = id, int32(d), uint8(etype)
 	sp.kind, sp.reason = KindRequest, ReasonNone
-	sp.ratio, sp.arrivalNs, sp.queueLen, sp.wallNs = 0, 0, 0, 0
+	sp.in = DecisionInputs{}
+	sp.wallNs = 0
 	sp.flags.Store(0)
 	sp.refs.Store(1)
 	if r.sampleN > 0 && r.tick.Add(1)%r.sampleN == 0 {
@@ -504,14 +527,15 @@ func (r *Recorder) Start(id uint64, d int, etype uint8) *Span {
 // call sites that have no span (untraced request, or a decision that
 // must not consume the request's own span, like an escalation drop).
 func (r *Recorder) RecordDecision(kind Kind, id uint64, d int, etype uint8,
-	reason Reason, ratio, arrivalNs float64, queueLen int) {
+	reason Reason, in DecisionInputs) {
 	if r == nil {
 		return
 	}
 	rec := Record{
 		Seq: r.seq.Add(1), ID: id, D: int32(d), EType: etype,
 		Kind: kind, Reason: reason,
-		Ratio: ratio, ArrivalNs: arrivalNs, QueueLen: int32(queueLen),
+		Ratio: in.Ratio, ArrivalNs: in.ArrivalNs, QueueLen: int32(in.QueueLen),
+		Weight: in.Weight, SojournNs: in.SojournNs,
 	}
 	r.commitDecision(&rec)
 }
@@ -579,7 +603,8 @@ func spanRecord(sp *Span) Record {
 	return Record{
 		Seq: sp.seq, ID: sp.id, D: sp.d, EType: sp.etype,
 		Kind: sp.kind, Flags: sp.flags.Load(), Reason: sp.reason,
-		Ratio: sp.ratio, ArrivalNs: sp.arrivalNs, QueueLen: sp.queueLen,
+		Ratio: sp.in.Ratio, ArrivalNs: sp.in.ArrivalNs, QueueLen: int32(sp.in.QueueLen),
+		Weight: sp.in.Weight, SojournNs: sp.in.SojournNs,
 		WallNs: sp.wallNs, TS: sp.ts,
 	}
 }

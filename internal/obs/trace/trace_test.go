@@ -28,7 +28,7 @@ func TestNilSafety(t *testing.T) {
 	if sp := r.Start(1, 3, 0); sp != nil {
 		t.Fatal("nil recorder handed out a span")
 	}
-	r.RecordDecision(KindShed, 1, 3, 0, ReasonController, 1, 1, 1)
+	r.RecordDecision(KindShed, 1, 3, 0, ReasonController, DecisionInputs{Ratio: 1, ArrivalNs: 1, QueueLen: 1})
 	if s := r.Snapshot(); len(s.Traces) != 0 || len(s.Decisions) != 0 {
 		t.Fatal("nil recorder snapshot is not empty")
 	}
@@ -41,7 +41,7 @@ func TestNilSafety(t *testing.T) {
 	sp.SetFlag(FlagOutlier)
 	sp.AddRef()
 	sp.Finish()
-	sp.FinishDecision(KindShed, ReasonController, 1, 1, 1)
+	sp.FinishDecision(KindShed, ReasonController, DecisionInputs{Ratio: 1, ArrivalNs: 1, QueueLen: 1})
 	sp.FinishError()
 	if sp.Seq() != 0 || sp.WallNs() != 0 || sp.Flags() != 0 || sp.TS(StageAccept) != 0 {
 		t.Fatal("nil span accessors are not zero")
@@ -133,23 +133,31 @@ func TestDecisionCapture(t *testing.T) {
 
 	sp := r.Start(7, 9, 1)
 	sp.Stamp(StageAccept)
-	sp.FinishDecision(KindShed, ReasonController, 1.75, 42_000, 64)
-	r.RecordDecision(KindEscDrop, 8, 7, 0, ReasonEscQueueFull, 0.5, 10_000, 256)
+	sp.FinishDecision(KindShed, ReasonController,
+		DecisionInputs{Ratio: 1.75, ArrivalNs: 42_000, QueueLen: 64, Weight: 0.25})
+	r.RecordDecision(KindEscDrop, 8, 7, 0, ReasonEscQueueFull,
+		DecisionInputs{Ratio: 0.5, ArrivalNs: 10_000, QueueLen: 256})
+	r.RecordDecision(KindShed, 9, 13, 0, ReasonSojourn,
+		DecisionInputs{Ratio: 1.2, ArrivalNs: 5_000, QueueLen: 32, Weight: 1, SojournNs: 3_500_000})
 
 	s := r.Snapshot()
-	if len(s.Decisions) != 2 || s.Counters.Decisions != 2 {
+	if len(s.Decisions) != 3 || s.Counters.Decisions != 3 {
 		t.Fatalf("decisions: %d records, counter %d", len(s.Decisions), s.Counters.Decisions)
 	}
 	if len(s.Traces) != 0 {
 		t.Fatal("decision records leaked into the trace ring")
 	}
-	drop, shed := s.Decisions[0], s.Decisions[1] // newest first
+	soj, drop, shed := s.Decisions[0], s.Decisions[1], s.Decisions[2] // newest first
 	if shed.Kind != KindShed || shed.Reason != ReasonController ||
-		shed.Ratio != 1.75 || shed.ArrivalNs != 42_000 || shed.QueueLen != 64 || shed.ID != 7 {
+		shed.Ratio != 1.75 || shed.ArrivalNs != 42_000 || shed.QueueLen != 64 ||
+		shed.ID != 7 || shed.Weight != 0.25 {
 		t.Fatalf("shed decision: %+v", shed)
 	}
 	if drop.Kind != KindEscDrop || drop.Reason != ReasonEscQueueFull || drop.QueueLen != 256 {
 		t.Fatalf("esc-drop decision: %+v", drop)
+	}
+	if soj.Reason != ReasonSojourn || soj.SojournNs != 3_500_000 || soj.Weight != 1 {
+		t.Fatalf("sojourn decision lost its inputs: %+v", soj)
 	}
 }
 
@@ -276,7 +284,8 @@ func TestZeroAllocHotPath(t *testing.T) {
 		t.Fatalf("traced request path allocates %.1f/op, want 0", avg)
 	}
 	if avg := testing.AllocsPerRun(200, func() {
-		r.RecordDecision(KindShed, 1, 9, 0, ReasonController, 1.5, 1000, 64)
+		r.RecordDecision(KindShed, 1, 9, 0, ReasonController,
+			DecisionInputs{Ratio: 1.5, ArrivalNs: 1000, QueueLen: 64, Weight: 0.5})
 	}); avg != 0 {
 		t.Fatalf("decision path allocates %.1f/op, want 0", avg)
 	}

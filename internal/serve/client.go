@@ -5,7 +5,14 @@ import (
 	"fmt"
 	"net"
 	"sync"
+	"sync/atomic"
+
+	"repro/internal/obs"
 )
+
+// clientFlushEvery bounds how many pipelined requests may batch into
+// one socket flush before the writer flushes anyway.
+const clientFlushEvery = 8
 
 // Client speaks the framed protocol over one connection, pipelining
 // requests: Send returns immediately with a channel for the response,
@@ -14,12 +21,27 @@ import (
 // backpressure through TCP). Request IDs are assigned by the client;
 // responses are routed back by ID, so completion order does not need to
 // match send order. A Client is safe for concurrent use.
+//
+// Flushes are batched the same way the server's writer batches them:
+// each Send registers as a writer before taking the write lock, and the
+// last concurrent writer out — or any writer with clientFlushEvery
+// requests unflushed — flushes. Sequential callers still flush every
+// request (each is its own last writer), but concurrent pipelined load
+// coalesces bursts into one syscall, so a load generator no longer pays
+// a write syscall per request and under-measures server capacity.
 type Client struct {
 	nc net.Conn
 
-	wmu sync.Mutex
-	bw  *bufio.Writer
-	buf []byte
+	// writers counts Sends that intend to write but have not yet left
+	// the write critical section; the last one out flushes.
+	writers  atomic.Int32
+	flushes  atomic.Uint64
+	flushCtr *obs.Counter // client_flushes_total
+
+	wmu       sync.Mutex
+	bw        *bufio.Writer
+	buf       []byte
+	unflushed int
 
 	mu      sync.Mutex
 	nextID  uint64
@@ -40,13 +62,18 @@ func Dial(addr string) (*Client, error) {
 // net.Pipe). The client owns nc and closes it on Close.
 func NewClient(nc net.Conn) *Client {
 	c := &Client{
-		nc:      nc,
-		bw:      bufio.NewWriter(nc),
-		pending: map[uint64]chan *Response{},
+		nc:       nc,
+		bw:       bufio.NewWriter(nc),
+		flushCtr: obs.Default().Counter("client_flushes_total"),
+		pending:  map[uint64]chan *Response{},
 	}
 	go c.readLoop()
 	return c
 }
+
+// Flushes returns how many socket flushes this client has issued — the
+// denominator for requests-per-syscall in the loadgen artifact.
+func (c *Client) Flushes() uint64 { return c.flushes.Load() }
 
 // Send writes req (its ID is overwritten with a client-assigned one)
 // and returns a 1-buffered channel that receives the response. The
@@ -65,14 +92,31 @@ func (c *Client) Send(req *Request) (<-chan *Response, error) {
 	c.pending[req.ID] = ch
 	c.mu.Unlock()
 
+	c.writers.Add(1)
 	c.wmu.Lock()
 	b, err := AppendRequest(c.buf[:0], req)
 	if err == nil {
 		c.buf = b
-		_, err = c.bw.Write(b)
+		if _, werr := c.bw.Write(b); werr != nil {
+			err = werr
+		} else {
+			c.unflushed++
+		}
 	}
-	if err == nil {
-		err = c.bw.Flush()
+	// The last concurrent writer must flush even when its own request
+	// failed to encode: earlier writers may have skipped their flush on
+	// the promise that someone behind them holds the lock after.
+	last := c.writers.Add(-1) == 0
+	if c.unflushed > 0 && (last || c.unflushed >= clientFlushEvery) {
+		if ferr := c.bw.Flush(); ferr != nil {
+			if err == nil {
+				err = ferr
+			}
+		} else {
+			c.unflushed = 0
+			c.flushes.Add(1)
+			c.flushCtr.Inc()
+		}
 	}
 	c.wmu.Unlock()
 	if err != nil {

@@ -24,13 +24,35 @@ type srvConn struct {
 	s  *Server
 	nc net.Conn
 
-	mu       sync.Mutex
-	cond     *sync.Cond
-	out      []*Response // delivered, not yet written (FIFO)
-	inflight int         // admitted, not yet written
-	readDone bool        // reader has exited
-	canceled bool        // server is draining: stop admitting
-	dead     bool        // a write failed: drain without writing
+	// deliverFn is the deliver method value, bound once at connection
+	// setup: passing c.deliver inline to submit would allocate a fresh
+	// method-value closure per request, the last per-request allocation
+	// on the steady-state path.
+	deliverFn func(*Response)
+
+	mu   sync.Mutex
+	cond *sync.Cond
+	// Fixed ring of delivered-not-yet-written responses, sized by the
+	// in-flight window: out length ≤ inflight ≤ Window, since every
+	// deliver is preceded by exactly one inflight++. The old []*Response
+	// FIFO shifted its backing array on every pop (out = out[1:]) and
+	// re-grew it on every burst; the ring does neither.
+	ring     []*Response
+	head     int  // index of the oldest queued response
+	n        int  // queued responses
+	inflight int  // admitted, not yet written
+	readDone bool // reader has exited
+	canceled bool // server is draining: stop admitting
+	dead     bool // a write failed: drain without writing
+}
+
+// newSrvConn builds the connection state without starting its loops.
+// The steady-state allocation test drives the pieces directly.
+func newSrvConn(s *Server, nc net.Conn) *srvConn {
+	c := &srvConn{s: s, nc: nc, ring: make([]*Response, s.cfg.Window)}
+	c.cond = sync.NewCond(&c.mu)
+	c.deliverFn = c.deliver
+	return c
 }
 
 // ServeConn runs the framed protocol on nc until the peer disconnects
@@ -38,8 +60,7 @@ type srvConn struct {
 // lifetime; Serve calls it from a per-connection goroutine, and tests
 // drive it directly over net.Pipe.
 func (s *Server) ServeConn(nc net.Conn) {
-	c := &srvConn{s: s, nc: nc}
-	c.cond = sync.NewCond(&c.mu)
+	c := newSrvConn(s, nc)
 	s.mu.Lock()
 	if s.closed {
 		s.mu.Unlock()
@@ -78,13 +99,25 @@ func (c *srvConn) cancelRead() {
 }
 
 // deliver hands one response to the writer. It never blocks: responses
-// queue on the connection and the in-flight window bounds the queue, so
-// a slow reader on the other end cannot stall a decode worker.
+// queue on the connection's ring and the in-flight window bounds the
+// ring, so a slow reader on the other end cannot stall a decode worker.
 func (c *srvConn) deliver(r *Response) {
 	c.mu.Lock()
-	c.out = append(c.out, r)
+	if c.n == len(c.ring) {
+		// The window invariant bounds n at len(ring); growing instead of
+		// dropping keeps delivery exactly-once even if that invariant is
+		// ever violated by a future caller.
+		grown := make([]*Response, 2*len(c.ring))
+		for i := 0; i < c.n; i++ {
+			grown[i] = c.ring[(c.head+i)%len(c.ring)]
+		}
+		c.ring, c.head = grown, 0
+	}
+	c.ring[(c.head+c.n)%len(c.ring)] = r
+	c.n++
 	c.cond.Broadcast()
 	c.mu.Unlock()
+	c.s.outDepth.Add(1)
 }
 
 // readLoop parses frames and submits requests until the peer closes,
@@ -129,7 +162,7 @@ func (c *srvConn) readLoop() {
 			})
 			break
 		}
-		c.s.submit(req.D, req.EType, req.ID, req.Syndrome, c.deliver)
+		c.s.submit(req.D, req.EType, req.ID, req.Syndrome, c.deliverFn)
 	}
 	c.mu.Lock()
 	c.readDone = true
@@ -138,27 +171,40 @@ func (c *srvConn) readLoop() {
 }
 
 // writeLoop writes responses in delivery order until the connection is
-// drained: reader stopped, no request in flight, queue empty. After a
+// drained: reader stopped, no request in flight, ring empty. After a
 // write failure it keeps consuming (discarding) responses so the
 // drained condition is still reached and no worker blocks.
+//
+// Flushing is batched: besides the queue-empty flush, the writer also
+// flushes after FlushEvery unflushed responses or once the oldest
+// unflushed response has waited FlushInterval. Under the old
+// only-on-empty policy one slow escalated response could pin the ring
+// non-empty while dozens of completed responses aged in the bufio
+// buffer — the 19 ms resp_write outlier in the PR 9 traces.
 func (c *srvConn) writeLoop() {
 	bw := bufio.NewWriter(c.nc)
 	var buf []byte
+	flushEvery := c.s.cfg.FlushEvery
+	flushNs := int64(c.s.cfg.FlushInterval)
+	unflushed := 0
+	var oldestNs int64 // wall clock of the first unflushed response
 	for {
 		c.mu.Lock()
-		for len(c.out) == 0 && !(c.readDone && c.inflight == 0) {
+		for c.n == 0 && !(c.readDone && c.inflight == 0) {
 			c.cond.Wait()
 		}
-		if len(c.out) == 0 {
+		if c.n == 0 {
 			c.mu.Unlock()
 			break
 		}
-		resp := c.out[0]
-		c.out[0] = nil
-		c.out = c.out[1:]
-		last := len(c.out) == 0
+		resp := c.ring[c.head]
+		c.ring[c.head] = nil
+		c.head = (c.head + 1) % len(c.ring)
+		c.n--
+		last := c.n == 0
 		dead := c.dead
 		c.mu.Unlock()
+		c.s.outDepth.Add(-1)
 
 		if !dead {
 			b, err := AppendResponse(buf[:0], resp)
@@ -166,10 +212,16 @@ func (c *srvConn) writeLoop() {
 				buf = b
 				_, err = bw.Write(buf)
 			}
-			if err == nil && last {
-				// Flush only when the queue empties: back-to-back
-				// responses coalesce into one socket write.
-				err = bw.Flush()
+			if err == nil {
+				now := time.Now().UnixNano()
+				if unflushed == 0 {
+					oldestNs = now
+				}
+				unflushed++
+				if last || unflushed >= flushEvery || now-oldestNs >= flushNs {
+					err = bw.Flush()
+					unflushed = 0
+				}
 			}
 			if err != nil {
 				c.mu.Lock()
@@ -185,6 +237,9 @@ func (c *srvConn) writeLoop() {
 			resp.span.Stamp(trace.StageRespWrite)
 			resp.span.Finish()
 		}
+		// Encoded onto the wire (or discarded): the response object is
+		// free — recycle it so the steady-state path allocates nothing.
+		c.s.putResp(resp)
 
 		c.mu.Lock()
 		c.inflight--

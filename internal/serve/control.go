@@ -93,6 +93,38 @@ func (c *Controller) PredictRatio(arrivalNs float64, snap obs.Snapshot) float64 
 	return m.Ratio()
 }
 
+// ShedClass is the cost-weighted admission predicate: given a request
+// class's normalized service-cost weight w ∈ (0, 1] (its measured mean
+// decode time divided by the most expensive class's), the smallest
+// weight minW among the served classes, the controller's current
+// backlog ratio and its Enter bound, it reports whether this class
+// sheds while the controller is in its shedding state.
+//
+// The cut rises linearly with overload severity: at ratio == Enter only
+// the cheapest class sheds (severity 0); by ratio == 2·Enter every
+// class sheds (severity 1). Because cheap traffic is shed first, the
+// expensive decodes the service exists for — the high-distance requests
+// whose corrections are hardest to recompute elsewhere — keep flowing
+// until the model says nothing fits (ROADMAP's per-distance weighted
+// admission). The predicate is monotone in w by construction: if a
+// class sheds, every class of equal or lower weight sheds too, which
+// the shed-ordering property test pins.
+//
+// ShedClass is a pure function of its arguments; the server evaluates
+// it only while Controller.Shedding() holds, so with weighting disabled
+// (REPRO_SERVE_WEIGHTED=0) substituting a constant true restores the
+// uniform pre-weighting behavior exactly.
+func ShedClass(w, minW, ratio, enter float64) bool {
+	if w <= minW {
+		return true // the cheapest class always sheds first
+	}
+	if enter <= 0 {
+		return true
+	}
+	severity := (ratio - enter) / enter
+	return w <= severity
+}
+
 // Shedding reports whether the controller is currently rejecting load.
 func (c *Controller) Shedding() bool {
 	c.mu.Lock()

@@ -111,6 +111,9 @@ func (s *Server) handleDecode(w http.ResponseWriter, r *http.Request) {
 	w.Header().Set("Content-Type", "application/json")
 	w.WriteHeader(code)
 	_ = json.NewEncoder(w).Encode(out)
+	// out.Qubits aliased resp.Qubits until the encode above; only now is
+	// the pooled response free to recycle.
+	s.putResp(resp)
 }
 
 func (s *Server) handleHealthz(w http.ResponseWriter, _ *http.Request) {

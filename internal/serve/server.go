@@ -2,13 +2,16 @@ package serve
 
 import (
 	"fmt"
+	"math"
 	"net"
 	"runtime"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"repro/internal/decodepool"
 	"repro/internal/decoder/mwpm"
+	"repro/internal/knob"
 	"repro/internal/lattice"
 	"repro/internal/obs"
 	"repro/internal/obs/trace"
@@ -91,6 +94,32 @@ type Config struct {
 	// TraceSpans bounds concurrently traced in-flight requests (default
 	// 4096); requests beyond the bound go untraced, never blocked.
 	TraceSpans int
+	// MaxQueueWait, when positive, is the CoDel-style sojourn bound on
+	// the decode queues: a drain that pops a request older than the
+	// bound while more work is still queued behind it drops the request
+	// (StatusShed, ReasonSojourn) instead of decoding it. Under
+	// sustained backlog this bounds the queue-wait tail near the bound
+	// itself, where plain FIFO ages every request to QueueDepth × the
+	// service time. The zero value disables the policy — a lightly
+	// loaded or conformance-tested server never drops — and the pop-time
+	// backlog check (len(q.ch) > 0) means the last queued request is
+	// always decoded, however stale, so an idle service still answers.
+	MaxQueueWait time.Duration
+	// FlushEvery is the out-queue flush batch: a connection writer
+	// flushes its bufio writer after this many unflushed responses even
+	// while more are queued (default 8). Only-on-empty flushing — the
+	// old policy — let one slow escalated response serialize tens of
+	// milliseconds of completed responses behind a never-empty queue.
+	FlushEvery int
+	// FlushInterval bounds how long a completed response may sit
+	// unflushed while the writer keeps draining (default 200µs). The
+	// count and elapsed-time conditions are OR'd.
+	FlushInterval time.Duration
+	// DisableWeightedShed turns off cost-weighted admission, restoring
+	// the uniform pre-PR-10 shed behavior (every class sheds while the
+	// controller sheds). The REPRO_SERVE_WEIGHTED=0 knob is the
+	// environment spelling of the same switch.
+	DisableWeightedShed bool
 }
 
 // task is one admitted request in a decode queue. deliver is invoked
@@ -101,13 +130,16 @@ type task struct {
 	syn     []bool
 	deliver func(*Response)
 	sp      *trace.Span // nil when the request is untraced
+	enqNs   int64       // enqueue wall clock, for the sojourn bound
 }
 
 // escTask is one queued level-2 re-decode. It owns syn: the level-1
 // response was already delivered when the task was enqueued, so nothing
-// else references the syndrome copy.
+// else references the syndrome copy. q is the queue whose free list the
+// syndrome buffer returns to when level 2 finishes.
 type escTask struct {
 	g   *lattice.Graph
+	q   *queue
 	syn []bool
 	sp  *trace.Span // holds one span reference until level 2 finishes
 }
@@ -122,6 +154,24 @@ type queue struct {
 	e  lattice.ErrorType
 	ch chan task
 
+	// costNs is the per-distance decode-cost histogram
+	// (serve_decode_ns_d{d}) feeding the queue's admission weight. Both
+	// error-type queues of one distance share the registry histogram.
+	costNs *obs.Histogram
+	// weightBits is the queue's current service-cost weight — its mean
+	// decode time normalized by the most expensive distance's, in
+	// math.Float64bits — written by updateWeights, read lock-free on
+	// every shed check. Starts at 1.0: unknown cost reads as expensive.
+	weightBits atomic.Uint64
+
+	// synMu guards synFree, the queue's syndrome-buffer free list. Every
+	// buffer has exactly len == the distance's check count, so a reused
+	// buffer is always the right size. The list is bounded at the
+	// queue's depth (more buffers in flight than queue slots means the
+	// extras are escalation-held; letting them die to GC bounds memory).
+	synMu   sync.Mutex
+	synFree [][]bool
+
 	// Drain bookkeeping: up to Config.Workers drain tasks run at once
 	// per queue, spawned on demand by kick and retired by the
 	// exit-recheck protocol in drainTask.Run. active counts running
@@ -132,6 +182,40 @@ type queue struct {
 	active int
 	free   []*drainTask
 	drains []*drainTask // all slots, for mesh return on Close
+}
+
+// weight returns the queue's current normalized service-cost weight.
+func (q *queue) weight() float64 { return math.Float64frombits(q.weightBits.Load()) }
+
+func (q *queue) setWeight(w float64) { q.weightBits.Store(math.Float64bits(w)) }
+
+// getSyn pops a syndrome buffer of length n from the queue's free list,
+// allocating only when the list is dry (cold start, or buffers held by
+// in-flight escalations).
+func (q *queue) getSyn(n int) []bool {
+	q.synMu.Lock()
+	if last := len(q.synFree) - 1; last >= 0 {
+		buf := q.synFree[last]
+		q.synFree = q.synFree[:last]
+		q.synMu.Unlock()
+		return buf
+	}
+	q.synMu.Unlock()
+	return make([]bool, n)
+}
+
+// putSyn returns a syndrome buffer to the free list once nothing
+// references it (decoded without escalation, shed after copy, or the
+// level-2 worker finished with it).
+func (q *queue) putSyn(buf []bool) {
+	if buf == nil {
+		return
+	}
+	q.synMu.Lock()
+	if len(q.synFree) < cap(q.ch) {
+		q.synFree = append(q.synFree, buf)
+	}
+	q.synMu.Unlock()
 }
 
 // drainTask is one preallocated drain slot of a queue: a sched.Task
@@ -166,6 +250,21 @@ type Server struct {
 	ctl    *Controller
 	meter  arrivalMeter
 
+	// weighted gates cost-weighted admission (Config.DisableWeightedShed
+	// and REPRO_SERVE_WEIGHTED=0 both clear it); minWeightBits is the
+	// smallest queue weight, maintained by updateWeights alongside the
+	// per-queue weights, read lock-free by the shed predicate.
+	weighted      bool
+	minWeightBits atomic.Uint64
+
+	// Response free list: the steady-state serve path recycles Response
+	// objects (and their Qubits capacity) instead of allocating one per
+	// request. Explicit and mutex-guarded rather than sync.Pool so a GC
+	// cycle cannot empty it mid-flight — the AllocsPerRun-0 gate depends
+	// on steady state meaning *zero*, not "zero between collections".
+	respMu   sync.Mutex
+	respFree []*Response
+
 	escPol twolevel.Policy
 	escCh  chan escTask
 	escWG  sync.WaitGroup
@@ -184,13 +283,15 @@ type Server struct {
 	escTotal   *obs.Counter
 	escDropped *obs.Counter
 
-	reqTotal  *obs.Counter
-	okTotal   *obs.Counter
-	shedTotal *obs.Counter
-	errTotal  *obs.Counter
-	shedGauge *obs.Gauge
-	ratioPpm  *obs.Gauge
-	connGauge *obs.Gauge
+	reqTotal    *obs.Counter
+	okTotal     *obs.Counter
+	shedTotal   *obs.Counter
+	errTotal    *obs.Counter
+	sojournDrop *obs.Counter
+	shedGauge   *obs.Gauge
+	ratioPpm    *obs.Gauge
+	connGauge   *obs.Gauge
+	outDepth    *obs.Gauge
 
 	mu        sync.RWMutex
 	closed    bool
@@ -220,6 +321,12 @@ func New(cfg Config) *Server {
 	if cfg.EvalEvery <= 0 {
 		cfg.EvalEvery = 50 * time.Millisecond
 	}
+	if cfg.FlushEvery <= 0 {
+		cfg.FlushEvery = 8
+	}
+	if cfg.FlushInterval <= 0 {
+		cfg.FlushInterval = 200 * time.Microsecond
+	}
 	if cfg.PoolWorkers <= 0 {
 		cfg.PoolWorkers = runtime.GOMAXPROCS(0)
 	}
@@ -242,14 +349,24 @@ func New(cfg Config) *Server {
 		okTotal:     cfg.Registry.Counter("serve_ok_total"),
 		shedTotal:   cfg.Registry.Counter("serve_shed_total"),
 		errTotal:    cfg.Registry.Counter("serve_error_total"),
+		sojournDrop: cfg.Registry.Counter("serve_sojourn_dropped_total"),
 		shedGauge:   cfg.Registry.Gauge("serve_shedding"),
 		schedWaitNs: cfg.Registry.Histogram("serve_sched_wait_ns"),
 		drainSteals: cfg.Registry.Counter("serve_drain_steals_total"),
 		ratioPpm:    cfg.Registry.Gauge("serve_backlog_ratio_ppm"),
 		connGauge:   cfg.Registry.Gauge("serve_conns"),
+		outDepth:    cfg.Registry.Gauge("serve_out_queue_depth"),
 		tickerStop:  make(chan struct{}),
 		tickerDone:  make(chan struct{}),
 	}
+	// Cost-weighted admission defaults on; Config and the knob are two
+	// spellings of the same off switch (either wins).
+	s.weighted = !cfg.DisableWeightedShed
+	switch knob.String("REPRO_SERVE_WEIGHTED") {
+	case "0", "false":
+		s.weighted = false
+	}
+	s.minWeightBits.Store(math.Float64bits(1.0))
 	// Flight recorder: TraceSample 0 defers to the REPRO_TRACE_SAMPLE
 	// knob; knob value 0/off — or an explicit negative sample — turns
 	// the recorder off entirely, including outlier and shed-decision
@@ -283,7 +400,9 @@ func New(cfg Config) *Server {
 			lanes = max
 		}
 		for _, e := range []lattice.ErrorType{lattice.ZErrors, lattice.XErrors} {
-			q := &queue{d: d, e: e, ch: make(chan task, cfg.QueueDepth)}
+			q := &queue{d: d, e: e, ch: make(chan task, cfg.QueueDepth),
+				costNs: cfg.Registry.Histogram(fmt.Sprintf("serve_decode_ns_d%d", d))}
+			q.setWeight(1.0)
 			q.cond = sync.NewCond(&q.mu)
 			s.queues[queueKey{d, e}] = q
 			g := s.pool.Graph(d, e)
@@ -378,28 +497,73 @@ func stageDelta(sp *trace.Span, from, to trace.Stage) int64 {
 // recordShed commits one shed decision with the admission-controller
 // inputs that caused it — through the request's own span when it has
 // one, directly into the decision ring otherwise (free list dry).
+// weight is the shed class's service-cost weight; sojournNs is nonzero
+// only for ReasonSojourn drops (how long the request actually waited).
 func (s *Server) recordShed(sp *trace.Span, id uint64, d int, e lattice.ErrorType,
-	reason trace.Reason, queueLen int, now time.Time) {
+	reason trace.Reason, queueLen int, weight float64, sojournNs int64) {
 	if s.tracer == nil {
 		return
 	}
-	ratio := s.ctl.Ratio()
-	arrival := s.meter.intervalNs(now)
+	in := trace.DecisionInputs{
+		Ratio:     s.ctl.Ratio(),
+		ArrivalNs: s.meter.intervalNs(time.Now()),
+		QueueLen:  queueLen,
+		Weight:    weight,
+		SojournNs: sojournNs,
+	}
 	if sp != nil {
-		sp.FinishDecision(trace.KindShed, reason, ratio, arrival, queueLen)
+		sp.FinishDecision(trace.KindShed, reason, in)
 		return
 	}
-	s.tracer.RecordDecision(trace.KindShed, id, d, uint8(e), reason, ratio, arrival, queueLen)
+	s.tracer.RecordDecision(trace.KindShed, id, d, uint8(e), reason, in)
 }
 
 // recordEscDrop commits an escalation-drop decision. The level-2 queue
 // was full, so its length is its capacity by definition of the drop.
-func (s *Server) recordEscDrop(id uint64, d int, e lattice.ErrorType) {
+func (s *Server) recordEscDrop(id uint64, q *queue) {
 	if s.tracer == nil {
 		return
 	}
-	s.tracer.RecordDecision(trace.KindEscDrop, id, d, uint8(e),
-		trace.ReasonEscQueueFull, s.ctl.Ratio(), s.meter.intervalNs(time.Now()), cap(s.escCh))
+	s.tracer.RecordDecision(trace.KindEscDrop, id, q.d, uint8(q.e),
+		trace.ReasonEscQueueFull, trace.DecisionInputs{
+			Ratio:     s.ctl.Ratio(),
+			ArrivalNs: s.meter.intervalNs(time.Now()),
+			QueueLen:  cap(s.escCh),
+			Weight:    q.weight(),
+		})
+}
+
+// respFreeCap bounds the response free list; responses beyond it (a
+// burst drained all at once) fall to the garbage collector.
+const respFreeCap = 1024
+
+// getResp pops a recycled Response — zeroed except for its retained
+// Qubits capacity — or allocates one when the list is dry.
+func (s *Server) getResp() *Response {
+	s.respMu.Lock()
+	if last := len(s.respFree) - 1; last >= 0 {
+		r := s.respFree[last]
+		s.respFree[last] = nil
+		s.respFree = s.respFree[:last]
+		s.respMu.Unlock()
+		return r
+	}
+	s.respMu.Unlock()
+	return &Response{}
+}
+
+// putResp recycles a delivered Response after the transport encoded it
+// onto the wire. The caller must not touch r afterwards.
+func (s *Server) putResp(r *Response) {
+	if r == nil {
+		return
+	}
+	*r = Response{Qubits: r.Qubits[:0]}
+	s.respMu.Lock()
+	if len(s.respFree) < respFreeCap {
+		s.respFree = append(s.respFree, r)
+	}
+	s.respMu.Unlock()
 }
 
 // controlLoop re-evaluates the SLO controller on a fixed period, from
@@ -430,8 +594,59 @@ func (s *Server) controlLoop() {
 				s.shedGauge.Set(0)
 			}
 			s.ratioPpm.Set(int64(s.ctl.Ratio() * 1e6))
+			s.updateWeights()
 		}
 	}
+}
+
+// updateWeights refreshes every queue's service-cost weight from the
+// measured per-distance decode histograms: weight = that distance's
+// mean decode time / the most expensive distance's, so the costliest
+// class sits at 1.0 and cheap classes fall toward 0. A distance with no
+// measurements yet keeps weight 1.0 — unknown cost reads as expensive,
+// so a cold class is never shed preferentially on no evidence. The
+// minimum across queues feeds ShedClass's "cheapest class" rule.
+func (s *Server) updateWeights() {
+	maxMean := 0.0
+	means := map[int]float64{}
+	for _, q := range s.queues {
+		if _, ok := means[q.d]; ok {
+			continue
+		}
+		snap := q.costNs.Snapshot()
+		if snap.Count == 0 {
+			continue
+		}
+		m := snap.Mean()
+		means[q.d] = m
+		if m > maxMean {
+			maxMean = m
+		}
+	}
+	minW := 1.0
+	for _, q := range s.queues {
+		w := 1.0
+		if m, ok := means[q.d]; ok && maxMean > 0 {
+			w = m / maxMean
+		}
+		q.setWeight(w)
+		if w < minW {
+			minW = w
+		}
+	}
+	s.minWeightBits.Store(math.Float64bits(minW))
+}
+
+// shedClass applies the cost-weighted admission predicate to q while
+// the controller is shedding. With weighting disabled it is uniformly
+// true — the pre-weighting behavior, bit-identical because the rest of
+// the shed path is unchanged.
+func (s *Server) shedClass(q *queue) bool {
+	if !s.weighted {
+		return true
+	}
+	return ShedClass(q.weight(), math.Float64frombits(s.minWeightBits.Load()),
+		s.ctl.Ratio(), s.ctl.Enter)
 }
 
 // submit runs admission control and, if the request is admitted,
@@ -474,11 +689,13 @@ func (s *Server) submit(d int, e lattice.ErrorType, id uint64, syn []bool, deliv
 			Msg: fmt.Sprintf("syndrome has %d checks, d=%d wants %d", len(syn), d, want)})
 		return
 	}
-	if s.ctl.Shedding() {
+	if s.ctl.Shedding() && s.shedClass(q) {
 		s.mu.RUnlock()
 		s.shedTotal.Inc()
-		s.recordShed(sp, id, d, e, trace.ReasonController, len(q.ch), now)
-		deliver(&Response{ID: id, Status: StatusShed})
+		s.recordShed(sp, id, d, e, trace.ReasonController, len(q.ch), q.weight(), 0)
+		r := s.getResp()
+		r.ID, r.Status = id, StatusShed
+		deliver(r)
 		return
 	}
 	s.meter.tick(now)
@@ -488,7 +705,13 @@ func (s *Server) submit(d int, e lattice.ErrorType, id uint64, syn []bool, deliv
 	// on the full-queue path carries a moot enqueue stamp, which the
 	// decision record never reads.
 	sp.StampAt(trace.StageEnqueue, nowNs)
-	t := task{id: id, syn: append([]bool(nil), syn...), deliver: deliver, sp: sp}
+	// The syndrome is copied into a queue-owned pooled buffer before
+	// submit returns, so the caller (readLoop's reused frame buffer) may
+	// overwrite its slice immediately — the aliasing regression test
+	// pins exactly this.
+	buf := q.getSyn(len(syn))
+	copy(buf, syn)
+	t := task{id: id, syn: buf, deliver: deliver, sp: sp, enqNs: nowNs}
 	select {
 	case q.ch <- t:
 		s.mu.RUnlock()
@@ -498,9 +721,12 @@ func (s *Server) submit(d int, e lattice.ErrorType, id uint64, syn []bool, deliv
 		// model-driven shedding usually engages first; this path covers
 		// bursts faster than its evaluation period.
 		s.mu.RUnlock()
+		q.putSyn(buf)
 		s.shedTotal.Inc()
-		s.recordShed(sp, id, d, e, trace.ReasonQueueFull, len(q.ch), now)
-		deliver(&Response{ID: id, Status: StatusShed})
+		s.recordShed(sp, id, d, e, trace.ReasonQueueFull, len(q.ch), q.weight(), 0)
+		r := s.getResp()
+		r.ID, r.Status = id, StatusShed
+		deliver(r)
 	}
 }
 
@@ -552,14 +778,34 @@ func (dt *drainTask) Run() {
 	s, q := dt.s, dt.q
 	stolen := dt.stolen
 	dt.stolen = false
+	maxWait := int64(s.cfg.MaxQueueWait)
 	for {
 		dt.tasks = dt.tasks[:0]
+		// One clock read per batch prices the sojourn bound; the coalesce
+		// loop below runs in microseconds, so per-pop re-reads would buy
+		// no accuracy the 12.5%-wide histograms could see.
+		var nowNs int64
+		if maxWait > 0 {
+			nowNs = time.Now().UnixNano()
+		}
 	coalesce:
 		for len(dt.tasks) < dt.b.Lanes() {
 			select {
 			case t, ok := <-q.ch:
 				if !ok {
 					break coalesce
+				}
+				// CoDel-style sojourn bound: a request that aged past
+				// MaxQueueWait while more work is queued behind it is
+				// already useless to a per-round latency budget — drop it
+				// (StatusShed, ReasonSojourn) and spend the lanes on
+				// requests that can still make their deadline. The
+				// backlog guard (len(q.ch) > 0) means the newest queued
+				// request is always decoded, so an idle or draining
+				// service still answers everything.
+				if maxWait > 0 && len(q.ch) > 0 && nowNs-t.enqNs > maxWait {
+					s.dropSojourn(q, t, nowNs-t.enqNs)
+					continue
 				}
 				dt.tasks = append(dt.tasks, t)
 			default:
@@ -601,6 +847,19 @@ func (dt *drainTask) Run() {
 	}
 }
 
+// dropSojourn sheds one task the sojourn bound condemned: the decision
+// is recorded with the measured wait, the syndrome buffer is recycled,
+// and the client still gets its exactly-once response (StatusShed).
+func (s *Server) dropSojourn(q *queue, t task, sojournNs int64) {
+	s.shedTotal.Inc()
+	s.sojournDrop.Inc()
+	s.recordShed(t.sp, t.id, q.d, q.e, trace.ReasonSojourn, len(q.ch), q.weight(), sojournNs)
+	q.putSyn(t.syn)
+	r := s.getResp()
+	r.ID, r.Status = t.id, StatusShed
+	t.deliver(r)
+}
+
 // ObserveSchedWait implements sched.WaitObserver: the scheduler calls
 // it on the executing worker immediately before Run with how long this
 // drain sat in the deques and whether it arrived by steal. The wait
@@ -633,6 +892,7 @@ func (s *Server) decodeTasks(dt *drainTask) {
 		s.errTotal.Add(int64(len(tasks)))
 		for i := range tasks {
 			tasks[i].sp.FinishError()
+			dt.q.putSyn(tasks[i].syn)
 			tasks[i].deliver(&Response{ID: tasks[i].id, Status: StatusError, Msg: err.Error()})
 		}
 		return
@@ -651,17 +911,25 @@ func (s *Server) decodeTasks(dt *drainTask) {
 		// ObserveExemplar tags the bucket with the trace seq (0 = plain
 		// observe), linking high serve_decode_ns buckets to traces.
 		s.decodeNs.ObserveExemplar(perNs, sp.Seq())
+		// The per-distance cost histogram behind the admission weights.
+		dt.q.costNs.Observe(perNs)
 		st := b.LaneStats(i)
 		escalate := s.escCh != nil && s.escPol.Escalate(st)
-		resp := &Response{
-			ID:        tasks[i].id,
-			Status:    StatusOK,
-			Escalated: escalate,
-			Cycles:    uint32(st.Cycles),
-			span:      sp,
-		}
+		resp := s.getResp()
+		resp.ID = tasks[i].id
+		resp.Status = StatusOK
+		resp.Escalated = escalate
+		resp.Cycles = uint32(st.Cycles)
+		resp.span = sp
 		if qs := cs[i].Qubits; len(qs) > 0 {
-			resp.Qubits = make([]int32, len(qs))
+			// The corrections alias the worker's scratch (the next batch
+			// reuses it); the response's retained Qubits capacity takes a
+			// copy, growing only on first use per pooled response.
+			if cap(resp.Qubits) < len(qs) {
+				resp.Qubits = make([]int32, len(qs))
+			} else {
+				resp.Qubits = resp.Qubits[:len(qs)]
+			}
 			for j, qb := range qs {
 				resp.Qubits[j] = int32(qb)
 			}
@@ -677,17 +945,23 @@ func (s *Server) decodeTasks(dt *drainTask) {
 		tasks[i].deliver(resp)
 		if escalate {
 			// The response is out; the syndrome copy is now free to hand
-			// to level 2. A full queue drops the escalation rather than
+			// to level 2 (which recycles it into the queue's free list
+			// when done). A full queue drops the escalation rather than
 			// stalling this worker — level 1 never waits on level 2.
 			select {
-			case s.escCh <- escTask{g: g, syn: tasks[i].syn, sp: sp}:
+			case s.escCh <- escTask{g: g, q: dt.q, syn: tasks[i].syn, sp: sp}:
 				s.escDepth.Add(1)
 			default:
 				s.escDropped.Inc()
 				sp.SetFlag(trace.FlagEscDropped)
-				s.recordEscDrop(tasks[i].id, dt.q.d, dt.q.e)
+				s.recordEscDrop(tasks[i].id, dt.q)
 				sp.Finish() // release the level-2 reference: it never ran
+				dt.q.putSyn(tasks[i].syn)
 			}
+		} else {
+			// Decoded, delivered, not escalated: nothing references the
+			// syndrome copy — recycle it.
+			dt.q.putSyn(tasks[i].syn)
 		}
 	}
 }
@@ -706,6 +980,7 @@ func (s *Server) runEscWorker() {
 		if _, err := dec.DecodeInto(et.g, et.syn, scratch); err != nil {
 			s.errTotal.Inc()
 			et.sp.Finish()
+			et.q.putSyn(et.syn)
 			continue
 		}
 		elapsed := time.Since(start)
@@ -713,6 +988,7 @@ func (s *Server) runEscWorker() {
 		s.escalateNs.Observe(uint64(elapsed.Nanoseconds()))
 		s.escTotal.Inc()
 		et.sp.Finish()
+		et.q.putSyn(et.syn)
 	}
 }
 

@@ -66,6 +66,11 @@ type decisionView struct {
 	Ratio     float64 `json:"ratio"`
 	ArrivalNs float64 `json:"arrival_ns"`
 	QueueLen  int32   `json:"queue_len"`
+	// Weight is the shed class's service-cost weight at decision time;
+	// SojournNs is the measured queue wait of a sojourn drop (0 for
+	// admission-time sheds, which never entered the queue).
+	Weight    float64 `json:"weight,omitempty"`
+	SojournNs int64   `json:"sojourn_ns,omitempty"`
 }
 
 // exemplarView is one serve_decode_ns bucket exemplar plus whether its
@@ -118,6 +123,7 @@ func decisionViewOf(rec *trace.Record) decisionView {
 		Seq: rec.Seq, ID: rec.ID, D: rec.D, EType: etypeName(rec.EType),
 		Kind: rec.Kind.String(), Reason: rec.Reason.String(),
 		Ratio: rec.Ratio, ArrivalNs: rec.ArrivalNs, QueueLen: rec.QueueLen,
+		Weight: rec.Weight, SojournNs: rec.SojournNs,
 	}
 }
 
@@ -204,11 +210,12 @@ func writeTraceText(w http.ResponseWriter, doc *traceDoc) {
 	}
 
 	if len(doc.Decisions) > 0 {
-		fmt.Fprintf(w, "\n%-6s %-8s %2s %2s %-10s %-14s %10s %14s %10s\n",
-			"seq", "id", "d", "e", "kind", "reason", "ratio", "arrival_ns", "queue_len")
+		fmt.Fprintf(w, "\n%-6s %-8s %2s %2s %-10s %-14s %10s %14s %10s %8s %12s\n",
+			"seq", "id", "d", "e", "kind", "reason", "ratio", "arrival_ns", "queue_len", "weight", "sojourn_ns")
 		for _, d := range doc.Decisions {
-			fmt.Fprintf(w, "%-6d %-8d %2d %2s %-10s %-14s %10.3f %14.0f %10d\n",
-				d.Seq, d.ID, d.D, d.EType, d.Kind, d.Reason, d.Ratio, d.ArrivalNs, d.QueueLen)
+			fmt.Fprintf(w, "%-6d %-8d %2d %2s %-10s %-14s %10.3f %14.0f %10d %8.3f %12d\n",
+				d.Seq, d.ID, d.D, d.EType, d.Kind, d.Reason, d.Ratio, d.ArrivalNs, d.QueueLen,
+				d.Weight, d.SojournNs)
 		}
 	}
 }
